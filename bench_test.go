@@ -1,0 +1,374 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation
+// (Sec. 4), plus barrier microbenchmarks and the ablations DESIGN.md
+// calls out. The text reports that accompany the paper figures are
+// produced by cmd/barriers and cmd/stampbench; these benches measure
+// the same configurations under testing.B so `go test -bench=.`
+// regenerates the performance data.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/harness"
+	"repro/internal/mem"
+	"repro/internal/stamp"
+	"repro/internal/stm"
+
+	_ "repro/internal/stamp/all"
+)
+
+// benchThreads is the paper's maximum thread count; the Dunnington
+// had 24 cores and the paper measured up to 16 threads.
+const benchThreads = 16
+
+// runBench executes one benchmark/config/thread-count data point per
+// iteration (setup excluded from the timer).
+func runBench(b *testing.B, name string, cfg stm.OptConfig, threads int) {
+	b.Helper()
+	var stats stm.Stats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		app, err := stamp.New(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := stm.New(app.MemConfig(), cfg)
+		app.Setup(rt)
+		rt.ResetStats()
+		b.StartTimer()
+		app.Run(rt, threads)
+		b.StopTimer()
+		if err := app.Validate(rt); err != nil {
+			b.Fatal(err)
+		}
+		stats = rt.Stats()
+		b.StartTimer()
+	}
+	b.ReportMetric(stats.AbortRatio(), "aborts/commit")
+	if total := stats.ReadTotal + stats.WriteTotal; total > 0 {
+		b.ReportMetric(float64(stats.ReadElided()+stats.WriteElided())/float64(total), "elided/barrier")
+	}
+}
+
+// --- Figure 8 / Figure 9 (barrier mix; counting configurations) ---
+
+// BenchmarkFig8Breakdown runs every application single-threaded in
+// counting mode — the configuration that produces the Fig. 8 barrier
+// breakdown (use cmd/barriers -fig 8 for the formatted table).
+func BenchmarkFig8Breakdown(b *testing.B) {
+	for _, name := range harness.Benches() {
+		b.Run(name, func(b *testing.B) {
+			runBench(b, name, stm.CountingConfig(), 1)
+		})
+	}
+}
+
+// BenchmarkFig9Removal measures each elision technique single-threaded;
+// the elided/barrier metric is the Fig. 9 "portion of barriers
+// removed" (use cmd/barriers -fig 9 for the formatted table).
+func BenchmarkFig9Removal(b *testing.B) {
+	techs := map[string]stm.OptConfig{
+		"tree":     stm.RuntimeAll(capture.KindTree),
+		"array":    stm.RuntimeAll(capture.KindArray),
+		"filter":   stm.RuntimeAll(capture.KindFilter),
+		"compiler": stm.Compiler(),
+	}
+	for _, name := range []string{"vacation-high", "genome", "yada"} {
+		for _, tech := range []string{"tree", "array", "filter", "compiler"} {
+			b.Run(name+"/"+tech, func(b *testing.B) {
+				runBench(b, name, techs[tech], 1)
+			})
+		}
+	}
+}
+
+// --- Table 1 (abort-to-commit ratio at 16 threads) ---
+
+// BenchmarkTable1 runs each application at 16 threads under the
+// baseline and each optimization; the aborts/commit metric is the
+// Table 1 cell (cmd/stampbench -experiment table1 prints the table).
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range harness.Benches() {
+		for _, cfg := range harness.Table1Configs() {
+			b.Run(name+"/"+cfg.Name, func(b *testing.B) {
+				runBench(b, name, cfg, benchThreads)
+			})
+		}
+	}
+}
+
+// --- Figure 10 (single-thread overhead/improvement) ---
+
+// BenchmarkFig10 measures the runtime configurations and the compiler
+// optimization against the baseline at one thread.
+func BenchmarkFig10(b *testing.B) {
+	for _, name := range harness.Benches() {
+		for _, cfg := range harness.Fig10Configs() {
+			b.Run(name+"/"+cfg.Name, func(b *testing.B) {
+				runBench(b, name, cfg.Perf(), 1)
+			})
+		}
+	}
+}
+
+// --- Figure 11(a)/(b) (16-thread improvement) ---
+
+// BenchmarkFig11a measures the Fig. 10 configurations at 16 threads.
+func BenchmarkFig11a(b *testing.B) {
+	for _, name := range []string{"vacation-high", "vacation-low", "genome", "intruder", "kmeans-high", "yada"} {
+		for _, cfg := range harness.Fig10Configs() {
+			b.Run(name+"/"+cfg.Name, func(b *testing.B) {
+				runBench(b, name, cfg.Perf(), benchThreads)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11b compares the three allocation-log implementations
+// (heap-only, write-only checks) and the compiler at 16 threads.
+func BenchmarkFig11b(b *testing.B) {
+	for _, name := range []string{"vacation-high", "vacation-low", "genome", "intruder", "yada"} {
+		for _, cfg := range harness.Fig11bConfigs() {
+			b.Run(name+"/"+cfg.Name, func(b *testing.B) {
+				runBench(b, name, cfg.Perf(), benchThreads)
+			})
+		}
+	}
+}
+
+// --- Barrier microbenchmarks (cost model of Fig. 2's fast path) ---
+
+func barrierRT(cfg stm.OptConfig) (*stm.Runtime, *stm.Thread, mem.Addr) {
+	rt := stm.New(mem.Config{GlobalWords: 1 << 8, HeapWords: 1 << 16, StackWords: 1 << 10, MaxThreads: 2}, cfg)
+	th := rt.Thread(0)
+	g := rt.Space().AllocGlobal(64)
+	return rt, th, g
+}
+
+// batched runs b.N barrier operations in transactions of 512
+// operations each, so per-transaction log sizes stay realistic.
+// prep runs at the start of every transaction and returns the base
+// address the operation loop uses; heap-allocating preps free the
+// block again before commit so the arena never grows.
+func batched(b *testing.B, th *stm.Thread, prep func(tx *stm.Tx) mem.Addr, op func(tx *stm.Tx, base mem.Addr, i int)) {
+	b.Helper()
+	b.ResetTimer()
+	i := 0
+	for i < b.N {
+		th.Atomic(func(tx *stm.Tx) {
+			base := prep(tx)
+			for j := 0; j < 512 && i < b.N; j++ {
+				op(tx, base, i)
+				i++
+			}
+		})
+	}
+}
+
+// BenchmarkBarrierReadFull is the cost of one full (shared) read
+// barrier inside a transaction.
+func BenchmarkBarrierReadFull(b *testing.B) {
+	_, th, g := barrierRT(stm.Baseline())
+	var sink uint64
+	batched(b, th, func(tx *stm.Tx) mem.Addr { return g },
+		func(tx *stm.Tx, base mem.Addr, i int) {
+			sink += tx.Load(base+mem.Addr(i&63), stm.AccShared)
+		})
+	_ = sink
+}
+
+// BenchmarkBarrierWriteFull is the cost of one full write barrier
+// (distinct addresses, so each pays undo logging; the lock acquisition
+// amortizes over the 8 words of a cache line, as in a real workload).
+func BenchmarkBarrierWriteFull(b *testing.B) {
+	cfg := stm.Baseline()
+	cfg.NoWAWFilter = true
+	_, th, g := barrierRT(cfg)
+	batched(b, th, func(tx *stm.Tx) mem.Addr { return g },
+		func(tx *stm.Tx, base mem.Addr, i int) {
+			tx.Store(base+mem.Addr(i&63), uint64(i), stm.AccShared)
+		})
+}
+
+// BenchmarkBarrierReadElided measures reads that hit the runtime
+// capture analysis, per mechanism and log kind.
+func BenchmarkBarrierReadElided(b *testing.B) {
+	for _, k := range []capture.Kind{capture.KindTree, capture.KindArray, capture.KindFilter} {
+		b.Run("heap-"+k.String(), func(b *testing.B) {
+			_, th, _ := barrierRT(stm.RuntimeAll(k))
+			var sink uint64
+			var cur mem.Addr
+			batched(b, th, func(tx *stm.Tx) mem.Addr {
+				if cur != mem.Nil {
+					tx.Free(cur) // recycle the previous tx's block
+				}
+				cur = tx.Alloc(64)
+				return cur
+			}, func(tx *stm.Tx, base mem.Addr, i int) {
+				sink += tx.Load(base+mem.Addr(i&63), stm.AccAuto)
+			})
+			_ = sink
+		})
+	}
+	b.Run("stack", func(b *testing.B) {
+		_, th, _ := barrierRT(stm.RuntimeAll(capture.KindTree))
+		var sink uint64
+		batched(b, th, func(tx *stm.Tx) mem.Addr { return tx.StackAlloc(64) },
+			func(tx *stm.Tx, base mem.Addr, i int) {
+				sink += tx.Load(base+mem.Addr(i&63), stm.AccAuto)
+			})
+		_ = sink
+	})
+	b.Run("static", func(b *testing.B) {
+		_, th, _ := barrierRT(stm.Compiler())
+		var sink uint64
+		var cur mem.Addr
+		batched(b, th, func(tx *stm.Tx) mem.Addr {
+			if cur != mem.Nil {
+				tx.Free(cur)
+			}
+			cur = tx.Alloc(64)
+			return cur
+		}, func(tx *stm.Tx, base mem.Addr, i int) {
+			sink += tx.Load(base+mem.Addr(i&63), stm.AccFresh)
+		})
+		_ = sink
+	})
+}
+
+// BenchmarkBarrierReadMiss measures the added cost of runtime capture
+// analysis on reads that are NOT captured (the check is pure overhead,
+// the kmeans case from Fig. 10).
+func BenchmarkBarrierReadMiss(b *testing.B) {
+	for _, k := range []capture.Kind{capture.KindTree, capture.KindArray, capture.KindFilter} {
+		b.Run(k.String()+"-empty-log", func(b *testing.B) {
+			_, th, g := barrierRT(stm.RuntimeAll(k))
+			var sink uint64
+			batched(b, th, func(tx *stm.Tx) mem.Addr { return g },
+				func(tx *stm.Tx, base mem.Addr, i int) {
+					sink += tx.Load(base+mem.Addr(i&63), stm.AccShared)
+				})
+			_ = sink
+		})
+		b.Run(k.String()+"-loaded-log", func(b *testing.B) {
+			_, th, g := barrierRT(stm.RuntimeAll(k))
+			var sink uint64
+			var scratch [4]mem.Addr
+			batched(b, th, func(tx *stm.Tx) mem.Addr {
+				for j := 0; j < 4; j++ {
+					if scratch[j] != mem.Nil {
+						tx.Free(scratch[j])
+					}
+					scratch[j] = tx.Alloc(8)
+				}
+				return g
+			}, func(tx *stm.Tx, base mem.Addr, i int) {
+				sink += tx.Load(base+mem.Addr(i&63), stm.AccShared)
+			})
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkBarrierWriteElided measures captured writes (lock and undo
+// both elided) against the full barrier above.
+func BenchmarkBarrierWriteElided(b *testing.B) {
+	for _, k := range []capture.Kind{capture.KindTree, capture.KindArray, capture.KindFilter} {
+		b.Run("heap-"+k.String(), func(b *testing.B) {
+			_, th, _ := barrierRT(stm.RuntimeAll(k))
+			var cur mem.Addr
+			batched(b, th, func(tx *stm.Tx) mem.Addr {
+				if cur != mem.Nil {
+					tx.Free(cur)
+				}
+				cur = tx.Alloc(64)
+				return cur
+			}, func(tx *stm.Tx, base mem.Addr, i int) {
+				tx.Store(base+mem.Addr(i&63), uint64(i), stm.AccAuto)
+			})
+		})
+	}
+}
+
+// --- Ablations (design choices from DESIGN.md) ---
+
+// BenchmarkAblationArrayCap sweeps the range-array capacity: the paper
+// observes one cache line (4 ranges) captures almost the full
+// potential; the elided/barrier metric shows where capacity starts to
+// matter (yada exceeds it).
+func BenchmarkAblationArrayCap(b *testing.B) {
+	for _, capN := range []int{1, 2, 4, 8, 16} {
+		cfg := stm.RuntimeAll(capture.KindArray)
+		cfg.ArrayCap = capN
+		cfg.Name = fmt.Sprintf("array-cap%d", capN)
+		b.Run(fmt.Sprintf("yada/cap%d", capN), func(b *testing.B) {
+			runBench(b, "yada", cfg, 1)
+		})
+	}
+}
+
+// BenchmarkAblationFilterSize sweeps the hash-filter size: smaller
+// filters collide more, producing false negatives (lower elision).
+func BenchmarkAblationFilterSize(b *testing.B) {
+	for _, bits := range []int{4, 6, 8, 10, 12} {
+		cfg := stm.RuntimeAll(capture.KindFilter)
+		cfg.FilterBits = bits
+		cfg.Name = fmt.Sprintf("filter-%dbits", bits)
+		b.Run(fmt.Sprintf("vacation-high/bits%d", bits), func(b *testing.B) {
+			runBench(b, "vacation-high", cfg, 1)
+		})
+	}
+}
+
+// BenchmarkAblationOrecs shrinks the ownership-record table to expose
+// false conflicts (Sec. 2.2's motivation): the aborts/commit metric
+// rises as distinct lines alias.
+func BenchmarkAblationOrecs(b *testing.B) {
+	for _, bits := range []int{8, 12, 16, 20} {
+		cfg := stm.Baseline()
+		cfg.OrecBits = bits
+		cfg.Name = fmt.Sprintf("orecs-%dbits", bits)
+		b.Run(fmt.Sprintf("vacation-high/orecs%d", bits), func(b *testing.B) {
+			runBench(b, "vacation-high", cfg, 8)
+		})
+	}
+}
+
+// BenchmarkAblationSkipShared measures the paper's future-work
+// extension: on the no-elision benchmark (kmeans), bypassing runtime
+// capture checks for definitely-shared accesses recovers most of the
+// check overhead that Fig. 10 shows.
+func BenchmarkAblationSkipShared(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		cfg := stm.RuntimeAll(capture.KindTree).Perf()
+		cfg.SkipSharedChecks = on
+		name := "skip-off"
+		if on {
+			name = "skip-on"
+		}
+		cfg.Name = name
+		b.Run("kmeans-high/"+name, func(b *testing.B) {
+			runBench(b, "kmeans-high", cfg, 1)
+		})
+	}
+}
+
+// BenchmarkAblationWAW toggles the baseline's write-after-write filter
+// (the feature that explains yada's Fig. 10 behaviour).
+func BenchmarkAblationWAW(b *testing.B) {
+	for _, off := range []bool{false, true} {
+		cfg := stm.Baseline()
+		cfg.NoWAWFilter = off
+		name := "waw-on"
+		if off {
+			name = "waw-off"
+		}
+		cfg.Name = name
+		b.Run("yada/"+name, func(b *testing.B) {
+			runBench(b, "yada", cfg, 1)
+		})
+	}
+}

@@ -1,0 +1,67 @@
+// Command barriers regenerates the paper's barrier-mix data: Fig. 8
+// (breakdown of compiler-inserted barriers into transaction-local
+// heap, transaction-local stack, other-not-required, and required) and
+// Fig. 9 (portion of barriers removed by each capture-analysis
+// technique). Both run every benchmark single-threaded, as in Sec. 4.1.
+//
+// Usage:
+//
+//	barriers -fig 8
+//	barriers -fig 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+
+	_ "repro/internal/stamp/all"
+)
+
+func main() {
+	fig := flag.Int("fig", 8, "8 (breakdown) or 9 (removal by technique)")
+	benchFlag := flag.String("bench", "all", "comma-separated benchmark names or 'all'")
+	flag.Parse()
+
+	benches := harness.Benches()
+	if *benchFlag != "all" {
+		benches = strings.Split(*benchFlag, ",")
+	}
+
+	switch *fig {
+	case 8:
+		var reads, writes, alls []harness.Breakdown
+		for _, b := range benches {
+			r, w, a, err := harness.MeasureBreakdown(b)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "barriers:", err)
+				os.Exit(1)
+			}
+			reads, writes, alls = append(reads, r), append(writes, w), append(alls, a)
+		}
+		harness.WriteFig8(os.Stdout, "reads", reads)
+		fmt.Println()
+		harness.WriteFig8(os.Stdout, "writes", writes)
+		fmt.Println()
+		harness.WriteFig8(os.Stdout, "all accesses", alls)
+	case 9:
+		var rows []harness.Removal
+		for _, b := range benches {
+			r, err := harness.MeasureRemoval(b)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "barriers:", err)
+				os.Exit(1)
+			}
+			rows = append(rows, r)
+		}
+		harness.WriteFig9(os.Stdout, "reads", rows)
+		fmt.Println()
+		harness.WriteFig9(os.Stdout, "writes", rows)
+	default:
+		fmt.Fprintln(os.Stderr, "barriers: -fig must be 8 or 9")
+		os.Exit(1)
+	}
+}

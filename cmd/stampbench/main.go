@@ -1,0 +1,137 @@
+// Command stampbench regenerates the performance experiments of the
+// paper's evaluation (Sec. 4): Table 1 (abort-to-commit ratios),
+// Table 2 (run-to-run variation), Fig. 10 (single-thread improvement),
+// and Fig. 11(a)/(b) (16-thread improvement).
+//
+// Usage:
+//
+//	stampbench -experiment fig10            # 1-thread improvements
+//	stampbench -experiment fig11a -threads 16
+//	stampbench -experiment fig11b -threads 16
+//	stampbench -experiment table1 -threads 16
+//	stampbench -experiment table2 -threads 16 -runs 5
+//	stampbench -experiment sweep -bench vacation-low   # scaling curve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/stm"
+
+	_ "repro/internal/stamp/all"
+)
+
+func main() {
+	exp := flag.String("experiment", "fig10", "table1|table2|fig10|fig11a|fig11b|sweep")
+	threads := flag.Int("threads", 1, "worker threads for the parallel phase")
+	runs := flag.Int("runs", 3, "repetitions per data point")
+	benchFlag := flag.String("bench", "all", "comma-separated benchmark names or 'all'")
+	flag.Parse()
+
+	benches := harness.Benches()
+	if *benchFlag != "all" {
+		benches = strings.Split(*benchFlag, ",")
+	}
+
+	var err error
+	switch *exp {
+	case "table1":
+		err = tables(benches, *threads, *runs, true)
+	case "table2":
+		err = tables(benches, *threads, *runs, false)
+	case "fig10":
+		err = improvements(benches, harness.Fig10Configs(), 1, *runs,
+			"Figure 10: % improvement over baseline at 1 thread")
+	case "fig11a":
+		err = improvements(benches, harness.Fig10Configs(), *threads, *runs,
+			fmt.Sprintf("Figure 11(a): %% improvement over baseline at %d threads", *threads))
+	case "fig11b":
+		err = improvements(benches, harness.Fig11bConfigs(), *threads, *runs,
+			fmt.Sprintf("Figure 11(b): %% improvement over baseline at %d threads", *threads))
+	case "sweep":
+		err = sweep(benches, *runs)
+	default:
+		err = fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stampbench:", err)
+		os.Exit(1)
+	}
+}
+
+// tables prints Table 1 (ratio=true) or Table 2 (ratio=false).
+func tables(benches []string, threads, runs int, ratio bool) error {
+	cfgs := harness.Table1Configs()
+	rows := map[string]map[string]float64{}
+	var names []string
+	for _, c := range cfgs {
+		names = append(names, c.Name)
+	}
+	for _, b := range benches {
+		rows[b] = map[string]float64{}
+		for _, cfg := range cfgs {
+			res, err := harness.Run(b, cfg, threads, runs)
+			if err != nil {
+				return err
+			}
+			if ratio {
+				rows[b][cfg.Name] = res.Stats.AbortRatio()
+			} else {
+				rows[b][cfg.Name] = res.RelStdDev()
+			}
+		}
+	}
+	if ratio {
+		harness.WriteTable1(os.Stdout, rows, names, threads)
+	} else {
+		harness.WriteTable2(os.Stdout, rows, names, threads, runs)
+	}
+	return nil
+}
+
+// improvements prints a Fig. 10/11-style improvement table.
+func improvements(benches []string, cfgs []stm.OptConfig, threads, runs int, title string) error {
+	rows := map[string]map[string]float64{}
+	var names []string
+	for _, c := range cfgs {
+		names = append(names, c.Name)
+	}
+	for _, b := range benches {
+		rows[b] = map[string]float64{}
+		// Timing runs use perf mode: no per-access counters, like the
+		// paper's performance builds.
+		perfCfgs := make([]stm.OptConfig, len(cfgs))
+		for i, c := range cfgs {
+			perfCfgs[i] = c.Perf()
+		}
+		results, err := harness.RunMatrix(b, perfCfgs, threads, runs)
+		if err != nil {
+			return err
+		}
+		for i, cfg := range cfgs[1:] {
+			rows[b][cfg.Name] = harness.Improvement(results[0], results[i+1])
+		}
+	}
+	harness.WriteImprovements(os.Stdout, title, rows, names)
+	return nil
+}
+
+// sweep prints raw times across thread counts for scaling curves.
+func sweep(benches []string, runs int) error {
+	for _, b := range benches {
+		fmt.Printf("%s scaling (baseline):\n", b)
+		for _, th := range []int{1, 2, 4, 8, 16} {
+			res, err := harness.Run(b, stm.Baseline(), th, runs)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %2d threads: %v (aborts/commit %.2f)\n",
+				th, res.Median().Round(1000), res.Stats.AbortRatio())
+		}
+	}
+	return nil
+}

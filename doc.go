@@ -1,0 +1,13 @@
+// Package repro reproduces "Optimizing Transactions for Captured
+// Memory" (Dragojević, Ni, Adl-Tabatabai; SPAA 2009): a software
+// transactional memory runtime with runtime and compiler capture
+// analysis that elides STM barriers for transaction-local memory, the
+// STAMP 0.9.9 benchmark suite it was evaluated on, and the harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// substitutions made, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate the evaluation:
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,360 @@
+package capture
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func kinds() []Kind { return []Kind{KindTree, KindArray, KindFilter} }
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{KindTree: "tree", KindArray: "array", KindFilter: "filter", Kind(99): "unknown"}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), w)
+		}
+	}
+}
+
+func TestBasicInsertContains(t *testing.T) {
+	for _, k := range kinds() {
+		l := New(k)
+		l.Insert(100, 110)
+		l.Insert(200, 201)
+		cases := []struct {
+			addr mem.Addr
+			size int
+			want bool
+		}{
+			{100, 1, true}, {109, 1, true}, {110, 1, false}, {99, 1, false},
+			{100, 10, true}, {100, 11, false}, {105, 5, true}, {105, 6, false},
+			{200, 1, true}, {201, 1, false}, {150, 1, false},
+		}
+		for _, c := range cases {
+			if got := l.Contains(c.addr, c.size); got != c.want {
+				t.Errorf("%v: Contains(%d,%d) = %v, want %v", k, c.addr, c.size, got, c.want)
+			}
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	for _, k := range kinds() {
+		l := New(k)
+		l.Insert(10, 20)
+		l.Insert(30, 40)
+		l.Remove(10, 20)
+		if l.Contains(15, 1) {
+			t.Errorf("%v: contains removed range", k)
+		}
+		if !l.Contains(35, 1) {
+			t.Errorf("%v: lost surviving range", k)
+		}
+		l.Remove(50, 60) // absent: no-op
+		if !l.Contains(35, 1) {
+			t.Errorf("%v: no-op remove damaged log", k)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	for _, k := range kinds() {
+		l := New(k)
+		for i := mem.Addr(0); i < 20; i++ {
+			l.Insert(100+i*10, 100+i*10+5)
+		}
+		l.Clear()
+		if l.Len() != 0 {
+			t.Errorf("%v: Len after Clear = %d", k, l.Len())
+		}
+		for i := mem.Addr(0); i < 20; i++ {
+			if l.Contains(100+i*10, 1) {
+				t.Errorf("%v: contains after Clear", k)
+			}
+		}
+		// Log must be reusable after Clear.
+		l.Insert(7, 9)
+		if !l.Contains(7, 2) {
+			t.Errorf("%v: unusable after Clear", k)
+		}
+	}
+}
+
+func TestTreePrecise(t *testing.T) {
+	tr := NewTree()
+	rng := rand.New(rand.NewSource(1))
+	ref := map[mem.Addr]mem.Addr{} // start → end
+	next := mem.Addr(1)
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			n := mem.Addr(1 + rng.Intn(16))
+			tr.Insert(next, next+n)
+			ref[next] = next + n
+			next += n + mem.Addr(rng.Intn(4))
+		case 2:
+			for s, e := range ref { // delete an arbitrary one
+				tr.Remove(s, e)
+				delete(ref, s)
+				break
+			}
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+	for s, e := range ref {
+		if !tr.Contains(s, int(e-s)) {
+			t.Errorf("missing [%d,%d)", s, e)
+		}
+		if tr.Contains(s, int(e-s)+1) {
+			t.Errorf("over-contains past [%d,%d)", s, e)
+		}
+	}
+}
+
+func TestTreeInsertOverlapPanics(t *testing.T) {
+	tr := NewTree()
+	tr.Insert(10, 20)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on overlapping insert")
+		}
+	}()
+	tr.Insert(15, 25)
+}
+
+func TestArrayOverflowConservative(t *testing.T) {
+	a := NewArray(2)
+	a.Insert(10, 20)
+	a.Insert(30, 40)
+	a.Insert(50, 60) // dropped
+	if a.Drops() != 1 {
+		t.Errorf("Drops = %d, want 1", a.Drops())
+	}
+	if a.Contains(55, 1) {
+		t.Error("contains dropped range (false positive)")
+	}
+	if !a.Contains(15, 1) || !a.Contains(35, 1) {
+		t.Error("lost tracked ranges")
+	}
+	a.Remove(50, 60) // dropped range: no-op
+	a.Remove(10, 20)
+	a.Insert(50, 60) // slot freed, now fits
+	if !a.Contains(55, 1) {
+		t.Error("slot not reusable after Remove")
+	}
+}
+
+func TestFilterCollisionsAreFalseNegativesOnly(t *testing.T) {
+	f := NewFilter(3) // 8 slots, heavy collisions
+	var inserted []mem.Addr
+	for i := mem.Addr(100); i < 150; i++ {
+		f.Insert(i, i+1)
+		inserted = append(inserted, i)
+	}
+	// No false positives for never-inserted addresses.
+	for a := mem.Addr(1); a < 100; a++ {
+		if f.Contains(a, 1) {
+			t.Fatalf("false positive at %d", a)
+		}
+	}
+	// The most recent insert always survives.
+	last := inserted[len(inserted)-1]
+	if !f.Contains(last, 1) {
+		t.Error("latest insert evicted")
+	}
+	f.Clear()
+	for _, a := range inserted {
+		if f.Contains(a, 1) {
+			t.Fatalf("contains %d after Clear", a)
+		}
+	}
+}
+
+func TestFilterMultiWordBlocks(t *testing.T) {
+	f := NewFilter(12)
+	f.Insert(1000, 1010)
+	if !f.Contains(1000, 10) {
+		t.Error("full block not contained")
+	}
+	if !f.Contains(1004, 3) {
+		t.Error("inner window not contained")
+	}
+	if f.Contains(1008, 4) {
+		t.Error("window past block end contained")
+	}
+	f.Remove(1000, 1010)
+	if f.Contains(1005, 1) {
+		t.Error("contains after Remove")
+	}
+	if f.Len() != 0 {
+		t.Errorf("Len = %d after full Remove", f.Len())
+	}
+}
+
+// model is the reference implementation for property testing.
+type model map[mem.Addr]mem.Addr
+
+// contains reports single-range containment (the tree/array contract).
+func (m model) contains(a mem.Addr, size int) bool {
+	for s, e := range m {
+		if a >= s && a+mem.Addr(size) <= e {
+			return true
+		}
+	}
+	return false
+}
+
+// covered reports word-wise coverage: every accessed word lies in some
+// recorded range. This is the actual safety requirement — an access is
+// captured iff all its words are transaction-local — and is what the
+// filter implements (it may span adjacent blocks).
+func (m model) covered(a mem.Addr, size int) bool {
+	for i := 0; i < size; i++ {
+		w := a + mem.Addr(i)
+		found := false
+		for s, e := range m {
+			if w >= s && w < e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyConservative drives all three implementations with a
+// random operation sequence and checks, after every step, the paper's
+// correctness requirement: the tree is exact, and the array and filter
+// never report true where the model says false.
+func TestPropertyConservative(t *testing.T) {
+	f := func(seed int64, nops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		logs := []Log{NewTree(), NewArray(3), NewFilter(4)}
+		ref := model{}
+		next := mem.Addr(1)
+		var starts []mem.Addr
+		for op := 0; op < int(nops); op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // insert
+				n := mem.Addr(1 + rng.Intn(8))
+				for _, l := range logs {
+					l.Insert(next, next+n)
+				}
+				ref[next] = next + n
+				starts = append(starts, next)
+				next += n + mem.Addr(rng.Intn(3))
+			case 2: // remove a random previously inserted range
+				if len(starts) == 0 {
+					continue
+				}
+				i := rng.Intn(len(starts))
+				s := starts[i]
+				if e, ok := ref[s]; ok {
+					for _, l := range logs {
+						l.Remove(s, e)
+					}
+					delete(ref, s)
+				}
+			case 3: // clear
+				if rng.Intn(8) == 0 {
+					for _, l := range logs {
+						l.Clear()
+					}
+					ref = model{}
+					starts = starts[:0]
+				}
+			}
+			// Probe random addresses.
+			for p := 0; p < 8; p++ {
+				a := mem.Addr(rng.Intn(int(next) + 4))
+				size := 1 + rng.Intn(3)
+				want := ref.contains(a, size)
+				if got := logs[0].Contains(a, size); got != want {
+					t.Logf("tree Contains(%d,%d)=%v want %v", a, size, got, want)
+					return false
+				}
+				if logs[1].Contains(a, size) && !want {
+					t.Logf("array false positive at (%d,%d)", a, size)
+					return false
+				}
+				if logs[2].Contains(a, size) && !ref.covered(a, size) {
+					t.Logf("filter false positive at (%d,%d)", a, size)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown kind")
+		}
+	}()
+	New(Kind(42))
+}
+
+func BenchmarkLogHit(b *testing.B) {
+	for _, k := range kinds() {
+		b.Run(k.String(), func(b *testing.B) {
+			l := New(k)
+			for i := mem.Addr(0); i < 4; i++ {
+				l.Insert(1000+i*20, 1010+i*20)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !l.Contains(1005, 1) {
+					b.Fatal("miss")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLogMiss(b *testing.B) {
+	for _, k := range kinds() {
+		b.Run(k.String(), func(b *testing.B) {
+			l := New(k)
+			for i := mem.Addr(0); i < 4; i++ {
+				l.Insert(1000+i*20, 1010+i*20)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if l.Contains(5000, 1) {
+					b.Fatal("hit")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLogInsertClear(b *testing.B) {
+	for _, k := range kinds() {
+		b.Run(k.String(), func(b *testing.B) {
+			l := New(k)
+			for i := 0; i < b.N; i++ {
+				a := mem.Addr(1000 + (i%16)*32)
+				l.Insert(a, a+16)
+				if i%16 == 15 {
+					l.Clear()
+				}
+			}
+		})
+	}
+}

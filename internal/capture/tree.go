@@ -1,0 +1,251 @@
+package capture
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Tree is the precise allocation log: a height-balanced (AVL) search
+// tree over disjoint ranges keyed by start address.
+//
+// The paper's Fig. 5 stores ranges at the leaves with min/max bounds
+// at internal nodes so misses terminate high in the tree. Over
+// *disjoint* ranges an ordered balanced tree gives the same O(log n)
+// hit and miss cost with one node per range, so this implementation
+// keeps ranges directly in the nodes. Nodes are recycled through a
+// free list so steady-state transactions allocate nothing.
+type Tree struct {
+	root *treeNode
+	free *treeNode // recycled nodes, chained through left
+	n    int
+}
+
+type treeNode struct {
+	start, end  mem.Addr // [start, end)
+	left, right *treeNode
+	h           int8
+}
+
+// NewTree creates an empty precise allocation log.
+func NewTree() *Tree { return &Tree{} }
+
+// Len reports the number of recorded ranges.
+func (t *Tree) Len() int { return t.n }
+
+func (t *Tree) newNode(start, end mem.Addr) *treeNode {
+	if f := t.free; f != nil {
+		t.free = f.left
+		*f = treeNode{start: start, end: end, h: 1}
+		return f
+	}
+	return &treeNode{start: start, end: end, h: 1}
+}
+
+func (t *Tree) release(n *treeNode) {
+	n.left = t.free
+	n.right = nil
+	t.free = n
+}
+
+func height(n *treeNode) int8 {
+	if n == nil {
+		return 0
+	}
+	return n.h
+}
+
+func fix(n *treeNode) *treeNode {
+	hl, hr := height(n.left), height(n.right)
+	if hl >= hr {
+		n.h = hl + 1
+	} else {
+		n.h = hr + 1
+	}
+	switch bal := hl - hr; {
+	case bal > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotL(n.left)
+		}
+		return rotR(n)
+	case bal < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotR(n.right)
+		}
+		return rotL(n)
+	}
+	return n
+}
+
+func rotR(n *treeNode) *treeNode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	refresh(n)
+	refresh(l)
+	return l
+}
+
+func rotL(n *treeNode) *treeNode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	refresh(n)
+	refresh(r)
+	return r
+}
+
+func refresh(n *treeNode) {
+	hl, hr := height(n.left), height(n.right)
+	if hl >= hr {
+		n.h = hl + 1
+	} else {
+		n.h = hr + 1
+	}
+}
+
+// Insert records the range [start, end). Ranges inserted into one log
+// come from one allocator and are therefore disjoint; inserting an
+// overlapping range panics, as it would indicate allocator corruption.
+func (t *Tree) Insert(start, end mem.Addr) {
+	if start >= end {
+		panic(fmt.Sprintf("capture: Tree.Insert(%d, %d): empty range", start, end))
+	}
+	t.root = t.insert(t.root, start, end)
+	t.n++
+}
+
+func (t *Tree) insert(n *treeNode, start, end mem.Addr) *treeNode {
+	if n == nil {
+		return t.newNode(start, end)
+	}
+	switch {
+	case end <= n.start:
+		n.left = t.insert(n.left, start, end)
+	case start >= n.end:
+		n.right = t.insert(n.right, start, end)
+	default:
+		panic(fmt.Sprintf("capture: Tree.Insert(%d, %d): overlaps [%d, %d)", start, end, n.start, n.end))
+	}
+	return fix(n)
+}
+
+// Contains reports whether [addr, addr+size) lies inside one recorded
+// range. The tree is precise: it finds every captured access.
+func (t *Tree) Contains(addr mem.Addr, size int) bool {
+	n := t.root
+	for n != nil {
+		switch {
+		case addr < n.start:
+			n = n.left
+		case addr >= n.end:
+			n = n.right
+		default:
+			return addr+mem.Addr(size) <= n.end
+		}
+	}
+	return false
+}
+
+// Remove forgets the range starting at start. The (start, end) pair
+// must match a recorded range exactly or be absent.
+func (t *Tree) Remove(start, end mem.Addr) {
+	var removed bool
+	t.root, removed = t.remove(t.root, start)
+	if removed {
+		t.n--
+	}
+	_ = end
+}
+
+func (t *Tree) remove(n *treeNode, start mem.Addr) (*treeNode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case start < n.start:
+		n.left, removed = t.remove(n.left, start)
+	case start > n.start:
+		n.right, removed = t.remove(n.right, start)
+	default:
+		removed = true
+		if n.left == nil {
+			r := n.right
+			t.release(n)
+			return r, true
+		}
+		if n.right == nil {
+			l := n.left
+			t.release(n)
+			return l, true
+		}
+		// Replace with the successor (leftmost of the right subtree).
+		succ := n.right
+		for succ.left != nil {
+			succ = succ.left
+		}
+		n.start, n.end = succ.start, succ.end
+		n.right, _ = t.remove(n.right, succ.start)
+	}
+	return fix(n), removed
+}
+
+// Clear empties the log, recycling all nodes.
+func (t *Tree) Clear() {
+	t.clear(t.root)
+	t.root = nil
+	t.n = 0
+}
+
+func (t *Tree) clear(n *treeNode) {
+	if n == nil {
+		return
+	}
+	t.clear(n.left)
+	t.clear(n.right)
+	t.release(n)
+}
+
+// checkInvariants validates ordering, balance and disjointness; used
+// by the property tests.
+func (t *Tree) checkInvariants() error {
+	var prevEnd mem.Addr
+	var walk func(n *treeNode) error
+	count := 0
+	walk = func(n *treeNode) error {
+		if n == nil {
+			return nil
+		}
+		if err := walk(n.left); err != nil {
+			return err
+		}
+		if n.start < prevEnd {
+			return fmt.Errorf("ranges not disjoint/ordered at [%d,%d) after end %d", n.start, n.end, prevEnd)
+		}
+		if n.start >= n.end {
+			return fmt.Errorf("empty range [%d,%d)", n.start, n.end)
+		}
+		prevEnd = n.end
+		count++
+		hl, hr := height(n.left), height(n.right)
+		if bal := hl - hr; bal < -1 || bal > 1 {
+			return fmt.Errorf("unbalanced node [%d,%d): %d vs %d", n.start, n.end, hl, hr)
+		}
+		exp := hl
+		if hr > exp {
+			exp = hr
+		}
+		if n.h != exp+1 {
+			return fmt.Errorf("bad height at [%d,%d)", n.start, n.end)
+		}
+		return walk(n.right)
+	}
+	if err := walk(t.root); err != nil {
+		return err
+	}
+	if count != t.n {
+		return fmt.Errorf("Len=%d but %d nodes", t.n, count)
+	}
+	return nil
+}

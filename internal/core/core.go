@@ -1,0 +1,79 @@
+// Package core is the front door to the paper's primary contribution:
+// STM barrier elision for captured (transaction-local) memory. It
+// re-exports the runtime (internal/stm) and the capture-analysis data
+// structures (internal/capture) under one import, which is the API a
+// downstream user of this library programs against:
+//
+//	rt := core.New(memCfg, core.RuntimeAll(core.KindTree))
+//	th := rt.Thread(0)
+//	th.Atomic(func(tx *core.Tx) {
+//	    p := tx.Alloc(4)                  // captured until commit
+//	    tx.Store(p, 1, core.AccFresh)     // barrier elided
+//	    tx.Store(shared, 2, core.AccShared)
+//	})
+//
+// The implementation lives in:
+//
+//   - internal/stm — the transactional runtime and the barrier fast
+//     paths (runtime capture analysis, annotations, compiler elision);
+//   - internal/capture — the allocation-log implementations (tree,
+//     array, filter) of the paper's Sec. 3.1.2;
+//   - internal/mem — the simulated memory substrate;
+//   - internal/tlc — the compiler whose capture analysis derives the
+//     provenance tags automatically from TL source.
+package core
+
+import (
+	"repro/internal/capture"
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Core runtime types.
+type (
+	// Runtime is a shared STM instance (see stm.Runtime).
+	Runtime = stm.Runtime
+	// Thread is a per-worker execution context (see stm.Thread).
+	Thread = stm.Thread
+	// Tx is a transaction descriptor (see stm.Tx).
+	Tx = stm.Tx
+	// OptConfig selects an optimization configuration (see stm.OptConfig).
+	OptConfig = stm.OptConfig
+	// Acc describes an access site to the barriers (see stm.Acc).
+	Acc = stm.Acc
+	// Stats are the per-run counters (see stm.Stats).
+	Stats = stm.Stats
+	// MemConfig sizes the simulated address space (see mem.Config).
+	MemConfig = mem.Config
+	// Addr is a simulated memory address (see mem.Addr).
+	Addr = mem.Addr
+)
+
+// New creates a runtime over a fresh simulated address space.
+func New(memCfg MemConfig, opt OptConfig) *Runtime { return stm.New(memCfg, opt) }
+
+// Optimization configuration constructors (paper Sec. 4).
+var (
+	Baseline         = stm.Baseline
+	RuntimeAll       = stm.RuntimeAll
+	RuntimeWrite     = stm.RuntimeWrite
+	RuntimeHeapWrite = stm.RuntimeHeapWrite
+	Compiler         = stm.Compiler
+	CountingConfig   = stm.CountingConfig
+)
+
+// Allocation-log implementations (paper Sec. 3.1.2).
+const (
+	KindTree   = capture.KindTree
+	KindArray  = capture.KindArray
+	KindFilter = capture.KindFilter
+)
+
+// Access descriptors (compiler-provenance tags; see stm.Acc).
+var (
+	AccShared = stm.AccShared
+	AccAuto   = stm.AccAuto
+	AccFresh  = stm.AccFresh
+	AccLocal  = stm.AccLocal
+	AccStack  = stm.AccStack
+)

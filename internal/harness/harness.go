@@ -1,0 +1,180 @@
+// Package harness runs the paper's experiments: it instantiates a
+// benchmark under an optimization configuration, times the parallel
+// phase over repeated runs, validates the result, and formats the
+// tables and figure series of the evaluation section (Sec. 4).
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/stamp"
+	"repro/internal/stm"
+)
+
+// Result is the outcome of running one benchmark under one
+// configuration at one thread count.
+type Result struct {
+	Bench   string
+	Config  string
+	Threads int
+	Times   []time.Duration // one per run
+	Stats   stm.Stats       // from the last run
+}
+
+// Run executes the benchmark `runs` times (fresh instance each run;
+// setup and validation excluded from timing) and returns the result.
+func Run(bench string, cfg stm.OptConfig, threads, runs int) (Result, error) {
+	res := Result{Bench: bench, Config: cfg.Name, Threads: threads}
+	for i := 0; i < runs; i++ {
+		b, err := stamp.New(bench)
+		if err != nil {
+			return res, err
+		}
+		rt := stm.New(b.MemConfig(), cfg)
+		b.Setup(rt)
+		rt.ResetStats() // report the timed phase only
+		// Quiesce the Go runtime so the timed region measures the STM,
+		// not the collector: GC now, then hold it off until the run
+		// finishes (the workloads allocate little Go memory).
+		runtime.GC()
+		gcPct := debug.SetGCPercent(-1)
+		start := time.Now()
+		b.Run(rt, threads)
+		res.Times = append(res.Times, time.Since(start))
+		debug.SetGCPercent(gcPct)
+		if err := b.Validate(rt); err != nil {
+			return res, fmt.Errorf("%s [%s, %d threads]: %w", bench, cfg.Name, threads, err)
+		}
+		res.Stats = rt.Stats()
+	}
+	return res, nil
+}
+
+// RunMatrix measures bench under every configuration, interleaving
+// the configurations round-robin so slow drift in machine speed
+// (thermal, noisy neighbors) biases no configuration. Results are
+// indexed like cfgs.
+func RunMatrix(bench string, cfgs []stm.OptConfig, threads, runs int) ([]Result, error) {
+	results := make([]Result, len(cfgs))
+	for i, cfg := range cfgs {
+		results[i] = Result{Bench: bench, Config: cfg.Name, Threads: threads}
+	}
+	for r := 0; r < runs; r++ {
+		for i, cfg := range cfgs {
+			one, err := Run(bench, cfg, threads, 1)
+			if err != nil {
+				return nil, err
+			}
+			results[i].Times = append(results[i].Times, one.Times[0])
+			results[i].Stats = one.Stats
+		}
+	}
+	return results, nil
+}
+
+// Mean returns the mean run time.
+func (r Result) Mean() time.Duration {
+	var sum time.Duration
+	for _, t := range r.Times {
+		sum += t
+	}
+	return sum / time.Duration(len(r.Times))
+}
+
+// Median returns the median run time (robust against scheduler noise).
+func (r Result) Median() time.Duration {
+	ts := append([]time.Duration(nil), r.Times...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts[len(ts)/2]
+}
+
+// Min returns the fastest run time. For CPU-bound runs on a shared
+// machine the minimum is the most repeatable comparison statistic:
+// noise (scheduler preemption, frequency shifts, collector activity)
+// only ever adds time.
+func (r Result) Min() time.Duration {
+	min := r.Times[0]
+	for _, t := range r.Times[1:] {
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// RelStdDev returns the percent relative standard deviation of the run
+// times — the paper's Table 2 metric.
+func (r Result) RelStdDev() float64 {
+	if len(r.Times) < 2 {
+		return 0
+	}
+	m := float64(r.Mean())
+	var ss float64
+	for _, t := range r.Times {
+		d := float64(t) - m
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(r.Times)-1))
+	return 100 * sd / m
+}
+
+// Improvement returns the percent performance improvement of opt over
+// base (the paper's Fig. 10/11 metric): positive means opt is faster.
+// It compares minima (see Min).
+func Improvement(base, opt Result) float64 {
+	return 100 * (float64(base.Min()) - float64(opt.Min())) / float64(base.Min())
+}
+
+// --- Configuration sets from the paper's evaluation ---
+
+// Fig10Configs returns the configurations compared in Fig. 10 and
+// Fig. 11(a): the baseline, the three runtime variants (tree log), and
+// the compiler optimization.
+func Fig10Configs() []stm.OptConfig {
+	return []stm.OptConfig{
+		stm.Baseline(),
+		stm.RuntimeAll(capture.KindTree),
+		stm.RuntimeWrite(capture.KindTree),
+		stm.RuntimeHeapWrite(capture.KindTree),
+		stm.Compiler(),
+	}
+}
+
+// Fig11bConfigs returns the configurations of Fig. 11(b): heap-only
+// write-barrier runtime checks under each log implementation, plus the
+// compiler.
+func Fig11bConfigs() []stm.OptConfig {
+	return []stm.OptConfig{
+		stm.Baseline(),
+		stm.RuntimeHeapWrite(capture.KindTree),
+		stm.RuntimeHeapWrite(capture.KindArray),
+		stm.RuntimeHeapWrite(capture.KindFilter),
+		stm.Compiler(),
+	}
+}
+
+// Table1Configs returns the configurations of Table 1 / Table 2:
+// baseline, the three full runtime variants, and the compiler.
+func Table1Configs() []stm.OptConfig {
+	return []stm.OptConfig{
+		stm.Baseline(),
+		stm.RuntimeAll(capture.KindTree),
+		stm.RuntimeAll(capture.KindArray),
+		stm.RuntimeAll(capture.KindFilter),
+		stm.Compiler(),
+	}
+}
+
+// Benches returns the benchmark roster in the paper's Table 1 order.
+func Benches() []string {
+	return []string{
+		"bayes", "genome", "intruder", "kmeans-high", "kmeans-low",
+		"labyrinth", "ssca2", "vacation-high", "vacation-low", "yada",
+	}
+}

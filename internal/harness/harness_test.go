@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stm"
+
+	_ "repro/internal/stamp/all"
+)
+
+func TestRunProducesTimesAndStats(t *testing.T) {
+	res, err := Run("ssca2", stm.Baseline(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times) != 2 {
+		t.Fatalf("times = %v", res.Times)
+	}
+	if res.Stats.Commits == 0 {
+		t.Error("no commits recorded")
+	}
+	if res.Mean() <= 0 || res.Median() <= 0 || res.Min() <= 0 {
+		t.Error("non-positive aggregate time")
+	}
+}
+
+func TestRunUnknownBenchErrors(t *testing.T) {
+	if _, err := Run("nope", stm.Baseline(), 1, 1); err == nil {
+		t.Error("no error for unknown benchmark")
+	}
+}
+
+func TestStatisticsHelpers(t *testing.T) {
+	r := Result{Times: []time.Duration{10, 20, 30, 40, 100}}
+	if r.Min() != 10 {
+		t.Errorf("Min = %v", r.Min())
+	}
+	if r.Median() != 30 {
+		t.Errorf("Median = %v", r.Median())
+	}
+	if r.Mean() != 40 {
+		t.Errorf("Mean = %v", r.Mean())
+	}
+	if r.RelStdDev() <= 0 {
+		t.Error("RelStdDev should be positive for varied samples")
+	}
+	same := Result{Times: []time.Duration{50, 50, 50}}
+	if same.RelStdDev() != 0 {
+		t.Errorf("RelStdDev of constant samples = %v", same.RelStdDev())
+	}
+	one := Result{Times: []time.Duration{50}}
+	if one.RelStdDev() != 0 {
+		t.Error("RelStdDev of one sample should be 0")
+	}
+}
+
+func TestImprovementSign(t *testing.T) {
+	base := Result{Times: []time.Duration{100}}
+	faster := Result{Times: []time.Duration{80}}
+	slower := Result{Times: []time.Duration{120}}
+	if imp := Improvement(base, faster); imp != 20 {
+		t.Errorf("Improvement = %v, want 20", imp)
+	}
+	if imp := Improvement(base, slower); imp != -20 {
+		t.Errorf("Improvement = %v, want -20", imp)
+	}
+}
+
+func TestConfigSets(t *testing.T) {
+	if n := len(Fig10Configs()); n != 5 {
+		t.Errorf("Fig10Configs = %d, want 5", n)
+	}
+	if n := len(Fig11bConfigs()); n != 5 {
+		t.Errorf("Fig11bConfigs = %d, want 5", n)
+	}
+	if n := len(Table1Configs()); n != 5 {
+		t.Errorf("Table1Configs = %d, want 5", n)
+	}
+	for _, sets := range [][]stm.OptConfig{Fig10Configs(), Fig11bConfigs(), Table1Configs()} {
+		if sets[0].Name != "baseline" {
+			t.Errorf("first config %q, want baseline", sets[0].Name)
+		}
+	}
+	if len(Benches()) != 10 {
+		t.Errorf("Benches = %d, want 10 (Table 1 roster)", len(Benches()))
+	}
+}
+
+func TestMeasureBreakdownSums(t *testing.T) {
+	r, w, all, err := MeasureBreakdown("ssca2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Breakdown{r, w, all} {
+		if b.Total == 0 {
+			t.Fatal("empty breakdown")
+		}
+		sum := b.CapHeap + b.CapStack + b.Other + b.Required
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("breakdown fractions sum to %v", sum)
+		}
+	}
+	if all.Total != r.Total+w.Total {
+		t.Errorf("all.Total %d != reads %d + writes %d", all.Total, r.Total, w.Total)
+	}
+}
+
+func TestMeasureRemovalWithinBounds(t *testing.T) {
+	rm, err := MeasureRemoval("ssca2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tech := range Fig9Techniques() {
+		if rm.Read[tech] < 0 || rm.Read[tech] > 1 || rm.Write[tech] < 0 || rm.Write[tech] > 1 {
+			t.Errorf("removal fraction out of range for %s", tech)
+		}
+	}
+}
+
+func TestReportWriters(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFig8(&buf, "reads", []Breakdown{{Bench: "x", Total: 10, CapHeap: 0.5, Required: 0.5}})
+	if !strings.Contains(buf.String(), "Figure 8") || !strings.Contains(buf.String(), "50.0%") {
+		t.Errorf("Fig8 output:\n%s", buf.String())
+	}
+	buf.Reset()
+	WriteFig9(&buf, "writes", []Removal{{
+		Bench: "x",
+		Read:  map[string]float64{"tree": 1},
+		Write: map[string]float64{"tree": 0.25},
+	}})
+	if !strings.Contains(buf.String(), "25.0%") {
+		t.Errorf("Fig9 output:\n%s", buf.String())
+	}
+	buf.Reset()
+	rows := map[string]map[string]float64{}
+	for _, b := range Benches() {
+		rows[b] = map[string]float64{"baseline": 0.5, "compiler": 0.1}
+	}
+	WriteTable1(&buf, rows, []string{"baseline", "compiler"}, 16)
+	if !strings.Contains(buf.String(), "Table 1") || !strings.Contains(buf.String(), "0.50") {
+		t.Errorf("Table1 output:\n%s", buf.String())
+	}
+	buf.Reset()
+	WriteTable2(&buf, rows, []string{"baseline"}, 16, 5)
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Errorf("Table2 output:\n%s", buf.String())
+	}
+	buf.Reset()
+	imp := map[string]map[string]float64{}
+	for _, b := range Benches() {
+		imp[b] = map[string]float64{"compiler": 14.0}
+	}
+	WriteImprovements(&buf, "Figure 11", imp, []string{"baseline", "compiler"})
+	if !strings.Contains(buf.String(), "+14.0%") {
+		t.Errorf("Improvements output:\n%s", buf.String())
+	}
+}
+
+func TestRunMatrixInterleaves(t *testing.T) {
+	cfgs := []stm.OptConfig{stm.Baseline(), stm.Compiler()}
+	results, err := RunMatrix("ssca2", cfgs, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if len(r.Times) != 2 {
+			t.Errorf("config %d: %d times, want 2", i, len(r.Times))
+		}
+		if r.Config != cfgs[i].Name {
+			t.Errorf("config %d name %q", i, r.Config)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/capture"
+	"repro/internal/stamp"
+	"repro/internal/stm"
+)
+
+// Breakdown is the paper's Fig. 8 classification of the compiler-
+// inserted barriers of one benchmark: captured heap, captured stack,
+// required (hand-instrumented) and other (not required but not
+// captured), as fractions of the total.
+type Breakdown struct {
+	Bench             string
+	Total             uint64
+	CapHeap, CapStack float64
+	Required, Other   float64
+}
+
+func breakdown(bench string, total, capHeap, capStack, manual uint64) Breakdown {
+	t := float64(total)
+	if t == 0 {
+		return Breakdown{Bench: bench}
+	}
+	b := Breakdown{
+		Bench:    bench,
+		Total:    total,
+		CapHeap:  float64(capHeap) / t,
+		CapStack: float64(capStack) / t,
+		Required: float64(manual) / t,
+	}
+	// The paper estimates "other not required" as the remainder after
+	// captured and required accesses (Sec. 4.1).
+	b.Other = 1 - b.CapHeap - b.CapStack - b.Required
+	if b.Other < 0 {
+		b.Other = 0
+	}
+	return b
+}
+
+// MeasureBreakdown runs bench single-threaded in counting mode and
+// returns the read, write, and combined classifications (Fig. 8 a/b/c).
+func MeasureBreakdown(bench string) (read, write, all Breakdown, err error) {
+	b, err := stamp.New(bench)
+	if err != nil {
+		return read, write, all, err
+	}
+	rt := stm.New(b.MemConfig(), stm.CountingConfig())
+	b.Setup(rt)
+	rt.ResetStats() // count the timed phase only, as in Sec. 4.1
+	b.Run(rt, 1)
+	if err := b.Validate(rt); err != nil {
+		return read, write, all, err
+	}
+	s := rt.Stats()
+	read = breakdown(bench, s.ReadTotal, s.ReadCapHeap, s.ReadCapStack, s.ReadManual)
+	write = breakdown(bench, s.WriteTotal, s.WriteCapHeap, s.WriteCapStack, s.WriteManual)
+	all = breakdown(bench, s.ReadTotal+s.WriteTotal,
+		s.ReadCapHeap+s.WriteCapHeap, s.ReadCapStack+s.WriteCapStack,
+		s.ReadManual+s.WriteManual)
+	return read, write, all, nil
+}
+
+// WriteFig8 prints the Fig. 8 table for the given access class
+// ("reads", "writes" or "all").
+func WriteFig8(w io.Writer, class string, rows []Breakdown) {
+	fmt.Fprintf(w, "Figure 8: breakdown of compiler-inserted STM barriers (%s)\n", class)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tbarriers\ttx-heap\ttx-stack\tother\trequired")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\n",
+			r.Bench, r.Total, 100*r.CapHeap, 100*r.CapStack, 100*r.Other, 100*r.Required)
+	}
+	tw.Flush()
+}
+
+// Removal is one benchmark's Fig. 9 row: the portion of read and write
+// barriers removed by each capture-analysis technique.
+type Removal struct {
+	Bench       string
+	Read, Write map[string]float64 // technique → fraction removed
+}
+
+// Fig9Techniques lists the technique columns of Fig. 9.
+func Fig9Techniques() []string { return []string{"tree", "array", "filter", "compiler"} }
+
+// MeasureRemoval runs bench single-threaded under each technique and
+// reports the portion of barriers each one removed.
+func MeasureRemoval(bench string) (Removal, error) {
+	rm := Removal{Bench: bench, Read: map[string]float64{}, Write: map[string]float64{}}
+	cfgs := map[string]stm.OptConfig{
+		"tree":     stm.RuntimeAll(capture.KindTree),
+		"array":    stm.RuntimeAll(capture.KindArray),
+		"filter":   stm.RuntimeAll(capture.KindFilter),
+		"compiler": stm.Compiler(),
+	}
+	for _, tech := range Fig9Techniques() {
+		b, err := stamp.New(bench)
+		if err != nil {
+			return rm, err
+		}
+		rt := stm.New(b.MemConfig(), cfgs[tech])
+		b.Setup(rt)
+		rt.ResetStats()
+		b.Run(rt, 1)
+		if err := b.Validate(rt); err != nil {
+			return rm, err
+		}
+		s := rt.Stats()
+		if s.ReadTotal > 0 {
+			rm.Read[tech] = float64(s.ReadElided()) / float64(s.ReadTotal)
+		}
+		if s.WriteTotal > 0 {
+			rm.Write[tech] = float64(s.WriteElided()) / float64(s.WriteTotal)
+		}
+	}
+	return rm, nil
+}
+
+// WriteFig9 prints the Fig. 9 table for reads or writes.
+func WriteFig9(w io.Writer, class string, rows []Removal) {
+	fmt.Fprintf(w, "Figure 9: portion of %s barriers removed by technique\n", class)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "benchmark")
+	for _, t := range Fig9Techniques() {
+		fmt.Fprintf(tw, "\t%s", t)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		m := r.Read
+		if class == "writes" {
+			m = r.Write
+		}
+		fmt.Fprintf(tw, "%s", r.Bench)
+		for _, t := range Fig9Techniques() {
+			fmt.Fprintf(tw, "\t%.1f%%", 100*m[t])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// WriteTable1 prints the abort-to-commit ratios (Table 1).
+func WriteTable1(w io.Writer, rows map[string]map[string]float64, configs []string, threads int) {
+	fmt.Fprintf(w, "Table 1: abort-to-commit ratio at %d threads\n", threads)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "benchmark")
+	for _, c := range configs {
+		fmt.Fprintf(tw, "\t%s", c)
+	}
+	fmt.Fprintln(tw)
+	for _, b := range Benches() {
+		fmt.Fprintf(tw, "%s", b)
+		for _, c := range configs {
+			fmt.Fprintf(tw, "\t%.2f", rows[b][c])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// WriteTable2 prints the percent relative standard deviations (Table 2).
+func WriteTable2(w io.Writer, rows map[string]map[string]float64, configs []string, threads, runs int) {
+	fmt.Fprintf(w, "Table 2: %% relative standard deviation at %d threads (%d runs)\n", threads, runs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "benchmark")
+	for _, c := range configs {
+		fmt.Fprintf(tw, "\t%s", c)
+	}
+	fmt.Fprintln(tw)
+	for _, b := range Benches() {
+		fmt.Fprintf(tw, "%s", b)
+		for _, c := range configs {
+			fmt.Fprintf(tw, "\t%.2f", rows[b][c])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// WriteImprovements prints a Fig. 10 / Fig. 11 style table: percent
+// improvement over the baseline per benchmark and configuration.
+func WriteImprovements(w io.Writer, title string, rows map[string]map[string]float64, configs []string) {
+	fmt.Fprintln(w, title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "benchmark")
+	for _, c := range configs {
+		if c == "baseline" {
+			continue
+		}
+		fmt.Fprintf(tw, "\t%s", c)
+	}
+	fmt.Fprintln(tw)
+	for _, b := range Benches() {
+		fmt.Fprintf(tw, "%s", b)
+		for _, c := range configs {
+			if c == "baseline" {
+				continue
+			}
+			fmt.Fprintf(tw, "\t%+.1f%%", rows[b][c])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

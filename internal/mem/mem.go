@@ -1,0 +1,163 @@
+// Package mem implements the simulated flat memory that the STM
+// runtime and all workloads operate on.
+//
+// The paper's techniques (stack range checks, allocation-log
+// containment, address→orec hashing) all need stable integer addresses
+// and an allocator the runtime controls. Go's garbage collector
+// provides neither, so this package supplies a word-addressable
+// address space: a contiguous array of 64-bit words indexed by Addr.
+// Address 0 is the nil guard and is never allocated.
+//
+// Layout of the space, low to high:
+//
+//	[0]                       nil guard
+//	[1, globalsEnd)           globals region (bump allocated, never freed)
+//	[globalsEnd, heapEnd)     heap region (size-class allocator)
+//	[heapEnd, end)            per-thread stacks, each growing downward
+//
+// All word accesses go through sync/atomic so that elided (plain)
+// accesses made by transactions remain well defined under the Go
+// memory model and under the race detector.
+package mem
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Addr is a simulated memory address: an index of a 64-bit word in the
+// address space. The zero Addr is the nil pointer.
+type Addr uint64
+
+// Nil is the null simulated address.
+const Nil Addr = 0
+
+// LineWords is the number of words in one simulated cache line
+// (8 words × 8 bytes = 64 bytes, matching the paper's cache-line-based
+// orec mapping).
+const LineWords = 8
+
+// Config sizes an address space.
+type Config struct {
+	// GlobalWords is the size of the globals region.
+	GlobalWords int
+	// HeapWords is the size of the heap region.
+	HeapWords int
+	// StackWords is the size of each per-thread stack.
+	StackWords int
+	// MaxThreads is the number of per-thread stacks to reserve.
+	MaxThreads int
+}
+
+// DefaultConfig returns a configuration suitable for the tests and the
+// scaled-down STAMP workloads (≈48 MiB of simulated memory).
+func DefaultConfig() Config {
+	return Config{
+		GlobalWords: 1 << 12,
+		HeapWords:   1 << 22,
+		StackWords:  1 << 14,
+		MaxThreads:  32,
+	}
+}
+
+// Space is a simulated address space.
+type Space struct {
+	words []uint64
+
+	globalsNext atomic.Uint64 // bump pointer for AllocGlobal
+	globalsEnd  Addr
+
+	heapStart Addr
+	heapEnd   Addr
+
+	stackBase  Addr // start of the stacks region
+	stackWords int
+	maxThreads int
+
+	central central // central heap allocator
+}
+
+// NewSpace creates an address space with the given configuration.
+func NewSpace(cfg Config) *Space {
+	if cfg.GlobalWords <= 0 || cfg.HeapWords <= 0 || cfg.StackWords <= 0 || cfg.MaxThreads <= 0 {
+		panic("mem: all Config fields must be positive")
+	}
+	total := 1 + cfg.GlobalWords + cfg.HeapWords + cfg.StackWords*cfg.MaxThreads
+	s := &Space{
+		words:      make([]uint64, total),
+		globalsEnd: Addr(1 + cfg.GlobalWords),
+		stackWords: cfg.StackWords,
+		maxThreads: cfg.MaxThreads,
+	}
+	s.globalsNext.Store(1)
+	s.heapStart = s.globalsEnd
+	s.heapEnd = s.heapStart + Addr(cfg.HeapWords)
+	s.stackBase = s.heapEnd
+	s.central.init(s.heapStart, s.heapEnd)
+	return s
+}
+
+// Size returns the total number of words in the space.
+func (s *Space) Size() int { return len(s.words) }
+
+// Load atomically reads the word at a.
+func (s *Space) Load(a Addr) uint64 {
+	return atomic.LoadUint64(&s.words[a])
+}
+
+// Store atomically writes the word at a.
+func (s *Space) Store(a Addr, v uint64) {
+	atomic.StoreUint64(&s.words[a], v)
+}
+
+// CAS performs a compare-and-swap on the word at a.
+func (s *Space) CAS(a Addr, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&s.words[a], old, new)
+}
+
+// LoadFloat reads the word at a as a float64.
+func (s *Space) LoadFloat(a Addr) float64 {
+	return math.Float64frombits(s.Load(a))
+}
+
+// StoreFloat writes a float64 to the word at a.
+func (s *Space) StoreFloat(a Addr, f float64) {
+	s.Store(a, math.Float64bits(f))
+}
+
+// AllocGlobal bump-allocates n words in the globals region. Globals
+// are never freed. It is safe for concurrent use.
+func (s *Space) AllocGlobal(n int) Addr {
+	if n <= 0 {
+		panic("mem: AllocGlobal size must be positive")
+	}
+	a := Addr(s.globalsNext.Add(uint64(n)) - uint64(n))
+	if a+Addr(n) > s.globalsEnd {
+		panic(fmt.Sprintf("mem: globals region exhausted (want %d words)", n))
+	}
+	return a
+}
+
+// HeapRange reports the [start, end) bounds of the heap region.
+func (s *Space) HeapRange() (Addr, Addr) { return s.heapStart, s.heapEnd }
+
+// StackRange reports the [low, high) bounds of thread tid's stack.
+// The stack grows downward from high toward low.
+func (s *Space) StackRange(tid int) (Addr, Addr) {
+	if tid < 0 || tid >= s.maxThreads {
+		panic(fmt.Sprintf("mem: thread id %d out of range [0,%d)", tid, s.maxThreads))
+	}
+	low := s.stackBase + Addr(tid*s.stackWords)
+	return low, low + Addr(s.stackWords)
+}
+
+// InHeap reports whether a lies in the heap region.
+func (s *Space) InHeap(a Addr) bool { return a >= s.heapStart && a < s.heapEnd }
+
+// Zero clears n words starting at a.
+func (s *Space) Zero(a Addr, n int) {
+	for i := 0; i < n; i++ {
+		s.Store(a+Addr(i), 0)
+	}
+}

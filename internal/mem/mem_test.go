@@ -1,0 +1,244 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func testSpace() *Space {
+	return NewSpace(Config{GlobalWords: 256, HeapWords: 1 << 16, StackWords: 512, MaxThreads: 4})
+}
+
+func TestSpaceLayout(t *testing.T) {
+	s := testSpace()
+	hs, he := s.HeapRange()
+	if hs != 257 {
+		t.Errorf("heap start = %d, want 257", hs)
+	}
+	if he != hs+1<<16 {
+		t.Errorf("heap end = %d, want %d", he, hs+1<<16)
+	}
+	lo0, hi0 := s.StackRange(0)
+	if lo0 != he {
+		t.Errorf("stack 0 low = %d, want heap end %d", lo0, he)
+	}
+	lo1, _ := s.StackRange(1)
+	if lo1 != hi0 {
+		t.Errorf("stacks not contiguous: stack1 low %d, stack0 high %d", lo1, hi0)
+	}
+	if s.Size() != 1+256+1<<16+4*512 {
+		t.Errorf("size = %d", s.Size())
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	s := testSpace()
+	a := s.AllocGlobal(4)
+	s.Store(a, 42)
+	s.Store(a+1, ^uint64(0))
+	if got := s.Load(a); got != 42 {
+		t.Errorf("Load = %d, want 42", got)
+	}
+	if got := s.Load(a + 1); got != ^uint64(0) {
+		t.Errorf("Load = %d, want max", got)
+	}
+	if got := s.Load(a + 2); got != 0 {
+		t.Errorf("fresh word = %d, want 0", got)
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	s := testSpace()
+	a := s.AllocGlobal(1)
+	if err := quick.Check(func(f float64) bool {
+		s.StoreFloat(a, f)
+		got := s.LoadFloat(a)
+		return got == f || (f != f && got != got) // NaN-safe
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCAS(t *testing.T) {
+	s := testSpace()
+	a := s.AllocGlobal(1)
+	s.Store(a, 7)
+	if s.CAS(a, 8, 9) {
+		t.Error("CAS with wrong old succeeded")
+	}
+	if !s.CAS(a, 7, 9) {
+		t.Error("CAS with right old failed")
+	}
+	if s.Load(a) != 9 {
+		t.Errorf("after CAS = %d, want 9", s.Load(a))
+	}
+}
+
+func TestAllocGlobalConcurrent(t *testing.T) {
+	s := NewSpace(Config{GlobalWords: 4096, HeapWords: 64, StackWords: 64, MaxThreads: 1})
+	const g, per = 8, 16
+	addrs := make(chan Addr, g*per)
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				addrs <- s.AllocGlobal(3)
+			}
+		}()
+	}
+	wg.Wait()
+	close(addrs)
+	seen := map[Addr]bool{}
+	for a := range addrs {
+		for w := a; w < a+3; w++ {
+			if seen[w] {
+				t.Fatalf("overlapping global allocation at %d", w)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestAllocFreeReuse(t *testing.T) {
+	s := testSpace()
+	al := NewAllocator(s)
+	a := al.Alloc(3)
+	if al.BlockSize(a) < 3 {
+		t.Fatalf("BlockSize = %d, want ≥ 3", al.BlockSize(a))
+	}
+	s.Store(a, 1)
+	al.Free(a)
+	b := al.Alloc(3)
+	if b != a {
+		t.Errorf("free list not reused: got %d, want %d", b, a)
+	}
+	if s.Load(b) != 0 {
+		t.Error("reused block not zeroed")
+	}
+	if al.Live() != 1 {
+		t.Errorf("Live = %d, want 1", al.Live())
+	}
+}
+
+func TestAllocDistinct(t *testing.T) {
+	s := testSpace()
+	al := NewAllocator(s)
+	seen := map[Addr]bool{}
+	for i := 0; i < 1000; i++ {
+		n := 1 + i%17
+		a := al.Alloc(n)
+		if !s.InHeap(a) {
+			t.Fatalf("alloc %d outside heap", a)
+		}
+		for w := a; w < a+Addr(n); w++ {
+			if seen[w] {
+				t.Fatalf("overlapping allocation at word %d", w)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestAllocLarge(t *testing.T) {
+	s := testSpace()
+	al := NewAllocator(s)
+	a := al.Alloc(20000)
+	if al.BlockSize(a) != 20000 {
+		t.Errorf("large BlockSize = %d", al.BlockSize(a))
+	}
+	s.Store(a+19999, 5)
+	al.Free(a) // large frees are dropped; must not panic
+}
+
+func TestAllocFreeNil(t *testing.T) {
+	s := testSpace()
+	al := NewAllocator(s)
+	al.Free(Nil) // no-op
+	if al.Frees != 0 {
+		t.Error("Free(Nil) counted")
+	}
+}
+
+func TestSizeClassMonotonic(t *testing.T) {
+	prev := 0
+	for i, c := range classSizes {
+		if c <= prev {
+			t.Fatalf("classSizes[%d]=%d not increasing", i, c)
+		}
+		prev = c
+	}
+	for n := 1; n <= classSizes[len(classSizes)-1]; n++ {
+		ci := sizeClass(n)
+		if ci < 0 || classSizes[ci] < n {
+			t.Fatalf("sizeClass(%d) = %d (size %d)", n, ci, classSizes[ci])
+		}
+		if ci > 0 && classSizes[ci-1] >= n {
+			t.Fatalf("sizeClass(%d) = %d not minimal", n, ci)
+		}
+	}
+}
+
+func TestStackPushPop(t *testing.T) {
+	s := testSpace()
+	st := NewStack(s, 0)
+	base := st.SP()
+	if base != st.Base() {
+		t.Error("fresh stack sp != base")
+	}
+	f1 := st.Push(4)
+	if f1 != base-4 {
+		t.Errorf("frame1 = %d, want %d", f1, base-4)
+	}
+	s.Store(f1, 11)
+	mark := st.SP()
+	f2 := st.Push(2)
+	if f2 != f1-2 {
+		t.Errorf("frame2 = %d, want %d", f2, f1-2)
+	}
+	if !st.Contains(f2) || !st.Contains(f1) {
+		t.Error("Contains false for live frames")
+	}
+	if st.Contains(base) {
+		t.Error("Contains true for base")
+	}
+	st.Pop(mark)
+	if st.SP() != mark {
+		t.Errorf("after pop sp = %d, want %d", st.SP(), mark)
+	}
+	if st.Contains(f2) {
+		t.Error("Contains true for popped frame")
+	}
+	// A new push reuses the popped region and is zeroed.
+	f3 := st.Push(2)
+	if f3 != f2 {
+		t.Errorf("frame3 = %d, want reuse of %d", f3, f2)
+	}
+	if s.Load(f3) != 0 {
+		t.Error("re-pushed frame not zeroed")
+	}
+}
+
+func TestStackOverflowPanics(t *testing.T) {
+	s := testSpace()
+	st := NewStack(s, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on stack overflow")
+		}
+	}()
+	st.Push(600) // stack is 512 words
+}
+
+func TestStackIsolationBetweenThreads(t *testing.T) {
+	s := testSpace()
+	st0 := NewStack(s, 0)
+	st1 := NewStack(s, 1)
+	a0 := st0.Push(8)
+	a1 := st1.Push(8)
+	if st0.Contains(a1) || st1.Contains(a0) {
+		t.Error("stacks overlap")
+	}
+}

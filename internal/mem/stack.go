@@ -1,0 +1,55 @@
+package mem
+
+import "fmt"
+
+// Stack is a per-thread simulated stack. It grows downward, like the
+// paper's Fig. 3: the live region is [sp, base), sp moving toward
+// low addresses as frames are pushed.
+//
+// The STM runtime snapshots sp at transaction begin ("start_sp"); the
+// transaction-local stack is then [sp, start_sp) and the runtime
+// capture check is the single range comparison of the paper's Fig. 4.
+type Stack struct {
+	space *Space
+	low   Addr // lowest usable address (overflow guard)
+	base  Addr // one past the highest address; empty stack has sp==base
+	sp    Addr
+}
+
+// NewStack creates the stack for thread tid on s.
+func NewStack(s *Space, tid int) *Stack {
+	low, high := s.StackRange(tid)
+	return &Stack{space: s, low: low, base: high, sp: high}
+}
+
+// SP returns the current stack pointer.
+func (st *Stack) SP() Addr { return st.sp }
+
+// Base returns one past the highest stack address.
+func (st *Stack) Base() Addr { return st.base }
+
+// Push allocates n words on the stack and returns the address of the
+// new frame (its lowest word). The frame is zeroed.
+func (st *Stack) Push(n int) Addr {
+	if n <= 0 {
+		panic("mem: Stack.Push size must be positive")
+	}
+	if st.sp-Addr(n) < st.low || st.sp < Addr(n) {
+		panic(fmt.Sprintf("mem: stack overflow (want %d words, %d left)", n, st.sp-st.low))
+	}
+	st.sp -= Addr(n)
+	st.space.Zero(st.sp, n)
+	return st.sp
+}
+
+// Pop releases the stack down to the saved pointer mark, which must
+// have been returned by SP() earlier on this stack.
+func (st *Stack) Pop(mark Addr) {
+	if mark < st.sp || mark > st.base {
+		panic(fmt.Sprintf("mem: Stack.Pop(%d): bad mark (sp=%d base=%d)", mark, st.sp, st.base))
+	}
+	st.sp = mark
+}
+
+// Contains reports whether a lies in the live stack region.
+func (st *Stack) Contains(a Addr) bool { return a >= st.sp && a < st.base }

@@ -1,0 +1,85 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	r := New(0)
+	if r.Next() == 0 && r.Next() == 0 {
+		t.Error("zero seed stuck at zero")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		f := r.Float()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRoughUniformity(t *testing.T) {
+	r := New(123)
+	buckets := make([]int, 8)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(8)]++
+	}
+	for i, c := range buckets {
+		if c < n/8-n/40 || c > n/8+n/40 {
+			t.Errorf("bucket %d count %d far from %d", i, c, n/8)
+		}
+	}
+}

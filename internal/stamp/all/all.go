@@ -1,0 +1,16 @@
+// Package all registers every STAMP benchmark port. Import it for
+// side effects wherever the full suite must be available:
+//
+//	import _ "repro/internal/stamp/all"
+package all
+
+import (
+	_ "repro/internal/stamp/bayes"
+	_ "repro/internal/stamp/genome"
+	_ "repro/internal/stamp/intruder"
+	_ "repro/internal/stamp/kmeans"
+	_ "repro/internal/stamp/labyrinth"
+	_ "repro/internal/stamp/ssca2"
+	_ "repro/internal/stamp/vacation"
+	_ "repro/internal/stamp/yada"
+)

@@ -1,0 +1,247 @@
+// Package genome ports STAMP's genome: gene sequencing by segment
+// deduplication and overlap matching.
+//
+//   - Phase 1 (parallel): every segment *instance* (positions are read
+//     with coverage-fold duplication) is inserted into a shared hash
+//     set. The probe key lives in a transaction-local stack buffer
+//     (captured-stack reads during hashing/compare) and the unique-
+//     segment entry is allocated inside the transaction (captured-heap
+//     writes) — genome's Fig. 8 mix.
+//   - Phase 2a (parallel): a shared ordered map from (L-1)-base prefix
+//     to segment entry is built.
+//   - Phase 2b (parallel): each segment looks up the entry whose
+//     prefix equals its own suffix and links to it, claiming the
+//     successor's has-predecessor bit.
+//
+// Validation rebuilds the chain and checks every overlap. Segments are
+// 32 bases packed 2 bits/base into one word; prefix/suffix are 62-bit
+// values, collision-free with overwhelming probability at this scale.
+package genome
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/prng"
+	"repro/internal/stamp"
+	"repro/internal/stm"
+	"repro/internal/txlib"
+)
+
+// segLen is the number of bases per segment (one packed word).
+const segLen = 32
+
+// Entry layout: a unique segment in the chain.
+const (
+	entSeg  = 0 // packed segment
+	entNext = 1 // successor entry address
+	entIdx  = 2 // dense index (for the has-predecessor bitmap)
+	entSize = 3
+)
+
+// Config mirrors STAMP's gene length / coverage parameters.
+type Config struct {
+	Name     string
+	GeneLen  int // -g: bases in the gene
+	Coverage int // duplication factor for segment instances
+	Seed     uint64
+}
+
+// Default returns the scaled-down genome configuration.
+func Default() Config {
+	return Config{Name: "genome", GeneLen: 16384, Coverage: 4, Seed: 7}
+}
+
+// B is one genome run.
+type B struct {
+	cfg  Config
+	gene []byte // base values 0..3, Go side (the input "reads" source)
+
+	ht        mem.Addr // shared segment hash set
+	entryQ    mem.Addr // queue of unique entry addresses (filled phase 1)
+	prefixMap mem.Addr // prefix → entry address
+	hasPred   mem.Addr // bitmap over entry positions
+
+	instances []int // segment start positions, with duplication, shuffled
+
+	entries []mem.Addr // collected between phases (serial step)
+}
+
+func init() {
+	stamp.Register("genome", func() stamp.Benchmark { return &B{cfg: Default()} })
+}
+
+// NewWith creates a genome instance with a custom configuration.
+func NewWith(cfg Config) *B { return &B{cfg: cfg} }
+
+// Name implements stamp.Benchmark.
+func (b *B) Name() string { return b.cfg.Name }
+
+// MemConfig implements stamp.Benchmark.
+func (b *B) MemConfig() mem.Config {
+	n := b.cfg.GeneLen
+	words := n*24 + (1 << 19)
+	return mem.Config{GlobalWords: 1 << 10, HeapWords: words, StackWords: 1 << 10, MaxThreads: 32}
+}
+
+func (b *B) nSegments() int { return b.cfg.GeneLen - segLen + 1 }
+
+// segWord packs the 32 bases starting at pos.
+func (b *B) segWord(pos int) uint64 {
+	var w uint64
+	for i := 0; i < segLen; i++ {
+		w = w<<2 | uint64(b.gene[pos+i])
+	}
+	return w
+}
+
+func prefix(seg uint64) uint64 { return seg >> 2 }
+func suffix(seg uint64) uint64 { return seg & (1<<62 - 1) }
+
+// Setup generates the gene and the duplicated, shuffled instance list.
+func (b *B) Setup(rt *stm.Runtime) {
+	r := prng.New(b.cfg.Seed)
+	b.gene = make([]byte, b.cfg.GeneLen)
+	for i := range b.gene {
+		b.gene[i] = byte(r.Intn(4))
+	}
+	n := b.nSegments()
+	b.instances = make([]int, 0, n*b.cfg.Coverage)
+	for c := 0; c < b.cfg.Coverage; c++ {
+		for p := 0; p < n; p++ {
+			b.instances = append(b.instances, p)
+		}
+	}
+	r.Shuffle(b.instances)
+
+	th := rt.Thread(0)
+	th.Atomic(func(tx *stm.Tx) {
+		b.ht = txlib.NewHashtable(tx, n/2+1)
+		b.entryQ = txlib.NewQueue(tx, n+2)
+		b.prefixMap = txlib.NewMap(tx)
+		b.hasPred = txlib.NewBitmap(tx, n)
+	})
+}
+
+// Run executes the three phases (STAMP's sequencer_run).
+func (b *B) Run(rt *stm.Runtime, nthreads int) {
+	// Phase 1: deduplicate segment instances into the hash set.
+	stamp.RunParallel(rt, nthreads, func(th *stm.Thread, tid, n int) {
+		lo := len(b.instances) * tid / n
+		hi := len(b.instances) * (tid + 1) / n
+		for i := lo; i < hi; i++ {
+			pos := b.instances[i]
+			seg := b.segWord(pos)
+			th.Atomic(func(tx *stm.Tx) {
+				// Probe key in a transaction-local stack buffer
+				// (Fig. 1(a)-style captured stack accesses).
+				key := tx.StackAlloc(1)
+				tx.Store(key, seg, stm.AccStack)
+				ent := tx.Alloc(entSize)
+				tx.Store(ent+entSeg, seg, stm.AccFresh)
+				tx.StoreAddr(ent+entNext, 0, stm.AccFresh)
+				// The dense index is the segment's gene position:
+				// unique per content, so no shared counter is needed.
+				tx.Store(ent+entIdx, uint64(pos), stm.AccFresh)
+				if txlib.HTInsertIfAbsent(tx, b.ht, key, 1, uint64(ent), txlib.TM, stm.AccStack) {
+					txlib.QueuePush(tx, b.entryQ, uint64(ent), txlib.TM)
+				} else {
+					tx.Free(ent) // duplicate: captured block, freed in place
+				}
+			})
+		}
+	})
+
+	// Serial step: collect the unique entries (STAMP has equivalent
+	// serial steps between sequencer phases).
+	th0 := rt.Thread(0)
+	b.entries = b.entries[:0]
+	th0.Atomic(func(tx *stm.Tx) {
+		for {
+			v, ok := txlib.QueuePop(tx, b.entryQ, txlib.TM)
+			if !ok {
+				break
+			}
+			b.entries = append(b.entries, mem.Addr(v))
+		}
+	})
+
+	// Phase 2a: publish every entry under its prefix.
+	stamp.RunParallel(rt, nthreads, func(th *stm.Thread, tid, n int) {
+		lo := len(b.entries) * tid / n
+		hi := len(b.entries) * (tid + 1) / n
+		for i := lo; i < hi; i++ {
+			ent := b.entries[i]
+			th.Atomic(func(tx *stm.Tx) {
+				seg := tx.Load(ent+entSeg, stm.AccShared)
+				txlib.MapInsert(tx, b.prefixMap, prefix(seg), uint64(ent), txlib.TM)
+			})
+		}
+	})
+
+	// Phase 2b: link each entry to the one whose prefix matches its
+	// suffix, claiming the successor's has-predecessor bit.
+	stamp.RunParallel(rt, nthreads, func(th *stm.Thread, tid, n int) {
+		lo := len(b.entries) * tid / n
+		hi := len(b.entries) * (tid + 1) / n
+		for i := lo; i < hi; i++ {
+			ent := b.entries[i]
+			th.Atomic(func(tx *stm.Tx) {
+				seg := tx.Load(ent+entSeg, stm.AccShared)
+				succ, ok := txlib.MapGet(tx, b.prefixMap, suffix(seg), txlib.TM)
+				if !ok || mem.Addr(succ) == ent {
+					return
+				}
+				sIdx := int(tx.Load(mem.Addr(succ)+entIdx, stm.AccShared))
+				if txlib.BitmapTestAndSet(tx, b.hasPred, sIdx, txlib.TM) {
+					tx.StoreAddr(ent+entNext, mem.Addr(succ), stm.AccShared)
+				}
+			})
+		}
+	})
+}
+
+// Validate follows the reconstructed chain: exactly one start, every
+// link's overlap is consistent, and all unique segments are visited.
+func (b *B) Validate(rt *stm.Runtime) error {
+	s := rt.Space()
+	unique := len(b.entries)
+	if unique == 0 {
+		return fmt.Errorf("no unique segments")
+	}
+	// Find starts (entries without predecessor).
+	var start mem.Addr
+	starts := 0
+	for _, ent := range b.entries {
+		idx := int(s.Load(ent + entIdx))
+		w := idx / 64
+		bit := uint64(1) << (uint(idx) % 64)
+		if s.Load(b.hasPred+1+mem.Addr(w))&bit == 0 {
+			starts++
+			start = ent
+		}
+	}
+	if starts != 1 {
+		return fmt.Errorf("%d chain starts, want 1", starts)
+	}
+	// Walk the chain.
+	visited := 0
+	cur := start
+	var prev uint64
+	for cur != mem.Nil {
+		seg := s.Load(cur + entSeg)
+		if visited > 0 && suffix(prev) != prefix(seg) {
+			return fmt.Errorf("overlap mismatch at link %d", visited)
+		}
+		prev = seg
+		visited++
+		if visited > unique {
+			return fmt.Errorf("chain cycle detected")
+		}
+		cur = mem.Addr(s.Load(cur + entNext))
+	}
+	if visited != unique {
+		return fmt.Errorf("chain visited %d of %d segments", visited, unique)
+	}
+	return nil
+}

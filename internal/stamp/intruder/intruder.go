@@ -1,0 +1,280 @@
+// Package intruder ports STAMP's intruder: signature-based network
+// intrusion detection. Flows are split into fragments, shuffled into a
+// shared packet queue at setup. Worker threads then run the decoder
+// pipeline:
+//
+//  1. pop a fragment from the shared queue (transaction),
+//  2. insert it into the per-flow reassembly state — the flow
+//     descriptor and its fragment list are *allocated inside the
+//     transaction* on first contact (captured heap), and when the last
+//     fragment arrives the full flow is assembled into a freshly
+//     allocated buffer (captured writes) and handed to the detector
+//     queue,
+//  3. pop an assembled flow and scan it for the attack signature
+//     (the scan itself is non-transactional, as in STAMP's detector).
+//
+// Validation: every flow is reassembled exactly once, and exactly the
+// planted attacks are detected.
+package intruder
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/prng"
+	"repro/internal/stamp"
+	"repro/internal/stm"
+	"repro/internal/txlib"
+)
+
+// Fragment descriptor layout (written at setup, read-only during Run).
+const (
+	frFlow  = 0 // flow id
+	frIdx   = 1 // fragment index within the flow
+	frCount = 2 // total fragments in the flow
+	frLen   = 3 // content words
+	frData  = 4 // content follows inline
+)
+
+// Flow reassembly state (allocated inside the decoder transaction).
+const (
+	fsSeen  = 0 // fragments received
+	fsTotal = 1
+	fsWords = 2 // total content words
+	fsList  = 3 // fragment list keyed by fragment index
+	fsSize  = 4
+)
+
+const attackSig = 0xDEAD_BEEF_F00D_CAFE
+
+// Config mirrors STAMP's intruder parameters.
+type Config struct {
+	Name         string
+	Flows        int // -n: number of flows
+	MaxFrags     int // fragments per flow: 1..MaxFrags
+	WordsPerFrag int // content words per fragment
+	AttackPct    int // -a: percentage of flows carrying the signature
+	Seed         uint64
+}
+
+// Default returns the scaled-down intruder configuration.
+func Default() Config {
+	return Config{Name: "intruder", Flows: 4096, MaxFrags: 8, WordsPerFrag: 4, AttackPct: 10, Seed: 8}
+}
+
+// B is one intruder run.
+type B struct {
+	cfg Config
+
+	packetQ   mem.Addr // shared fragment queue
+	decoded   mem.Addr // map flowId → flow state
+	detectQ   mem.Addr // assembled flows awaiting detection
+	nPlanted  int
+	nDetected atomic.Int64
+	nFlows    atomic.Int64
+	flowWords []int // per-flow total content words (for validation)
+}
+
+func init() {
+	stamp.Register("intruder", func() stamp.Benchmark { return &B{cfg: Default()} })
+}
+
+// NewWith creates an intruder instance with a custom configuration.
+func NewWith(cfg Config) *B { return &B{cfg: cfg} }
+
+// Name implements stamp.Benchmark.
+func (b *B) Name() string { return b.cfg.Name }
+
+// MemConfig implements stamp.Benchmark.
+func (b *B) MemConfig() mem.Config {
+	words := b.cfg.Flows * b.cfg.MaxFrags * (frData + b.cfg.WordsPerFrag + 8)
+	return mem.Config{GlobalWords: 1 << 10, HeapWords: words + (1 << 19), StackWords: 1 << 10, MaxThreads: 32}
+}
+
+// Setup builds the fragments and shuffles them into the packet queue.
+func (b *B) Setup(rt *stm.Runtime) {
+	r := prng.New(b.cfg.Seed)
+	th := rt.Thread(0)
+	type frag struct {
+		flow, idx, count int
+		content          []uint64
+	}
+	var frags []frag
+	b.flowWords = make([]int, b.cfg.Flows)
+	for f := 0; f < b.cfg.Flows; f++ {
+		n := 1 + r.Intn(b.cfg.MaxFrags)
+		attack := r.Intn(100) < b.cfg.AttackPct
+		if attack {
+			b.nPlanted++
+		}
+		sigAt := -1
+		if attack {
+			sigAt = r.Intn(n * b.cfg.WordsPerFrag)
+		}
+		for i := 0; i < n; i++ {
+			c := make([]uint64, b.cfg.WordsPerFrag)
+			for w := range c {
+				for {
+					v := r.Next()
+					if v != attackSig {
+						c[w] = v
+						break
+					}
+				}
+				if i*b.cfg.WordsPerFrag+w == sigAt {
+					c[w] = attackSig
+				}
+			}
+			frags = append(frags, frag{f, i, n, c})
+		}
+		b.flowWords[f] = n * b.cfg.WordsPerFrag
+	}
+	perm := r.Perm(len(frags))
+
+	th.Atomic(func(tx *stm.Tx) {
+		b.packetQ = txlib.NewQueue(tx, len(frags)+2)
+		b.decoded = txlib.NewMap(tx)
+		b.detectQ = txlib.NewQueue(tx, b.cfg.Flows+2)
+	})
+	for _, pi := range perm {
+		fr := frags[pi]
+		th.Atomic(func(tx *stm.Tx) {
+			p := tx.Alloc(frData + len(fr.content))
+			tx.Store(p+frFlow, uint64(fr.flow), stm.AccFresh)
+			tx.Store(p+frIdx, uint64(fr.idx), stm.AccFresh)
+			tx.Store(p+frCount, uint64(fr.count), stm.AccFresh)
+			tx.Store(p+frLen, uint64(len(fr.content)), stm.AccFresh)
+			for w, v := range fr.content {
+				tx.Store(p+frData+mem.Addr(w), v, stm.AccFresh)
+			}
+			txlib.QueuePush(tx, b.packetQ, uint64(p), txlib.TM)
+		})
+	}
+}
+
+// Run executes the decode/detect pipeline.
+func (b *B) Run(rt *stm.Runtime, nthreads int) {
+	stamp.RunParallel(rt, nthreads, func(th *stm.Thread, tid, n int) {
+		for {
+			progressed := false
+			// Decoder: pop one fragment and process it.
+			var fragPtr uint64
+			var ok bool
+			th.Atomic(func(tx *stm.Tx) {
+				fragPtr, ok = txlib.QueuePop(tx, b.packetQ, txlib.TM)
+			})
+			if ok {
+				progressed = true
+				b.decode(th, mem.Addr(fragPtr))
+			}
+			// Detector: pop one assembled flow and scan it.
+			var flowPtr uint64
+			th.Atomic(func(tx *stm.Tx) {
+				flowPtr, ok = txlib.QueuePop(tx, b.detectQ, txlib.TM)
+			})
+			if ok {
+				progressed = true
+				b.detect(th, mem.Addr(flowPtr))
+			}
+			if !progressed {
+				// Both queues empty; done when all flows detected.
+				if b.nFlows.Load() >= int64(b.cfg.Flows) {
+					return
+				}
+			}
+		}
+	})
+}
+
+// decode is STAMP's TMdecoder_process: reassembly state is built and
+// the assembled flow buffer allocated inside the transaction.
+func (b *B) decode(th *stm.Thread, frag mem.Addr) {
+	th.Atomic(func(tx *stm.Tx) {
+		flow := tx.Load(frag+frFlow, stm.AccShared)
+		idx := tx.Load(frag+frIdx, stm.AccShared)
+		total := tx.Load(frag+frCount, stm.AccShared)
+		flen := tx.Load(frag+frLen, stm.AccShared)
+
+		var st mem.Addr
+		if p, ok := txlib.MapGet(tx, b.decoded, flow, txlib.TM); ok {
+			st = mem.Addr(p)
+		} else {
+			st = tx.Alloc(fsSize)
+			tx.Store(st+fsSeen, 0, stm.AccFresh)
+			tx.Store(st+fsTotal, total, stm.AccFresh)
+			tx.Store(st+fsWords, 0, stm.AccFresh)
+			l := txlib.NewList(tx)
+			tx.StoreAddr(st+fsList, l, stm.AccFresh)
+			txlib.MapInsert(tx, b.decoded, flow, uint64(st), txlib.TM)
+		}
+		list := tx.LoadAddr(st+fsList, stm.AccShared)
+		if !txlib.ListInsert(tx, list, idx, uint64(frag), txlib.TM) {
+			return // duplicate fragment (cannot happen here, but STAMP checks)
+		}
+		seen := tx.Load(st+fsSeen, stm.AccShared) + 1
+		tx.Store(st+fsSeen, seen, stm.AccShared)
+		words := tx.Load(st+fsWords, stm.AccShared) + flen
+		tx.Store(st+fsWords, words, stm.AccShared)
+		if seen < total {
+			return
+		}
+		// Last fragment: assemble the flow into a fresh buffer
+		// (captured writes), tear down the reassembly state, and hand
+		// the buffer to the detector.
+		buf := tx.Alloc(int(words) + 2)
+		tx.Store(buf, flow, stm.AccFresh)
+		tx.Store(buf+1, words, stm.AccFresh)
+		out := buf + 2
+		it := txlib.ListIterNew(tx)
+		txlib.ListIterReset(tx, it, list, txlib.TM)
+		for txlib.ListIterHasNext(tx, it) {
+			_, fp := txlib.ListIterNext(tx, it, txlib.TM)
+			f := mem.Addr(fp)
+			n := tx.Load(f+frLen, stm.AccShared)
+			for w := mem.Addr(0); w < mem.Addr(n); w++ {
+				tx.Store(out+w, tx.Load(f+frData+w, stm.AccShared), stm.AccFresh)
+			}
+			out += mem.Addr(n)
+		}
+		txlib.ListFree(tx, list, txlib.TM)
+		txlib.MapRemove(tx, b.decoded, flow, txlib.TM)
+		tx.Free(st)
+		txlib.QueuePush(tx, b.detectQ, uint64(buf), txlib.TM)
+	})
+}
+
+// detect scans an assembled flow buffer. Ownership was handed off via
+// the queue, so the scan is non-transactional (STAMP's detector).
+func (b *B) detect(th *stm.Thread, buf mem.Addr) {
+	s := th.Runtime().Space()
+	words := s.Load(buf + 1)
+	for w := mem.Addr(0); w < mem.Addr(words); w++ {
+		if s.Load(buf+2+w) == attackSig {
+			b.nDetected.Add(1)
+			break
+		}
+	}
+	b.nFlows.Add(1)
+	th.Atomic(func(tx *stm.Tx) { tx.Free(buf) })
+}
+
+// Validate checks that all flows were reassembled and exactly the
+// planted attacks found.
+func (b *B) Validate(rt *stm.Runtime) error {
+	if got := b.nFlows.Load(); got != int64(b.cfg.Flows) {
+		return fmt.Errorf("processed %d flows, want %d", got, b.cfg.Flows)
+	}
+	if got := b.nDetected.Load(); got != int64(b.nPlanted) {
+		return fmt.Errorf("detected %d attacks, want %d", got, b.nPlanted)
+	}
+	// The reassembly map must be empty.
+	var size int
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		size = txlib.MapSize(tx, b.decoded, txlib.TM)
+	})
+	if size != 0 {
+		return fmt.Errorf("%d flows left in reassembly map", size)
+	}
+	return nil
+}

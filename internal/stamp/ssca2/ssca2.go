@@ -1,0 +1,132 @@
+// Package ssca2 ports the transactional kernel of STAMP's ssca2
+// (kernel 1: graph construction). Threads partition a precomputed edge
+// list and insert each edge into its source vertex's adjacency array
+// with a tiny transaction: read the degree counter, claim a slot,
+// store the target. Transactions are minuscule, touch almost no
+// memory, and never allocate — ssca2 sits at the barrier-light end of
+// the paper's Fig. 8 with nothing to elide.
+package ssca2
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/prng"
+	"repro/internal/stamp"
+	"repro/internal/stm"
+)
+
+// Config sizes the synthetic graph.
+type Config struct {
+	Name     string
+	Vertices int
+	Edges    int
+	Seed     uint64
+}
+
+// Default returns the scaled-down ssca2 configuration.
+func Default() Config {
+	return Config{Name: "ssca2", Vertices: 8192, Edges: 262144, Seed: 5}
+}
+
+// B is one ssca2 run.
+type B struct {
+	cfg Config
+
+	srcs, dsts []uint32 // generated edge list (Go side, read-only)
+
+	degrees mem.Addr // per-vertex degree counters (transactional)
+	adjOff  []int    // per-vertex adjacency offsets (exact-fit)
+	adj     mem.Addr // adjacency storage
+}
+
+func init() {
+	stamp.Register("ssca2", func() stamp.Benchmark { return &B{cfg: Default()} })
+}
+
+// NewWith creates an ssca2 instance with a custom configuration.
+func NewWith(cfg Config) *B { return &B{cfg: cfg} }
+
+// Name implements stamp.Benchmark.
+func (b *B) Name() string { return b.cfg.Name }
+
+// MemConfig implements stamp.Benchmark.
+func (b *B) MemConfig() mem.Config {
+	words := b.cfg.Vertices + b.cfg.Edges + (1 << 19)
+	return mem.Config{GlobalWords: 1 << 10, HeapWords: words, StackWords: 1 << 10, MaxThreads: 32}
+}
+
+// Setup generates the edge list and sizes the adjacency arrays.
+func (b *B) Setup(rt *stm.Runtime) {
+	r := prng.New(b.cfg.Seed)
+	counts := make([]int, b.cfg.Vertices)
+	b.srcs = make([]uint32, b.cfg.Edges)
+	b.dsts = make([]uint32, b.cfg.Edges)
+	for i := range b.srcs {
+		s := r.Intn(b.cfg.Vertices)
+		d := r.Intn(b.cfg.Vertices)
+		b.srcs[i], b.dsts[i] = uint32(s), uint32(d)
+		counts[s]++
+	}
+	th := rt.Thread(0)
+	b.degrees = th.Alloc(b.cfg.Vertices)
+	b.adj = th.Alloc(b.cfg.Edges)
+	b.adjOff = make([]int, b.cfg.Vertices+1)
+	for v := 0; v < b.cfg.Vertices; v++ {
+		b.adjOff[v+1] = b.adjOff[v] + counts[v]
+	}
+}
+
+// Run inserts every edge transactionally (STAMP's computeGraph inner
+// loop).
+func (b *B) Run(rt *stm.Runtime, nthreads int) {
+	stamp.RunParallel(rt, nthreads, func(th *stm.Thread, tid, n int) {
+		lo := len(b.srcs) * tid / n
+		hi := len(b.srcs) * (tid + 1) / n
+		for i := lo; i < hi; i++ {
+			src, dst := b.srcs[i], b.dsts[i]
+			slotBase := b.adj + mem.Addr(b.adjOff[src])
+			degSlot := b.degrees + mem.Addr(src)
+			th.Atomic(func(tx *stm.Tx) {
+				d := tx.Load(degSlot, stm.AccShared)
+				tx.Store(degSlot, d+1, stm.AccShared)
+				tx.Store(slotBase+mem.Addr(d), uint64(dst), stm.AccShared)
+			})
+		}
+	})
+}
+
+// Validate checks degrees and that each vertex's adjacency multiset
+// matches the generated edge list.
+func (b *B) Validate(rt *stm.Runtime) error {
+	s := rt.Space()
+	want := make(map[uint32][]uint32)
+	for i := range b.srcs {
+		want[b.srcs[i]] = append(want[b.srcs[i]], b.dsts[i])
+	}
+	var totalDeg uint64
+	for v := 0; v < b.cfg.Vertices; v++ {
+		deg := s.Load(b.degrees + mem.Addr(v))
+		totalDeg += deg
+		exp := want[uint32(v)]
+		if int(deg) != len(exp) {
+			return fmt.Errorf("vertex %d: degree %d, want %d", v, deg, len(exp))
+		}
+		got := make([]uint32, deg)
+		for i := range got {
+			got[i] = uint32(s.Load(b.adj + mem.Addr(b.adjOff[v]+i)))
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(exp, func(i, j int) bool { return exp[i] < exp[j] })
+		for i := range got {
+			if got[i] != exp[i] {
+				return fmt.Errorf("vertex %d: adjacency mismatch at %d: %d != %d", v, i, got[i], exp[i])
+			}
+		}
+	}
+	if totalDeg != uint64(b.cfg.Edges) {
+		return fmt.Errorf("total degree %d, want %d", totalDeg, b.cfg.Edges)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Package stamp defines the benchmark interface shared by the Go
+// ports of the STAMP 0.9.9 applications the paper evaluates, plus the
+// registry the harness, CLI tools, and benches enumerate.
+//
+// Each port preserves its original's *transactional structure* — which
+// data structures are shared, what each transaction reads and writes,
+// where memory is allocated inside transactions, and which accesses
+// the original hand-instrumented (TM_* vs P_* variants) — because
+// those properties determine the paper's barrier-mix and performance
+// results. Input sizes are scaled to laptop scale; all generators are
+// deterministic. Substitutions are documented per benchmark and in
+// DESIGN.md.
+package stamp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Benchmark is one STAMP application configuration.
+type Benchmark interface {
+	// Name is the STAMP-style name (e.g. "vacation-high").
+	Name() string
+	// MemConfig sizes the simulated address space for this workload.
+	MemConfig() mem.Config
+	// Setup populates initial data single-threadedly on rt's thread 0.
+	Setup(rt *stm.Runtime)
+	// Run executes the timed parallel phase on nthreads workers.
+	Run(rt *stm.Runtime, nthreads int)
+	// Validate checks post-run invariants (run after Run returns).
+	Validate(rt *stm.Runtime) error
+}
+
+// Factory creates a fresh benchmark instance (instances are single
+// use: Setup/Run/Validate once each).
+type Factory func() Benchmark
+
+var registry []struct {
+	name string
+	f    Factory
+}
+
+// Register adds a benchmark factory to the global registry. It is
+// called from the benchmark packages' init functions.
+func Register(name string, f Factory) {
+	for _, e := range registry {
+		if e.name == name {
+			panic("stamp: duplicate benchmark " + name)
+		}
+	}
+	registry = append(registry, struct {
+		name string
+		f    Factory
+	}{name, f})
+}
+
+// Names returns the registered benchmark names in registration order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
+	}
+	return out
+}
+
+// New instantiates a registered benchmark.
+func New(name string) (Benchmark, error) {
+	for _, e := range registry {
+		if e.name == name {
+			return e.f(), nil
+		}
+	}
+	return nil, fmt.Errorf("stamp: unknown benchmark %q (have %v)", name, Names())
+}
+
+// RunParallel executes worker on nthreads goroutines, each bound to
+// its own stm.Thread, and waits for all of them.
+func RunParallel(rt *stm.Runtime, nthreads int, worker func(th *stm.Thread, tid int, ntotal int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < nthreads; i++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			worker(rt.Thread(tid), tid, nthreads)
+		}(i)
+	}
+	wg.Wait()
+}

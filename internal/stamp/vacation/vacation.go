@@ -1,0 +1,415 @@
+// Package vacation ports STAMP's vacation: an in-memory travel
+// reservation system. A manager keeps four ordered maps — cars,
+// flights, rooms (id → reservation record) and customers (id →
+// customer record). Client threads run three transaction types:
+//
+//   - make-reservation: query prices of several random ids across the
+//     three resource tables, then reserve the best; the customer
+//     record, its reservation list and every reservation-info node are
+//     *allocated inside the transaction* — the captured-heap writes
+//     that dominate the paper's vacation numbers.
+//   - delete-customer: cancel all of a customer's reservations and
+//     free the records.
+//   - update-tables: add/remove resources and change prices.
+//
+// STAMP's high-contention configuration (-n4 -q60 -u90) queries more
+// ids per transaction over a smaller id range than the low-contention
+// one (-n2 -q90 -u98); both are registered, scaled down.
+package vacation
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/prng"
+	"repro/internal/stamp"
+	"repro/internal/stm"
+	"repro/internal/txlib"
+)
+
+// Reservation record layout (one per resource id).
+const (
+	resNumUsed  = 0
+	resNumFree  = 1
+	resNumTotal = 2
+	resPrice    = 3
+	resSize     = 4
+)
+
+// Customer record layout.
+const (
+	custID   = 0
+	custList = 1 // reservation-info list
+	custSize = 2
+)
+
+// Reservation-info node payload (list data words point at these).
+const (
+	infoType  = 0
+	infoID    = 1
+	infoPrice = 2
+	infoSize  = 3
+)
+
+// Resource table indices.
+const (
+	tableCar = iota
+	tableFlight
+	tableRoom
+	numTables
+)
+
+// Config holds the STAMP command-line equivalents.
+type Config struct {
+	Name          string
+	Relations     int // -r: ids per resource table
+	NumTx         int // -t: total client transactions
+	QueriesPerTx  int // -n
+	QueryRangePct int // -q: percentage of ids queried
+	PctUser       int // -u: % of transactions that are reservations
+	Seed          uint64
+}
+
+// HighContention returns STAMP's vacation-high, scaled down.
+func HighContention() Config {
+	return Config{Name: "vacation-high", Relations: 16384, NumTx: 16384,
+		QueriesPerTx: 4, QueryRangePct: 60, PctUser: 90, Seed: 1}
+}
+
+// LowContention returns STAMP's vacation-low, scaled down.
+func LowContention() Config {
+	return Config{Name: "vacation-low", Relations: 16384, NumTx: 16384,
+		QueriesPerTx: 2, QueryRangePct: 90, PctUser: 98, Seed: 2}
+}
+
+// B is one vacation run.
+type B struct {
+	cfg       Config
+	tables    [numTables]mem.Addr // maps id → reservation record
+	customers mem.Addr            // map id → customer record
+	initTotal uint64              // total capacity across tables at setup
+}
+
+func init() {
+	stamp.Register("vacation-high", func() stamp.Benchmark { return &B{cfg: HighContention()} })
+	stamp.Register("vacation-low", func() stamp.Benchmark { return &B{cfg: LowContention()} })
+}
+
+// NewWith creates a vacation instance with a custom configuration.
+func NewWith(cfg Config) *B { return &B{cfg: cfg} }
+
+// Name implements stamp.Benchmark.
+func (b *B) Name() string { return b.cfg.Name }
+
+// MemConfig implements stamp.Benchmark.
+func (b *B) MemConfig() mem.Config {
+	words := b.cfg.Relations*numTables*16 + b.cfg.NumTx*8 + (1 << 19)
+	return mem.Config{GlobalWords: 1 << 10, HeapWords: words, StackWords: 1 << 12, MaxThreads: 32}
+}
+
+// Setup populates the three resource tables with Relations records
+// each, mirroring STAMP's manager initialization.
+func (b *B) Setup(rt *stm.Runtime) {
+	th := rt.Thread(0)
+	r := prng.New(b.cfg.Seed)
+	th.Atomic(func(tx *stm.Tx) {
+		for t := 0; t < numTables; t++ {
+			b.tables[t] = txlib.NewMap(tx)
+		}
+		b.customers = txlib.NewMap(tx)
+	})
+	for t := 0; t < numTables; t++ {
+		for id := 1; id <= b.cfg.Relations; id++ {
+			num := uint64(100 + r.Intn(5)*100)
+			price := uint64(50 + r.Intn(5)*10)
+			b.initTotal += num
+			th.Atomic(func(tx *stm.Tx) {
+				res := tx.Alloc(resSize)
+				tx.Store(res+resNumUsed, 0, stm.AccFresh)
+				tx.Store(res+resNumFree, num, stm.AccFresh)
+				tx.Store(res+resNumTotal, num, stm.AccFresh)
+				tx.Store(res+resPrice, price, stm.AccFresh)
+				txlib.MapInsert(tx, b.tables[t], uint64(id), uint64(res), txlib.TM)
+			})
+		}
+	}
+	// STAMP's manager_initialize also pre-populates every customer, so
+	// the client phase rarely restructures the customers tree: its
+	// conflicts come from reservation counters and captured-memory
+	// false sharing, not from tree rebalancing.
+	for id := 1; id <= b.cfg.Relations; id++ {
+		id := uint64(id)
+		th.Atomic(func(tx *stm.Tx) {
+			c := tx.Alloc(custSize)
+			tx.Store(c+custID, id, stm.AccFresh)
+			l := txlib.NewList(tx)
+			tx.StoreAddr(c+custList, l, stm.AccFresh)
+			txlib.MapInsert(tx, b.customers, id, uint64(c), txlib.TM)
+		})
+	}
+}
+
+// queryRange returns the id range transactions draw from.
+func (b *B) queryRange() int {
+	qr := b.cfg.Relations * b.cfg.QueryRangePct / 100
+	if qr < 1 {
+		qr = 1
+	}
+	return qr
+}
+
+// Run implements the client loop (STAMP's client_run).
+func (b *B) Run(rt *stm.Runtime, nthreads int) {
+	perThread := b.cfg.NumTx / nthreads
+	stamp.RunParallel(rt, nthreads, func(th *stm.Thread, tid, n int) {
+		r := prng.New(b.cfg.Seed ^ uint64(tid)<<32 ^ 0xABCD)
+		qr := b.queryRange()
+		for i := 0; i < perThread; i++ {
+			op := r.Intn(100)
+			switch {
+			case op < b.cfg.PctUser:
+				b.makeReservation(th, r, qr)
+			case op < b.cfg.PctUser+(100-b.cfg.PctUser)/2:
+				b.deleteCustomer(th, r, qr)
+			default:
+				b.updateTables(th, r, qr)
+			}
+		}
+	})
+}
+
+// makeReservation is STAMP's MAKE_RESERVATION action. Like STAMP's
+// client, the query scratch arrays (queryTypes, queryIds, maxPrices,
+// maxIds) are locals declared inside the atomic block: they live on
+// the transaction-local stack and their accesses are the captured-
+// stack barriers of Fig. 8.
+func (b *B) makeReservation(th *stm.Thread, r *prng.R, queryRange int) {
+	n := b.cfg.QueriesPerTx
+	draws := make([]uint64, 2*n)
+	for i := 0; i < n; i++ {
+		draws[2*i] = uint64(r.Intn(numTables))
+		draws[2*i+1] = uint64(1 + r.Intn(queryRange))
+	}
+	custID64 := uint64(1 + r.Intn(queryRange))
+	th.Atomic(func(tx *stm.Tx) {
+		// Locals of the atomic block, on the transaction-local stack.
+		types := tx.StackAlloc(n)
+		ids := tx.StackAlloc(n)
+		bestID := tx.StackAlloc(numTables)
+		bestPrice := tx.StackAlloc(numTables)
+		for i := 0; i < n; i++ {
+			tx.Store(types+mem.Addr(i), draws[2*i], stm.AccStack)
+			tx.Store(ids+mem.Addr(i), draws[2*i+1], stm.AccStack)
+		}
+		// Query phase: find, per table, the max-price id with free
+		// capacity among this transaction's candidates.
+		for i := 0; i < n; i++ {
+			t := int(tx.Load(types+mem.Addr(i), stm.AccStack))
+			id := tx.Load(ids+mem.Addr(i), stm.AccStack)
+			resPtr, ok := txlib.MapGet(tx, b.tables[t], id, txlib.TM)
+			if !ok {
+				continue
+			}
+			res := mem.Addr(resPtr)
+			if tx.Load(res+resNumFree, stm.AccShared) == 0 {
+				continue
+			}
+			price := tx.Load(res+resPrice, stm.AccShared)
+			if price > tx.Load(bestPrice+mem.Addr(t), stm.AccStack) {
+				tx.Store(bestPrice+mem.Addr(t), price, stm.AccStack)
+				tx.Store(bestID+mem.Addr(t), id, stm.AccStack)
+			}
+		}
+		// Reserve phase.
+		for t := 0; t < numTables; t++ {
+			id := tx.Load(bestID+mem.Addr(t), stm.AccStack)
+			if id == 0 {
+				continue
+			}
+			b.reserve(tx, t, custID64, id, tx.Load(bestPrice+mem.Addr(t), stm.AccStack))
+		}
+	})
+}
+
+// customerGetOrAdd finds the customer record, creating it (and its
+// reservation list) inside the transaction if absent — the captured
+// allocation pattern of STAMP's manager_addCustomer.
+func (b *B) customerGetOrAdd(tx *stm.Tx, id uint64) mem.Addr {
+	if p, ok := txlib.MapGet(tx, b.customers, id, txlib.TM); ok {
+		return mem.Addr(p)
+	}
+	c := tx.Alloc(custSize)
+	tx.Store(c+custID, id, stm.AccFresh)
+	// The list is created inside this transaction; with inlining the
+	// compiler proves it transaction-local (mode L).
+	l := txlib.NewList(tx)
+	tx.StoreAddr(c+custList, l, stm.AccFresh)
+	txlib.MapInsert(tx, b.customers, id, uint64(c), txlib.TM)
+	return c
+}
+
+// reserve books one unit of (table t, resource id) for the customer.
+func (b *B) reserve(tx *stm.Tx, t int, custID64, id, price uint64) bool {
+	resPtr, ok := txlib.MapGet(tx, b.tables[t], id, txlib.TM)
+	if !ok {
+		return false
+	}
+	res := mem.Addr(resPtr)
+	free := tx.Load(res+resNumFree, stm.AccShared)
+	if free == 0 {
+		return false
+	}
+	tx.Store(res+resNumFree, free-1, stm.AccShared)
+	tx.Store(res+resNumUsed, tx.Load(res+resNumUsed, stm.AccShared)+1, stm.AccShared)
+
+	cust := b.customerGetOrAdd(tx, custID64)
+	info := tx.Alloc(infoSize)
+	tx.Store(info+infoType, uint64(t), stm.AccFresh)
+	tx.Store(info+infoID, id, stm.AccFresh)
+	tx.Store(info+infoPrice, price, stm.AccFresh)
+	list := tx.LoadAddr(cust+custList, stm.AccShared)
+	// Reservation keys combine table and id so one customer can hold
+	// one reservation per (table, id), like STAMP.
+	key := uint64(t)<<32 | id
+	if !txlib.ListInsert(tx, list, key, uint64(info), txlib.TM) {
+		// Already reserved: undo the capacity change and drop info.
+		tx.Free(info)
+		tx.Store(res+resNumFree, tx.Load(res+resNumFree, stm.AccShared)+1, stm.AccShared)
+		tx.Store(res+resNumUsed, tx.Load(res+resNumUsed, stm.AccShared)-1, stm.AccShared)
+		return false
+	}
+	return true
+}
+
+// deleteCustomer is STAMP's DELETE_CUSTOMER action: release all of a
+// customer's reservations and free the records.
+func (b *B) deleteCustomer(th *stm.Thread, r *prng.R, queryRange int) {
+	id := uint64(1 + r.Intn(queryRange))
+	th.Atomic(func(tx *stm.Tx) {
+		p, ok := txlib.MapGet(tx, b.customers, id, txlib.TM)
+		if !ok {
+			return
+		}
+		cust := mem.Addr(p)
+		list := tx.LoadAddr(cust+custList, stm.AccShared)
+		// Walk the reservation list with a stack iterator (Fig. 1(a)).
+		it := txlib.ListIterNew(tx)
+		txlib.ListIterReset(tx, it, list, txlib.TM)
+		for txlib.ListIterHasNext(tx, it) {
+			_, data := txlib.ListIterNext(tx, it, txlib.TM)
+			info := mem.Addr(data)
+			t := int(tx.Load(info+infoType, stm.AccShared))
+			rid := tx.Load(info+infoID, stm.AccShared)
+			if resPtr, ok := txlib.MapGet(tx, b.tables[t], rid, txlib.TM); ok {
+				res := mem.Addr(resPtr)
+				tx.Store(res+resNumFree, tx.Load(res+resNumFree, stm.AccShared)+1, stm.AccShared)
+				tx.Store(res+resNumUsed, tx.Load(res+resNumUsed, stm.AccShared)-1, stm.AccShared)
+			}
+			tx.Free(info)
+		}
+		txlib.ListFree(tx, list, txlib.TM)
+		txlib.MapRemove(tx, b.customers, id, txlib.TM)
+		tx.Free(cust)
+	})
+}
+
+// updateTables is STAMP's UPDATE_TABLES action: grow or shrink random
+// resources and adjust prices.
+func (b *B) updateTables(th *stm.Thread, r *prng.R, queryRange int) {
+	n := b.cfg.QueriesPerTx
+	draws := make([]uint64, 2*n)
+	grow := make([]bool, n)
+	for i := 0; i < n; i++ {
+		draws[2*i] = uint64(1 + r.Intn(queryRange))
+		grow[i] = r.Intn(2) == 0
+		draws[2*i+1] = uint64(50 + r.Intn(5)*10)
+	}
+	th.Atomic(func(tx *stm.Tx) {
+		// Update scratch arrays: atomic-block locals on the stack.
+		ids := tx.StackAlloc(n)
+		prices := tx.StackAlloc(n)
+		for i := 0; i < n; i++ {
+			tx.Store(ids+mem.Addr(i), draws[2*i], stm.AccStack)
+			tx.Store(prices+mem.Addr(i), draws[2*i+1], stm.AccStack)
+		}
+		for i := 0; i < n; i++ {
+			t := r.Intn(numTables) // table choice inside tx, like STAMP
+			resPtr, ok := txlib.MapGet(tx, b.tables[t], tx.Load(ids+mem.Addr(i), stm.AccStack), txlib.TM)
+			if !ok {
+				continue
+			}
+			res := mem.Addr(resPtr)
+			if grow[i] {
+				tx.Store(res+resNumFree, tx.Load(res+resNumFree, stm.AccShared)+10, stm.AccShared)
+				tx.Store(res+resNumTotal, tx.Load(res+resNumTotal, stm.AccShared)+10, stm.AccShared)
+				tx.Store(res+resPrice, tx.Load(prices+mem.Addr(i), stm.AccStack), stm.AccShared)
+			} else {
+				free := tx.Load(res+resNumFree, stm.AccShared)
+				if free >= 10 {
+					tx.Store(res+resNumFree, free-10, stm.AccShared)
+					tx.Store(res+resNumTotal, tx.Load(res+resNumTotal, stm.AccShared)-10, stm.AccShared)
+				}
+			}
+		}
+	})
+}
+
+// Validate checks the manager invariants, STAMP's manager consistency
+// check: for every resource, used+free == total, and every customer
+// reservation is backed by a used unit.
+func (b *B) Validate(rt *stm.Runtime) error {
+	th := rt.Thread(0)
+	var err error
+	th.Atomic(func(tx *stm.Tx) {
+		used := make(map[[2]uint64]uint64) // (table,id) → used count
+		for t := 0; t < numTables; t++ {
+			t := t
+			txlib.MapForEach(tx, b.tables[t], txlib.TM, func(id, resPtr uint64) bool {
+				res := mem.Addr(resPtr)
+				u := tx.Load(res+resNumUsed, stm.AccShared)
+				f := tx.Load(res+resNumFree, stm.AccShared)
+				tot := tx.Load(res+resNumTotal, stm.AccShared)
+				if u+f != tot {
+					err = fmt.Errorf("table %d id %d: used %d + free %d != total %d", t, id, u, f, tot)
+					return false
+				}
+				used[[2]uint64{uint64(t), id}] = u
+				return true
+			})
+			if err != nil {
+				return
+			}
+		}
+		// Every reservation held by a customer maps to a used unit.
+		held := make(map[[2]uint64]uint64)
+		// One iterator word for the whole walk: transaction-local stack
+		// frames are reclaimed at transaction end, not per iteration.
+		it := txlib.ListIterNew(tx)
+		txlib.MapForEach(tx, b.customers, txlib.TM, func(id, custPtr uint64) bool {
+			cust := mem.Addr(custPtr)
+			list := tx.LoadAddr(cust+custList, stm.AccShared)
+			txlib.ListIterReset(tx, it, list, txlib.TM)
+			for txlib.ListIterHasNext(tx, it) {
+				_, data := txlib.ListIterNext(tx, it, txlib.TM)
+				info := mem.Addr(data)
+				t := tx.Load(info+infoType, stm.AccShared)
+				rid := tx.Load(info+infoID, stm.AccShared)
+				held[[2]uint64{t, rid}]++
+			}
+			return true
+		})
+		for k, h := range held {
+			if used[k] < h {
+				err = fmt.Errorf("resource table %d id %d: %d holds > %d used", k[0], k[1], h, used[k])
+				return
+			}
+		}
+	})
+	return err
+}
+
+// mapGetForTest exposes a resource lookup to the package tests.
+func mapGetForTest(tx *stm.Tx, b *B, table int, id uint64) (mem.Addr, bool) {
+	p, ok := txlib.MapGet(tx, b.tables[table], id, txlib.TM)
+	return mem.Addr(p), ok
+}

@@ -1,0 +1,367 @@
+// Package stm implements the software transactional memory runtime
+// the paper's optimizations live in: a McRT/Intel-C++-STM-class system
+// with cache-line-granularity ownership records, encounter-time (eager)
+// write locking, in-place updates with an undo log, optimistic
+// invisible readers validated against a global version clock, and an
+// exponential-backoff contention manager.
+//
+// Every read and write barrier contains the paper's runtime capture
+// analysis fast path (Fig. 2): if the accessed location is captured by
+// the current transaction — on the transaction-local stack (Fig. 4),
+// in the transaction's allocation log (Sec. 3.1.2), or in the thread's
+// annotated private-data log (Sec. 3.1.3) — the expensive barrier is
+// elided and a plain memory access is performed. The compiler
+// optimization (Sec. 3.2) is modeled by the provenance carried in
+// each access descriptor (see Prov) and elides statically.
+package stm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/capture"
+	"repro/internal/mem"
+)
+
+// DefaultOrecBits sizes the ownership-record table at 1<<18 entries.
+const DefaultOrecBits = 18
+
+// Runtime is a shared STM instance: the simulated address space, the
+// ownership-record table, the global version clock, and the active
+// optimization configuration. One Runtime is shared by all threads of
+// a workload.
+type Runtime struct {
+	space     *mem.Space
+	orecs     []atomic.Uint64
+	orecShift uint
+	clock     atomic.Uint64
+	cfg       OptConfig
+
+	// seqs[i] is thread i's quiescence counter: odd while inside a
+	// transaction, even otherwise. It drives the epoch-based deferred
+	// reuse of transactionally freed blocks (McRT-malloc style): a
+	// freed block is recycled only once every thread observed at an
+	// odd count has since finished that transaction, so no optimistic
+	// (zombie) reader can still dereference into it.
+	seqs []atomic.Uint64
+
+	mu      sync.Mutex
+	threads map[int]*Thread
+}
+
+// New creates a runtime over a fresh address space.
+func New(mcfg mem.Config, cfg OptConfig) *Runtime {
+	bits := cfg.OrecBits
+	if bits == 0 {
+		bits = DefaultOrecBits
+	}
+	if bits < 4 || bits > 26 {
+		panic("stm: OrecBits out of range")
+	}
+	return &Runtime{
+		space:     mem.NewSpace(mcfg),
+		orecs:     make([]atomic.Uint64, 1<<bits),
+		orecShift: 64 - uint(bits),
+		cfg:       cfg,
+		seqs:      make([]atomic.Uint64, mcfg.MaxThreads),
+		threads:   make(map[int]*Thread),
+	}
+}
+
+// Space returns the simulated address space (for non-transactional
+// setup and validation code).
+func (rt *Runtime) Space() *mem.Space { return rt.space }
+
+// Config returns the active optimization configuration.
+func (rt *Runtime) Config() OptConfig { return rt.cfg }
+
+// orecIndex maps an address to its ownership record. Addresses are
+// mapped per simulated cache line (8 words), then spread over the
+// table with a multiplicative hash — the paper's cache-line-based
+// transaction-record mapping. Distinct lines can collide (false
+// conflicts, Sec. 2.2), which shrinking the table makes visible.
+func (rt *Runtime) orecIndex(a mem.Addr) uint64 {
+	line := uint64(a) / mem.LineWords
+	return (line * 0x9E3779B97F4A7C15) >> rt.orecShift
+}
+
+// Orec word encoding: unlocked orecs hold version<<1 (even); locked
+// orecs hold (owner+1)<<1 | 1.
+func orecLocked(v uint64) bool    { return v&1 == 1 }
+func orecOwner(v uint64) int      { return int(v>>1) - 1 }
+func orecLockWord(id int) uint64  { return uint64(id+1)<<1 | 1 }
+func orecVersion(v uint64) uint64 { return v >> 1 }
+
+// Thread is a per-worker execution context: the simulated stack, the
+// heap allocation cache, the annotated-private-data log, statistics,
+// and the (reused) transaction descriptor. A Thread must be used by
+// one goroutine at a time.
+type Thread struct {
+	rt    *Runtime
+	id    int
+	stack *mem.Stack
+	alloc *mem.Allocator
+	priv  capture.Log // thread-local/read-only annotations (Sec. 3.1.3)
+	stats Stats
+	rng   uint64
+	tx    Tx
+
+	limbo []limboBatch // committed frees awaiting quiescence
+}
+
+// limboBatch holds blocks freed by one committed transaction plus the
+// quiescence snapshot taken at commit.
+type limboBatch struct {
+	blocks []mem.Addr
+	snap   []uint64
+}
+
+// enqueueLimbo defers the reuse of blocks until quiescence.
+func (th *Thread) enqueueLimbo(blocks []mem.Addr) {
+	b := limboBatch{
+		blocks: append([]mem.Addr(nil), blocks...),
+		snap:   make([]uint64, len(th.rt.seqs)),
+	}
+	for i := range th.rt.seqs {
+		b.snap[i] = th.rt.seqs[i].Load()
+	}
+	th.limbo = append(th.limbo, b)
+}
+
+// drainLimbo recycles every batch whose snapshot has quiesced.
+func (th *Thread) drainLimbo() {
+	for len(th.limbo) > 0 {
+		b := th.limbo[0]
+		for i, s := range b.snap {
+			if s%2 == 1 && th.rt.seqs[i].Load() == s {
+				return // that thread is still inside the same transaction
+			}
+		}
+		for _, p := range b.blocks {
+			th.alloc.Free(p)
+		}
+		th.limbo = th.limbo[1:]
+	}
+}
+
+// Thread returns (creating on first use) the execution context for
+// worker id. Safe for concurrent use.
+func (rt *Runtime) Thread(id int) *Thread {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if th, ok := rt.threads[id]; ok {
+		return th
+	}
+	th := &Thread{
+		rt:    rt,
+		id:    id,
+		stack: mem.NewStack(rt.space, id),
+		alloc: mem.NewAllocator(rt.space),
+		priv:  capture.NewTree(),
+		rng:   uint64(id)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
+	}
+	th.tx.init(th)
+	rt.threads[id] = th
+	return th
+}
+
+// ResetStats zeroes every thread's counters. The harness calls it
+// between a benchmark's (transactional, but untimed) setup phase and
+// the timed parallel phase, so reported statistics cover only the
+// latter — matching the paper, whose setup code ran uninstrumented.
+// Not safe to call while worker threads are running.
+func (rt *Runtime) ResetStats() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, th := range rt.threads {
+		th.stats = Stats{}
+	}
+}
+
+// Stats sums the statistics of every thread created so far.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var s Stats
+	for _, th := range rt.threads {
+		s.Add(&th.stats)
+	}
+	return s
+}
+
+// ID returns the worker id of this thread.
+func (th *Thread) ID() int { return th.id }
+
+// Stats returns this thread's counters (read after joining).
+func (th *Thread) Stats() *Stats { return &th.stats }
+
+// Runtime returns the owning runtime.
+func (th *Thread) Runtime() *Runtime { return th.rt }
+
+// --- Non-transactional operations (setup/teardown phases) ---
+
+// Alloc allocates n words outside any transaction.
+func (th *Thread) Alloc(n int) mem.Addr { return th.alloc.Alloc(n) }
+
+// Free frees a block outside any transaction.
+func (th *Thread) Free(p mem.Addr) { th.alloc.Free(p) }
+
+// Load reads a word non-transactionally.
+func (th *Thread) Load(a mem.Addr) uint64 { return th.rt.space.Load(a) }
+
+// Store writes a word non-transactionally.
+func (th *Thread) Store(a mem.Addr, v uint64) { th.rt.space.Store(a, v) }
+
+// StackPush allocates an n-word frame on the simulated stack outside a
+// transaction (live-in data for later transactions). The returned mark
+// must be passed to StackPop.
+func (th *Thread) StackPush(n int) (frame mem.Addr, mark mem.Addr) {
+	mark = th.stack.SP()
+	return th.stack.Push(n), mark
+}
+
+// StackPop releases the stack down to mark.
+func (th *Thread) StackPop(mark mem.Addr) { th.stack.Pop(mark) }
+
+// --- Annotation APIs (paper Fig. 7) ---
+
+// AddPrivateBlock annotates [addr, addr+size) as thread-local or
+// read-only: safe to access inside transactions without STM barriers.
+// This is the paper's addPrivateMemoryBlock. Incorrect use can
+// introduce data races, exactly as in the paper.
+func (th *Thread) AddPrivateBlock(addr mem.Addr, size int) {
+	th.priv.Insert(addr, addr+mem.Addr(size))
+}
+
+// RemovePrivateBlock ends the annotation for [addr, addr+size); the
+// paper's removePrivateMemoryBlock.
+func (th *Thread) RemovePrivateBlock(addr mem.Addr, size int) {
+	th.priv.Remove(addr, addr+mem.Addr(size))
+}
+
+// --- Transactions ---
+
+// retrySignal unwinds a conflicting transaction attempt.
+type retrySignal struct{}
+
+// userAbort unwinds an explicitly aborted (inner) transaction.
+type userAbort struct{}
+
+// Atomic executes fn as a transaction, retrying on conflicts until it
+// commits. If fn calls Tx.UserAbort, the (innermost) transaction rolls
+// back and Atomic returns false; otherwise it returns true. Calling
+// Atomic inside a transaction runs fn as a closed nested transaction
+// with partial abort.
+func (th *Thread) Atomic(fn func(*Tx)) bool {
+	tx := &th.tx
+	if tx.active {
+		return th.atomicNested(fn)
+	}
+	for {
+		tx.beginTop()
+		retry, aborted := th.run(tx, fn)
+		if retry {
+			th.backoff(tx.attempts)
+			continue
+		}
+		tx.attempts = 0
+		return !aborted
+	}
+}
+
+// run executes one attempt; it reports whether to retry and whether
+// the user aborted. All cleanup happens before return.
+func (th *Thread) run(tx *Tx, fn func(*Tx)) (retry, aborted bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch r.(type) {
+		case retrySignal:
+			tx.abortTop(true)
+			retry = true
+		case userAbort:
+			tx.abortTop(false)
+			aborted = true
+		default:
+			tx.abortTop(false)
+			panic(r)
+		}
+	}()
+	fn(tx)
+	tx.commitTop() // may panic retrySignal on validation failure
+	return false, false
+}
+
+func (th *Thread) atomicNested(fn func(*Tx)) (committed bool) {
+	tx := &th.tx
+	tx.beginNested()
+	committed = true
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if _, ok := r.(userAbort); ok {
+				tx.abortNested()
+				committed = false
+				return
+			}
+			// Conflicts and real panics unwind to the top level,
+			// which rolls back everything.
+			panic(r)
+		}()
+		fn(tx)
+	}()
+	if committed {
+		tx.commitNested()
+	}
+	return committed
+}
+
+// nextRand is a xorshift64* step for backoff jitter.
+func (th *Thread) nextRand() uint64 {
+	x := th.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	th.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+var backoffSink atomic.Uint64
+
+// backoff implements the paper's simple exponential-back-off
+// contention manager with jitter.
+func (th *Thread) backoff(attempt int) {
+	if attempt <= 0 {
+		return
+	}
+	k := attempt
+	if k > 10 {
+		k = 10
+	}
+	spins := int(th.nextRand() % uint64(16<<k))
+	var acc uint64
+	for i := 0; i < spins; i++ {
+		acc += uint64(i)
+	}
+	backoffSink.Add(acc)
+	if attempt > 4 {
+		runtime.Gosched()
+	}
+}
+
+// Validate is a debugging aid for tests: it panics if any orec is
+// still locked (all transactions must have released ownership).
+func (rt *Runtime) Validate() {
+	for i := range rt.orecs {
+		if v := rt.orecs[i].Load(); orecLocked(v) {
+			panic(fmt.Sprintf("stm: orec %d still locked by thread %d", i, orecOwner(v)))
+		}
+	}
+}

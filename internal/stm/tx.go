@@ -1,0 +1,705 @@
+package stm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/capture"
+	"repro/internal/mem"
+)
+
+type readEntry struct {
+	oi uint64 // orec index
+	v  uint64 // orec word observed at read time
+}
+
+type writeEntry struct {
+	oi   uint64 // orec index
+	prev uint64 // orec word replaced by our lock (for release on abort validation)
+}
+
+type undoEntry struct {
+	addr mem.Addr
+	val  uint64
+}
+
+type allocRec struct {
+	addr  mem.Addr
+	size  int
+	depth int32
+	dead  bool // freed again within the same transaction
+}
+
+type savepoint struct {
+	read, write, undo int
+	alloc, free       int
+	sp                mem.Addr
+}
+
+const wawSlots = 256 // power of two
+
+// wawEntry remembers where in the undo log an address was last logged
+// (undoIdx), so the skip test can verify the entry is still live and
+// would actually be replayed by any abort affecting the new write.
+type wawEntry struct {
+	addr    mem.Addr
+	epoch   uint64
+	undoIdx int
+}
+
+// Tx is a transaction descriptor. It is owned by its Thread and reused
+// across transactions; user code receives it from Thread.Atomic.
+type Tx struct {
+	th     *Thread
+	active bool
+
+	rv       uint64   // read version (global clock snapshot)
+	startSP  mem.Addr // stack pointer at transaction begin (Fig. 3)
+	depth    int32
+	epoch    uint64 // distinguishes attempts in the WAW filter
+	attempts int
+
+	readset []readEntry
+	writes  []writeEntry
+	undo    []undoEntry
+
+	allocs []allocRec
+	frees  []mem.Addr // deferred frees of pre-existing blocks
+
+	alog capture.Log   // runtime capture allocation log (per OptConfig)
+	clog *capture.Tree // precise log for Counting mode
+
+	// Devirtualized views of alog for the hot containment check, plus
+	// a live-range counter so the overwhelmingly common "transaction
+	// has allocated nothing" case costs a single predictable branch —
+	// the property that keeps the paper's runtime checks cheap on
+	// allocation-free benchmarks like kmeans and ssca2.
+	alogKind  capture.Kind
+	alogTree  *capture.Tree
+	alogArr   *capture.Array
+	alogFil   *capture.Filter
+	allocLive int
+
+	waw [wawSlots]wawEntry
+
+	saves []savepoint
+
+	// cached config decisions (avoid pointer chasing in barriers)
+	trackAlog   bool
+	useWAW      bool
+	keepStats   bool
+	counting    bool
+	compiler    bool
+	annotations bool
+	readStack   bool
+	readHeap    bool
+	writeStack  bool
+	writeHeap   bool
+
+	verify     bool // VerifyElision oracle enabled
+	skipShared bool // definitely-shared extension enabled
+
+	// curSP mirrors the thread's stack pointer so the Fig. 4 range
+	// check touches only the (cache-hot) descriptor.
+	curSP mem.Addr
+}
+
+// verifyCaptured is the soundness oracle behind OptConfig.VerifyElision:
+// a statically elided access must target memory the precise dynamic
+// analysis confirms captured.
+func (tx *Tx) verifyCaptured(a mem.Addr) {
+	if tx.onTxStack(a) || tx.clog.Contains(a, 1) {
+		return
+	}
+	panic(fmt.Sprintf("stm: compiler elided a non-captured access to %d", a))
+}
+
+func (tx *Tx) init(th *Thread) {
+	tx.th = th
+	cfg := &th.rt.cfg
+	tx.trackAlog = cfg.Read.Heap || cfg.Write.Heap
+	tx.useWAW = !cfg.NoWAWFilter
+	tx.keepStats = !cfg.PerfMode
+	tx.counting = cfg.Counting
+	tx.compiler = cfg.Compiler
+	tx.annotations = cfg.Annotations
+	tx.readStack = cfg.Read.Stack
+	tx.readHeap = cfg.Read.Heap
+	tx.writeStack = cfg.Write.Stack
+	tx.writeHeap = cfg.Write.Heap
+	tx.verify = cfg.VerifyElision
+	if tx.verify && !cfg.Counting {
+		panic("stm: VerifyElision requires Counting")
+	}
+	tx.skipShared = cfg.SkipSharedChecks
+	if tx.trackAlog {
+		tx.alogKind = cfg.LogKind
+		switch cfg.LogKind {
+		case capture.KindTree:
+			tx.alogTree = capture.NewTree()
+			tx.alog = tx.alogTree
+		case capture.KindArray:
+			c := cfg.ArrayCap
+			if c == 0 {
+				c = capture.DefaultArrayCap
+			}
+			tx.alogArr = capture.NewArray(c)
+			tx.alog = tx.alogArr
+		case capture.KindFilter:
+			b := cfg.FilterBits
+			if b == 0 {
+				b = capture.DefaultFilterBits
+			}
+			tx.alogFil = capture.NewFilter(b)
+			tx.alog = tx.alogFil
+		}
+	}
+	if cfg.Counting {
+		tx.clog = capture.NewTree()
+	}
+}
+
+// Thread returns the owning thread.
+func (tx *Tx) Thread() *Thread { return tx.th }
+
+// Depth returns the current nesting depth (1 = top level).
+func (tx *Tx) Depth() int { return int(tx.depth) }
+
+// Attempt returns the 1-based attempt number of the current top-level
+// transaction (>1 after conflicts).
+func (tx *Tx) Attempt() int { return tx.attempts }
+
+func (tx *Tx) beginTop() {
+	tx.active = true
+	tx.attempts++
+	tx.epoch++
+	tx.depth = 1
+	tx.th.rt.seqs[tx.th.id].Add(1) // now odd: in transaction
+	tx.rv = tx.th.rt.clock.Load()
+	tx.startSP = tx.th.stack.SP()
+	tx.curSP = tx.startSP
+}
+
+// conflict abandons the current attempt.
+func (tx *Tx) conflict() {
+	panic(retrySignal{})
+}
+
+// UserAbort rolls back the innermost transaction; Atomic returns
+// false. This is the paper's user abort (Sec. 2.2.1).
+func (tx *Tx) UserAbort() {
+	panic(userAbort{})
+}
+
+// Restart abandons the attempt and retries the top-level transaction
+// from scratch (STAMP's TM_RESTART).
+func (tx *Tx) Restart() {
+	tx.conflict()
+}
+
+// --- Commit / abort ---
+
+func (tx *Tx) commitTop() {
+	rt := tx.th.rt
+	if len(tx.writes) > 0 {
+		wv := rt.clock.Add(1)
+		if wv != tx.rv+1 && !tx.validate(rt) {
+			tx.conflict() // unwinds into abortTop
+		}
+		rel := wv << 1
+		for i := range tx.writes {
+			rt.orecs[tx.writes[i].oi].Store(rel)
+		}
+	}
+	// Deferred frees become effective now that the transaction is
+	// durable, but the blocks are recycled only after every in-flight
+	// transaction has finished (zombie readers may still dereference
+	// into them), via the per-thread limbo list.
+	if len(tx.frees) > 0 {
+		tx.th.enqueueLimbo(tx.frees)
+	}
+	tx.th.stack.Pop(tx.startSP)
+	tx.th.stats.Commits++
+	tx.finish()
+	tx.th.rt.seqs[tx.th.id].Add(1) // now even: quiescent
+	tx.th.drainLimbo()
+}
+
+// abortTop rolls the whole transaction back. retried distinguishes
+// conflict aborts (counted in Stats.Aborts, the paper's Table 1
+// numerator) from user aborts that will not be retried.
+func (tx *Tx) abortTop(retried bool) {
+	rt := tx.th.rt
+	// Roll back in-place updates in reverse order.
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		rt.space.Store(tx.undo[i].addr, tx.undo[i].val)
+	}
+	// Release ownership with a fresh version so concurrent optimistic
+	// readers of our speculative values cannot validate (ABA safety).
+	if len(tx.writes) > 0 {
+		rel := rt.clock.Add(1) << 1
+		for i := range tx.writes {
+			rt.orecs[tx.writes[i].oi].Store(rel)
+		}
+	}
+	// Speculative allocations die with the transaction.
+	for i := len(tx.allocs) - 1; i >= 0; i-- {
+		if !tx.allocs[i].dead {
+			tx.th.alloc.Free(tx.allocs[i].addr)
+		}
+	}
+	// Deferred frees are dropped: the blocks were never freed.
+	tx.th.stack.Pop(tx.startSP)
+	if retried {
+		tx.th.stats.Aborts++
+	} else {
+		tx.th.stats.UserAborts++
+	}
+	tx.finish()
+	tx.th.rt.seqs[tx.th.id].Add(1) // now even: quiescent
+}
+
+func (tx *Tx) finish() {
+	tx.active = false
+	tx.depth = 0
+	tx.readset = tx.readset[:0]
+	tx.writes = tx.writes[:0]
+	tx.undo = tx.undo[:0]
+	tx.allocs = tx.allocs[:0]
+	tx.frees = tx.frees[:0]
+	tx.saves = tx.saves[:0]
+	if tx.alog != nil {
+		tx.alog.Clear()
+		tx.allocLive = 0
+	}
+	if tx.clog != nil {
+		tx.clog.Clear()
+	}
+}
+
+// validate checks every read-set entry: the orec must be unchanged, or
+// locked by us with its pre-acquisition version matching what we read.
+func (tx *Tx) validate(rt *Runtime) bool {
+	for i := range tx.readset {
+		re := &tx.readset[i]
+		cur := rt.orecs[re.oi].Load()
+		if cur == re.v {
+			continue
+		}
+		if orecLocked(cur) && orecOwner(cur) == tx.th.id {
+			if tx.prevOrecWord(re.oi) == re.v {
+				continue
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// prevOrecWord returns the orec word we replaced when locking oi.
+func (tx *Tx) prevOrecWord(oi uint64) uint64 {
+	for i := range tx.writes {
+		if tx.writes[i].oi == oi {
+			return tx.writes[i].prev
+		}
+	}
+	return ^uint64(0)
+}
+
+// extend revalidates the read set against the current clock, raising
+// rv (TL2-style timestamp extension).
+func (tx *Tx) extend() {
+	rt := tx.th.rt
+	newRv := rt.clock.Load()
+	if !tx.validate(rt) {
+		tx.conflict()
+	}
+	tx.rv = newRv
+}
+
+// --- Nesting (closed, with partial abort) ---
+
+func (tx *Tx) beginNested() {
+	tx.saves = append(tx.saves, savepoint{
+		read:  len(tx.readset),
+		write: len(tx.writes),
+		undo:  len(tx.undo),
+		alloc: len(tx.allocs),
+		free:  len(tx.frees),
+		sp:    tx.th.stack.SP(),
+	})
+	tx.depth++
+}
+
+func (tx *Tx) commitNested() {
+	// Closed nesting: merge into the parent by dropping the savepoint.
+	tx.saves = tx.saves[:len(tx.saves)-1]
+	tx.depth--
+}
+
+// abortNested rolls the transaction back to the innermost savepoint:
+// partial abort (Sec. 2.2.1).
+func (tx *Tx) abortNested() {
+	rt := tx.th.rt
+	sp := tx.saves[len(tx.saves)-1]
+	for i := len(tx.undo) - 1; i >= sp.undo; i-- {
+		rt.space.Store(tx.undo[i].addr, tx.undo[i].val)
+	}
+	if len(tx.writes) > sp.write {
+		rel := rt.clock.Add(1) << 1
+		for i := sp.write; i < len(tx.writes); i++ {
+			rt.orecs[tx.writes[i].oi].Store(rel)
+		}
+		// The version bump protects concurrent optimistic readers from
+		// the speculative values (ABA), but it must not invalidate the
+		// *enclosing* transaction's own reads: the undo replay above
+		// restored the exact values, so the outer read set stays
+		// semantically valid. Repair its entries for the released
+		// records to the new version — otherwise the outer transaction
+		// livelocks re-validating against versions it bumped itself.
+		for j := range tx.readset {
+			re := &tx.readset[j]
+			for i := sp.write; i < len(tx.writes); i++ {
+				if re.oi == tx.writes[i].oi {
+					re.v = rel
+					break
+				}
+			}
+		}
+	}
+	for i := len(tx.allocs) - 1; i >= sp.alloc; i-- {
+		a := &tx.allocs[i]
+		if !a.dead {
+			tx.removeFromLogs(a.addr, a.size)
+			tx.th.alloc.Free(a.addr)
+		}
+	}
+	tx.readset = tx.readset[:sp.read]
+	tx.writes = tx.writes[:sp.write]
+	tx.undo = tx.undo[:sp.undo]
+	tx.allocs = tx.allocs[:sp.alloc]
+	tx.frees = tx.frees[:sp.free]
+	tx.th.stack.Pop(sp.sp)
+	tx.saves = tx.saves[:len(tx.saves)-1]
+	tx.depth--
+}
+
+// --- Transactional allocation (Sec. 3.1.2's extended allocator) ---
+
+// Alloc allocates n words inside the transaction and records the block
+// in the allocation log. The memory is captured: until commit it is
+// invisible to every other transaction.
+func (tx *Tx) Alloc(n int) mem.Addr {
+	p := tx.th.alloc.Alloc(n)
+	size := tx.th.alloc.BlockSize(p)
+	tx.allocs = append(tx.allocs, allocRec{addr: p, size: size, depth: tx.depth})
+	tx.insertIntoLogs(p, size)
+	tx.th.stats.TxAllocs++
+	return p
+}
+
+// Free frees a block inside the transaction. A block allocated by this
+// transaction at the current nesting depth is reclaimed immediately
+// (it never escaped and cannot be resurrected by a partial abort); a
+// block allocated at an outer depth or before the transaction is freed
+// only when the transaction commits, so aborts can undo the free.
+func (tx *Tx) Free(p mem.Addr) {
+	if p == mem.Nil {
+		return
+	}
+	tx.th.stats.TxFrees++
+	for i := len(tx.allocs) - 1; i >= 0; i-- {
+		a := &tx.allocs[i]
+		if a.addr == p && !a.dead {
+			if a.depth == tx.depth {
+				a.dead = true
+				tx.removeFromLogs(p, a.size)
+				tx.th.alloc.Free(p)
+				return
+			}
+			break // allocated at an outer depth: defer
+		}
+	}
+	tx.frees = append(tx.frees, p)
+}
+
+func (tx *Tx) insertIntoLogs(p mem.Addr, size int) {
+	if tx.alog != nil {
+		tx.alog.Insert(p, p+mem.Addr(size))
+		tx.allocLive++
+	}
+	if tx.clog != nil {
+		tx.clog.Insert(p, p+mem.Addr(size))
+	}
+}
+
+func (tx *Tx) removeFromLogs(p mem.Addr, size int) {
+	if tx.alog != nil {
+		tx.alog.Remove(p, p+mem.Addr(size))
+		tx.allocLive--
+	}
+	if tx.clog != nil {
+		tx.clog.Remove(p, p+mem.Addr(size))
+	}
+}
+
+// alogContains is the is_captured() heap probe of the paper's Fig. 2,
+// devirtualized for the barrier fast path.
+func (tx *Tx) alogContains(a mem.Addr) bool {
+	if tx.allocLive == 0 {
+		return false
+	}
+	switch tx.alogKind {
+	case capture.KindTree:
+		return tx.alogTree.Contains(a, 1)
+	case capture.KindArray:
+		return tx.alogArr.Contains(a, 1)
+	default:
+		return tx.alogFil.Contains(a, 1)
+	}
+}
+
+// StackAlloc allocates an n-word frame on the transaction-local stack.
+// The frame lives until the enclosing top-level transaction ends and
+// is reclaimed automatically (Fig. 3: the region between start_sp and
+// the current stack pointer).
+func (tx *Tx) StackAlloc(n int) mem.Addr {
+	f := tx.th.stack.Push(n)
+	tx.curSP = f
+	return f
+}
+
+// onTxStack is the paper's Fig. 4 range check: the address lies in the
+// stack region grown since transaction begin.
+func (tx *Tx) onTxStack(a mem.Addr) bool {
+	return a >= tx.curSP && a < tx.startSP
+}
+
+// --- Barriers ---
+
+// Load performs a transactional read of the word at a. ac carries the
+// access-site metadata (provenance for compiler elision; whether the
+// original program hand-instrumented the access).
+func (tx *Tx) Load(a mem.Addr, ac Acc) uint64 {
+	th := tx.th
+	if tx.keepStats {
+		st := &th.stats
+		st.ReadTotal++
+		if ac.Manual {
+			st.ReadManual++
+		}
+		if tx.counting {
+			if tx.onTxStack(a) {
+				st.ReadCapStack++
+			} else if tx.clog.Contains(a, 1) {
+				st.ReadCapHeap++
+			}
+		}
+	}
+	if tx.compiler && StaticElide(ac.Prov) {
+		if tx.verify {
+			tx.verifyCaptured(a)
+		}
+		th.stats.ReadElStatic += tx.statInc()
+		return th.rt.space.Load(a)
+	}
+	if tx.skipShared && ac.Prov == ProvShared {
+		th.stats.ReadSkipShared += tx.statInc()
+		th.stats.ReadFull += tx.statInc()
+		return tx.readFull(a)
+	}
+	if tx.readStack && tx.onTxStack(a) {
+		th.stats.ReadElStack += tx.statInc()
+		return th.rt.space.Load(a)
+	}
+	if tx.readHeap && tx.alogContains(a) {
+		th.stats.ReadElHeap += tx.statInc()
+		return th.rt.space.Load(a)
+	}
+	if tx.annotations && th.priv.Contains(a, 1) {
+		th.stats.ReadElPriv += tx.statInc()
+		return th.rt.space.Load(a)
+	}
+	th.stats.ReadFull += tx.statInc()
+	return tx.readFull(a)
+}
+
+// statInc returns 1 when statistics are kept, else 0, letting the
+// barrier fast paths stay branch-light.
+func (tx *Tx) statInc() uint64 {
+	if tx.keepStats {
+		return 1
+	}
+	return 0
+}
+
+func (tx *Tx) readFull(a mem.Addr) uint64 {
+	rt := tx.th.rt
+	oi := rt.orecIndex(a)
+	for {
+		v1 := rt.orecs[oi].Load()
+		if orecLocked(v1) {
+			if orecOwner(v1) == tx.th.id {
+				return rt.space.Load(a) // read-after-write, in place
+			}
+			tx.conflict()
+		}
+		if orecVersion(v1) > tx.rv {
+			tx.extend()
+			continue
+		}
+		val := rt.space.Load(a)
+		if rt.orecs[oi].Load() != v1 {
+			tx.conflict()
+		}
+		tx.readset = append(tx.readset, readEntry{oi, v1})
+		return val
+	}
+}
+
+// Store performs a transactional write of the word at a.
+func (tx *Tx) Store(a mem.Addr, val uint64, ac Acc) {
+	th := tx.th
+	if tx.keepStats {
+		st := &th.stats
+		st.WriteTotal++
+		if ac.Manual {
+			st.WriteManual++
+		}
+		if tx.counting {
+			if tx.onTxStack(a) {
+				st.WriteCapStack++
+			} else if tx.clog.Contains(a, 1) {
+				st.WriteCapHeap++
+			}
+		}
+	}
+	if tx.compiler && StaticElide(ac.Prov) {
+		if tx.verify {
+			tx.verifyCaptured(a)
+		}
+		th.stats.WriteElStatic += tx.statInc()
+		tx.storeCaptured(a, val)
+		return
+	}
+	if tx.skipShared && ac.Prov == ProvShared {
+		th.stats.WriteSkipShared += tx.statInc()
+		th.stats.WriteFull += tx.statInc()
+		tx.writeFull(a, val)
+		return
+	}
+	if tx.writeStack && tx.onTxStack(a) {
+		th.stats.WriteElStack += tx.statInc()
+		tx.storeCaptured(a, val)
+		return
+	}
+	if tx.writeHeap && tx.alogContains(a) {
+		th.stats.WriteElHeap += tx.statInc()
+		tx.storeCaptured(a, val)
+		return
+	}
+	if tx.annotations && th.priv.Contains(a, 1) {
+		// Annotated thread-local data can hold live-in values, so it
+		// keeps undo logging but skips locking (Sec. 2.2.2).
+		th.stats.WriteElPriv += tx.statInc()
+		tx.logUndo(a)
+		th.rt.space.Store(a, val)
+		return
+	}
+	th.stats.WriteFull += tx.statInc()
+	tx.writeFull(a, val)
+}
+
+// storeCaptured writes captured memory directly. At nesting depth > 1
+// the location may be live-in for the nested transaction even though
+// it is transaction-local to the outer one, so partial abort requires
+// an undo entry (Sec. 2.2.1); at top level captured memory is dead on
+// abort and skips undo logging entirely.
+func (tx *Tx) storeCaptured(a mem.Addr, val uint64) {
+	if tx.depth > 1 {
+		tx.logUndo(a)
+	}
+	tx.th.rt.space.Store(a, val)
+}
+
+func (tx *Tx) writeFull(a mem.Addr, val uint64) {
+	rt := tx.th.rt
+	oi := rt.orecIndex(a)
+	for {
+		v := rt.orecs[oi].Load()
+		if orecLocked(v) {
+			if orecOwner(v) == tx.th.id {
+				break
+			}
+			tx.conflict()
+		}
+		if orecVersion(v) > tx.rv {
+			tx.extend()
+			continue
+		}
+		if rt.orecs[oi].CompareAndSwap(v, orecLockWord(tx.th.id)) {
+			tx.writes = append(tx.writes, writeEntry{oi, v})
+			break
+		}
+		tx.conflict()
+	}
+	tx.logUndo(a)
+	rt.space.Store(a, val)
+}
+
+// logUndo records the old value of a, unless the write-after-write
+// filter shows a live undo entry already covers it — the baseline's
+// cheap WAW check that the paper credits for yada.
+//
+// "Covers" is subtle under closed nesting with partial abort: the
+// prior entry must (a) still be in the log (not truncated by a partial
+// abort and not overwritten after truncation), and (b) lie at or after
+// the innermost savepoint, so every abort that could undo the new
+// write replays it. Entries from an outer scope fail (b): a partial
+// abort of the current nested transaction would not replay them.
+func (tx *Tx) logUndo(a mem.Addr) {
+	if tx.useWAW {
+		s := &tx.waw[(uint64(a)*0x9E3779B97F4A7C15>>33)&(wawSlots-1)]
+		if s.addr == a && s.epoch == tx.epoch &&
+			s.undoIdx < len(tx.undo) && tx.undo[s.undoIdx].addr == a &&
+			s.undoIdx >= tx.undoScopeBase() {
+			tx.th.stats.WriteWAWSkips += tx.statInc()
+			return
+		}
+		s.addr = a
+		s.epoch = tx.epoch
+		s.undoIdx = len(tx.undo)
+	}
+	tx.undo = append(tx.undo, undoEntry{a, tx.th.rt.space.Load(a)})
+}
+
+// undoScopeBase returns the undo-log position of the innermost
+// savepoint (0 at top level).
+func (tx *Tx) undoScopeBase() int {
+	if len(tx.saves) == 0 {
+		return 0
+	}
+	return tx.saves[len(tx.saves)-1].undo
+}
+
+// --- Typed convenience accessors ---
+
+// LoadFloat reads a float64 transactionally.
+func (tx *Tx) LoadFloat(a mem.Addr, ac Acc) float64 {
+	return math.Float64frombits(tx.Load(a, ac))
+}
+
+// StoreFloat writes a float64 transactionally.
+func (tx *Tx) StoreFloat(a mem.Addr, f float64, ac Acc) {
+	tx.Store(a, math.Float64bits(f), ac)
+}
+
+// LoadAddr reads a simulated pointer transactionally.
+func (tx *Tx) LoadAddr(a mem.Addr, ac Acc) mem.Addr {
+	return mem.Addr(tx.Load(a, ac))
+}
+
+// StoreAddr writes a simulated pointer transactionally.
+func (tx *Tx) StoreAddr(a mem.Addr, p mem.Addr, ac Acc) {
+	tx.Store(a, uint64(p), ac)
+}

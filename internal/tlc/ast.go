@@ -1,0 +1,234 @@
+package tlc
+
+// AST node definitions. Positions are kept on the nodes that can fail
+// type checking or need diagnostics.
+
+// Program is a parsed TL source file.
+type Program struct {
+	Structs []*StructDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Type is a TL type: int, bool, a pointer to a named struct, or a
+// fixed-size int array (only as a local/struct field).
+type Type struct {
+	Kind   TypeKind
+	Elem   string // struct name for pointers
+	ArrLen int    // for arrays
+}
+
+// TypeKind enumerates TL types.
+type TypeKind int
+
+// TL type kinds.
+const (
+	TInt TypeKind = iota
+	TBool
+	TPtr
+	TArray
+	TVoid
+)
+
+func (t Type) String() string {
+	switch t.Kind {
+	case TInt:
+		return "int"
+	case TBool:
+		return "bool"
+	case TPtr:
+		return "*" + t.Elem
+	case TArray:
+		return "array"
+	case TVoid:
+		return "void"
+	}
+	return "?"
+}
+
+// StructDecl is a struct type declaration.
+type StructDecl struct {
+	Name   string
+	Fields []Field
+	Line   int
+}
+
+// Field is one struct field; arrays of int are allowed inline.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	Name string
+	Type Type
+	Line int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []VarDecl
+	Ret    Type
+	Body   *Block
+	Line   int
+}
+
+// --- Statements ---
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Block is a { ... } statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local variable (zero initialized).
+type DeclStmt struct {
+	Decl VarDecl
+}
+
+// AssignStmt stores Rhs into an lvalue (variable, field, or index).
+type AssignStmt struct {
+	Lhs  Expr
+	Rhs  Expr
+	Line int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	Val  Expr // nil for void
+	Line int
+}
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	X Expr
+}
+
+// AtomicStmt is a transaction: atomic { ... }.
+type AtomicStmt struct {
+	Body *Block
+	Line int
+}
+
+// FreeStmt frees a heap block: free(p).
+type FreeStmt struct {
+	Ptr  Expr
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// AbortStmt aborts the innermost atomic block (the paper's user abort).
+type AbortStmt struct{ Line int }
+
+func (*Block) stmt()        {}
+func (*DeclStmt) stmt()     {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ReturnStmt) stmt()   {}
+func (*ExprStmt) stmt()     {}
+func (*AtomicStmt) stmt()   {}
+func (*FreeStmt) stmt()     {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*AbortStmt) stmt()    {}
+
+// --- Expressions ---
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val  uint64
+	Line int
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Val  bool
+	Line int
+}
+
+// NilLit is the nil pointer.
+type NilLit struct{ Line int }
+
+// Ident references a variable (local, param, or global).
+type Ident struct {
+	Name string
+	Line int
+}
+
+// FieldExpr is X.Name on a struct pointer.
+type FieldExpr struct {
+	X    Expr
+	Name string
+	Line int
+}
+
+// IndexExpr is X[I] on an array field or array local.
+type IndexExpr struct {
+	X    Expr
+	I    Expr
+	Line int
+}
+
+// AllocExpr allocates a struct on the heap: alloc T.
+type AllocExpr struct {
+	TypeName string
+	Line     int
+}
+
+// CallExpr calls a function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   tokKind
+	L, R Expr
+	Line int
+}
+
+// UnExpr is unary ! or -.
+type UnExpr struct {
+	Op   tokKind
+	X    Expr
+	Line int
+}
+
+func (*IntLit) expr()    {}
+func (*BoolLit) expr()   {}
+func (*NilLit) expr()    {}
+func (*Ident) expr()     {}
+func (*FieldExpr) expr() {}
+func (*IndexExpr) expr() {}
+func (*AllocExpr) expr() {}
+func (*CallExpr) expr()  {}
+func (*BinExpr) expr()   {}
+func (*UnExpr) expr()    {}

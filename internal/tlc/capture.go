@@ -1,0 +1,273 @@
+package tlc
+
+// Capture analysis (the paper's Sec. 3.2): a flow-sensitive
+// intraprocedural pointer analysis run after inlining. For every
+// memory access inside an atomic block it decides whether the accessed
+// location is *provably* transaction-local:
+//
+//   - accFresh: the base pointer's value derives from an allocation
+//     made earlier in the same atomic block (tracked through local
+//     assignments and control-flow merges);
+//   - accStack: the access targets an int array declared inside the
+//     atomic block (transaction-local stack, Fig. 1(a));
+//   - accUnknown: everything else — the barrier is kept.
+//
+// The analysis is conservative (false negatives only): pointers loaded
+// from memory, returned from non-inlined calls, or merged with unknown
+// values are Unknown. Soundness is enforced at runtime in tests via
+// stm.OptConfig.VerifyElision.
+
+// provState maps local slots to "provably fresh in this atomic block".
+type provState map[int]bool
+
+func (ps provState) clone() provState {
+	cp := make(provState, len(ps))
+	for k, v := range ps {
+		cp[k] = v
+	}
+	return cp
+}
+
+// meet merges two states at a control-flow join: fresh only if fresh
+// on both paths.
+func (ps provState) meet(o provState) provState {
+	out := provState{}
+	for k, v := range ps {
+		if v && o[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// analysisStats summarizes the classification for reports.
+type analysisStats struct {
+	Fresh, Stack, Unknown int
+	Shared                int // definitely shared (runtime checks skipped)
+	Inlined               int
+}
+
+// captureAnalysis annotates s.accOf for every transactional access.
+func captureAnalysis(prog *Program, s *semaInfo) analysisStats {
+	var st analysisStats
+	for _, f := range prog.Funcs {
+		a := &capAnalyzer{s: s, stats: &st}
+		a.block(f.Body, provState{}, false)
+	}
+	return st
+}
+
+type capAnalyzer struct {
+	s     *semaInfo
+	stats *analysisStats
+}
+
+// block analyzes a block, returning the outgoing state.
+func (a *capAnalyzer) block(b *Block, ps provState, inAtomic bool) provState {
+	for _, st := range b.Stmts {
+		ps = a.stmt(st, ps, inAtomic)
+	}
+	return ps
+}
+
+func (a *capAnalyzer) stmt(st Stmt, ps provState, inAtomic bool) provState {
+	switch st := st.(type) {
+	case *Block:
+		return a.block(st, ps, inAtomic)
+	case *DeclStmt:
+		// A fresh declaration holds nil/zero: trivially private.
+		if st.Decl.Type.Kind == TPtr {
+			ps = ps.clone()
+			ps[a.s.localSlot[st]] = true
+		}
+		return ps
+	case *AssignStmt:
+		a.expr(st.Rhs, ps, inAtomic)
+		a.lvalue(st.Lhs, ps, inAtomic)
+		if id, ok := st.Lhs.(*Ident); ok {
+			if r := a.s.identRef[id]; r != nil && !r.global && r.typ.Kind == TPtr {
+				ps = ps.clone()
+				ps[r.slot] = inAtomic && a.exprFresh(st.Rhs, ps)
+			}
+		}
+		return ps
+	case *IfStmt:
+		a.expr(st.Cond, ps, inAtomic)
+		thenOut := a.block(st.Then, ps.clone(), inAtomic)
+		elseOut := ps
+		if st.Else != nil {
+			elseOut = a.block(st.Else, ps.clone(), inAtomic)
+		}
+		return thenOut.meet(elseOut)
+	case *WhileStmt:
+		// Two rounds reach the fixed point of this two-level lattice:
+		// the first discovers kills, the second classifies accesses
+		// under the stable state.
+		entry := ps
+		for i := 0; i < 2; i++ {
+			a.expr(st.Cond, entry, inAtomic)
+			bodyOut := a.block(st.Body, entry.clone(), inAtomic)
+			entry = entry.meet(bodyOut)
+		}
+		return entry
+	case *ReturnStmt:
+		if st.Val != nil {
+			a.expr(st.Val, ps, inAtomic)
+		}
+		return ps
+	case *ExprStmt:
+		a.expr(st.X, ps, inAtomic)
+		return ps
+	case *AtomicStmt:
+		// Entering a transaction: nothing allocated yet, so every
+		// pointer holding a pre-transaction value is not captured.
+		// (Pointers that are provably nil could be retained; starting
+		// empty is simpler and conservative.)
+		out := a.block(st.Body, provState{}, true)
+		_ = out
+		// After commit the allocations escape: all bets are off.
+		return provState{}
+	case *FreeStmt:
+		a.expr(st.Ptr, ps, inAtomic)
+		return ps
+	default:
+		return ps
+	}
+}
+
+// lvalue classifies a store target.
+func (a *capAnalyzer) lvalue(e Expr, ps provState, inAtomic bool) {
+	switch e := e.(type) {
+	case *Ident:
+		// Globals live outside the heap and the transactional stack,
+		// so a direct global access is *definitely shared*: the
+		// future-work extension skips runtime capture checks on it.
+		if inAtomic {
+			if r := a.s.identRef[e]; r != nil && r.global {
+				a.classify(e, accShared)
+			}
+		}
+	case *FieldExpr:
+		a.expr(e.X, ps, inAtomic)
+		if inAtomic {
+			a.classify(e, a.baseClass(e.X, ps))
+		}
+	case *IndexExpr:
+		a.expr(e.I, ps, inAtomic)
+		if inAtomic {
+			a.classify(e, a.indexClass(e))
+		}
+	}
+}
+
+// expr walks an expression, classifying the loads inside it.
+func (a *capAnalyzer) expr(e Expr, ps provState, inAtomic bool) {
+	switch e := e.(type) {
+	case *Ident:
+		if inAtomic {
+			if r := a.s.identRef[e]; r != nil && r.global {
+				a.classify(e, accShared)
+			}
+		}
+	case *FieldExpr:
+		a.expr(e.X, ps, inAtomic)
+		if inAtomic {
+			a.classify(e, a.baseClass(e.X, ps))
+		}
+	case *IndexExpr:
+		a.expr(e.X, ps, inAtomic)
+		a.expr(e.I, ps, inAtomic)
+		if inAtomic {
+			a.classify(e, a.indexClass(e))
+		}
+	case *CallExpr:
+		for _, arg := range e.Args {
+			a.expr(arg, ps, inAtomic)
+		}
+	case *BinExpr:
+		a.expr(e.L, ps, inAtomic)
+		a.expr(e.R, ps, inAtomic)
+	case *UnExpr:
+		a.expr(e.X, ps, inAtomic)
+	}
+}
+
+// baseClass classifies a field access by its base pointer.
+func (a *capAnalyzer) baseClass(base Expr, ps provState) accClass {
+	if a.exprFresh(base, ps) {
+		return accFresh
+	}
+	return accUnknown
+}
+
+// indexClass classifies an array access: captured iff the array local
+// was declared inside an atomic block (its storage was pushed on the
+// simulated stack after the transaction began).
+func (a *capAnalyzer) indexClass(e *IndexExpr) accClass {
+	id, ok := e.X.(*Ident)
+	if !ok {
+		return accUnknown
+	}
+	r := a.s.identRef[id]
+	if r == nil {
+		return accUnknown
+	}
+	if r.global {
+		return accShared
+	}
+	// Find the declaring DeclStmt via slot match.
+	for decl, slot := range a.s.localSlot {
+		if slot == r.slot && a.s.declInAtomic[decl] {
+			return accStack
+		}
+	}
+	return accUnknown
+}
+
+// exprFresh reports whether the expression's value is provably a
+// pointer captured by the current transaction.
+func (a *capAnalyzer) exprFresh(e Expr, ps provState) bool {
+	switch e := e.(type) {
+	case *AllocExpr:
+		return true
+	case *NilLit:
+		return true
+	case *Ident:
+		r := a.s.identRef[e]
+		return r != nil && !r.global && ps[r.slot]
+	default:
+		return false
+	}
+}
+
+// classify records the verdict (keeping the weakest when a node is
+// reached twice, e.g. while-body reanalysis).
+func (a *capAnalyzer) classify(e Expr, c accClass) {
+	if prev, ok := a.s.accOf[e]; ok && (prev == accUnknown || c == accUnknown) {
+		a.s.accOf[e] = accUnknown
+		if prev != accUnknown && c == accUnknown {
+			// downgraded: fix the counters
+			a.adjust(prev, -1)
+			a.adjust(accUnknown, 1)
+		}
+		return
+	}
+	if _, ok := a.s.accOf[e]; ok {
+		return
+	}
+	a.s.accOf[e] = c
+	a.adjust(c, 1)
+}
+
+func (a *capAnalyzer) adjust(c accClass, d int) {
+	switch c {
+	case accFresh:
+		a.stats.Fresh += d
+	case accStack:
+		a.stats.Stack += d
+	case accShared:
+		a.stats.Shared += d
+	default:
+		a.stats.Unknown += d
+	}
+}

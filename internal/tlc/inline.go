@@ -1,0 +1,385 @@
+package tlc
+
+import "fmt"
+
+// Function inlining. The paper's compiler capture analysis is
+// intraprocedural and "relies on function inlining to extend the
+// analysis results across function calls" (Sec. 3.2). This pass
+// inlines calls that appear inside atomic blocks so that allocations
+// made in helpers become visible to the caller's analysis.
+//
+// A function is inlinable when it is non-recursive, contains no atomic
+// block of its own, and is single-exit (no return statement except
+// optionally as the last statement of the body) — the shape of typical
+// helpers. Calls in statement position (`f(x);`) and simple assignment
+// position (`p = f(x);`) are inlined; other call sites are left alone
+// and the analysis treats their results conservatively.
+
+const maxInlinePasses = 3
+
+// inlinePass rewrites the program, returning how many calls it
+// inlined.
+func inlinePass(prog *Program) int {
+	funcs := map[string]*FuncDecl{}
+	for _, f := range prog.Funcs {
+		funcs[f.Name] = f
+	}
+	recursive := findRecursive(prog)
+	in := &inliner{funcs: funcs, recursive: recursive}
+	total := 0
+	for _, f := range prog.Funcs {
+		in.atomicDepth = 0
+		f.Body = in.block(f.Body)
+	}
+	total = in.count
+	return total
+}
+
+// inlineAll runs inlinePass to a (bounded) fixed point.
+func inlineAll(prog *Program) {
+	for i := 0; i < maxInlinePasses; i++ {
+		if inlinePass(prog) == 0 {
+			return
+		}
+	}
+}
+
+// findRecursive returns the set of functions on call-graph cycles
+// (including self-recursion), which must not be inlined.
+func findRecursive(prog *Program) map[string]bool {
+	calls := map[string]map[string]bool{}
+	for _, f := range prog.Funcs {
+		calls[f.Name] = map[string]bool{}
+		collectCalls(f.Body, calls[f.Name])
+	}
+	rec := map[string]bool{}
+	for name := range calls {
+		// DFS from name; if it can reach itself, it is recursive.
+		seen := map[string]bool{}
+		var walk func(n string) bool
+		walk = func(n string) bool {
+			for callee := range calls[n] {
+				if callee == name {
+					return true
+				}
+				if !seen[callee] {
+					seen[callee] = true
+					if calls[callee] != nil && walk(callee) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if walk(name) {
+			rec[name] = true
+		}
+	}
+	return rec
+}
+
+func collectCalls(b *Block, out map[string]bool) {
+	var walkStmt func(s Stmt)
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch e := e.(type) {
+		case *CallExpr:
+			out[e.Name] = true
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *FieldExpr:
+			walkExpr(e.X)
+		case *IndexExpr:
+			walkExpr(e.X)
+			walkExpr(e.I)
+		case *BinExpr:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		case *UnExpr:
+			walkExpr(e.X)
+		}
+	}
+	walkStmt = func(s Stmt) {
+		switch s := s.(type) {
+		case *Block:
+			for _, st := range s.Stmts {
+				walkStmt(st)
+			}
+		case *AssignStmt:
+			walkExpr(s.Lhs)
+			walkExpr(s.Rhs)
+		case *IfStmt:
+			walkExpr(s.Cond)
+			walkStmt(s.Then)
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *WhileStmt:
+			walkExpr(s.Cond)
+			walkStmt(s.Body)
+		case *ReturnStmt:
+			if s.Val != nil {
+				walkExpr(s.Val)
+			}
+		case *ExprStmt:
+			walkExpr(s.X)
+		case *AtomicStmt:
+			walkStmt(s.Body)
+		case *FreeStmt:
+			walkExpr(s.Ptr)
+		}
+	}
+	walkStmt(b)
+}
+
+type inliner struct {
+	funcs       map[string]*FuncDecl
+	recursive   map[string]bool
+	atomicDepth int
+	count       int
+	fresh       int
+}
+
+// inlinable reports whether f can be substituted at a call site.
+func (in *inliner) inlinable(name string) (*FuncDecl, bool) {
+	f, ok := in.funcs[name]
+	if !ok || in.recursive[name] {
+		return nil, false
+	}
+	if hasAtomic(f.Body) || !singleExit(f.Body) {
+		return nil, false
+	}
+	return f, true
+}
+
+func hasAtomic(b *Block) bool {
+	found := false
+	var walk func(s Stmt)
+	walk = func(s Stmt) {
+		switch s := s.(type) {
+		case *AtomicStmt:
+			found = true
+		case *Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *IfStmt:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *WhileStmt:
+			walk(s.Body)
+		}
+	}
+	walk(b)
+	return found
+}
+
+// singleExit reports whether the only return (if any) is the last
+// statement of the top-level body.
+func singleExit(b *Block) bool {
+	bad := false
+	var walk func(s Stmt, mayReturn bool)
+	walk = func(s Stmt, mayReturn bool) {
+		switch s := s.(type) {
+		case *ReturnStmt:
+			if !mayReturn {
+				bad = true
+			}
+		case *Block:
+			for i, st := range s.Stmts {
+				walk(st, mayReturn && i == len(s.Stmts)-1)
+			}
+		case *IfStmt:
+			walk(s.Then, false)
+			if s.Else != nil {
+				walk(s.Else, false)
+			}
+		case *WhileStmt:
+			walk(s.Body, false)
+		}
+	}
+	walk(b, true)
+	return !bad
+}
+
+func (in *inliner) block(b *Block) *Block {
+	out := &Block{}
+	for _, st := range b.Stmts {
+		out.Stmts = append(out.Stmts, in.stmt(st))
+	}
+	return out
+}
+
+func (in *inliner) stmt(st Stmt) Stmt {
+	switch st := st.(type) {
+	case *Block:
+		return in.block(st)
+	case *IfStmt:
+		cp := *st
+		cp.Then = in.block(st.Then)
+		if st.Else != nil {
+			cp.Else = in.block(st.Else)
+		}
+		return &cp
+	case *WhileStmt:
+		cp := *st
+		cp.Body = in.block(st.Body)
+		return &cp
+	case *AtomicStmt:
+		in.atomicDepth++
+		cp := *st
+		cp.Body = in.block(st.Body)
+		in.atomicDepth--
+		return &cp
+	case *ExprStmt:
+		if call, ok := st.X.(*CallExpr); ok && in.atomicDepth > 0 {
+			if f, ok := in.inlinable(call.Name); ok {
+				in.count++
+				return in.substitute(f, call, nil)
+			}
+		}
+		return st
+	case *AssignStmt:
+		if call, ok := st.Rhs.(*CallExpr); ok && in.atomicDepth > 0 {
+			if dst, isIdent := st.Lhs.(*Ident); isIdent {
+				if f, ok := in.inlinable(call.Name); ok {
+					in.count++
+					return in.substitute(f, call, dst)
+				}
+			}
+		}
+		return st
+	default:
+		return st
+	}
+}
+
+// substitute builds the inlined block: fresh parameter locals,
+// argument assignments, the renamed body, and the return value
+// assignment into dst (when present).
+func (in *inliner) substitute(f *FuncDecl, call *CallExpr, dst *Ident) *Block {
+	in.fresh++
+	prefix := fmt.Sprintf("__in%d_", in.fresh)
+	rename := map[string]string{}
+	out := &Block{}
+	for i, p := range f.Params {
+		nn := prefix + p.Name
+		rename[p.Name] = nn
+		out.Stmts = append(out.Stmts, &DeclStmt{Decl: VarDecl{Name: nn, Type: p.Type, Line: call.Line}})
+		out.Stmts = append(out.Stmts, &AssignStmt{
+			Lhs: &Ident{Name: nn, Line: call.Line}, Rhs: call.Args[i], Line: call.Line})
+	}
+	body := cloneBlock(f.Body, prefix, rename)
+	// Rewrite the trailing return into an assignment (or drop it).
+	if n := len(body.Stmts); n > 0 {
+		if ret, ok := body.Stmts[n-1].(*ReturnStmt); ok {
+			body.Stmts = body.Stmts[:n-1]
+			if dst != nil && ret.Val != nil {
+				body.Stmts = append(body.Stmts, &AssignStmt{Lhs: dst, Rhs: ret.Val, Line: ret.Line})
+				dst = nil
+			}
+		}
+	}
+	if dst != nil {
+		// Void call result assigned? sema would have rejected it, so
+		// dst is only non-nil for value-returning single-exit bodies
+		// that end in return; reaching here means the callee falls off
+		// the end, which sema permits only for void functions.
+		panic("tlc: inlining value call without trailing return")
+	}
+	out.Stmts = append(out.Stmts, body)
+	return out
+}
+
+// cloneBlock deep-copies a block, renaming every declared local with
+// the given prefix (captured in rename, which maps old → new names).
+func cloneBlock(b *Block, prefix string, rename map[string]string) *Block {
+	out := &Block{}
+	for _, st := range b.Stmts {
+		out.Stmts = append(out.Stmts, cloneStmt(st, prefix, rename))
+	}
+	return out
+}
+
+func cloneStmt(st Stmt, prefix string, rename map[string]string) Stmt {
+	switch st := st.(type) {
+	case *Block:
+		return cloneBlock(st, prefix, rename)
+	case *DeclStmt:
+		nn := prefix + st.Decl.Name
+		rename[st.Decl.Name] = nn
+		d := st.Decl
+		d.Name = nn
+		return &DeclStmt{Decl: d}
+	case *AssignStmt:
+		return &AssignStmt{Lhs: cloneExpr(st.Lhs, rename), Rhs: cloneExpr(st.Rhs, rename), Line: st.Line}
+	case *IfStmt:
+		cp := &IfStmt{Cond: cloneExpr(st.Cond, rename), Then: cloneBlock(st.Then, prefix, rename)}
+		if st.Else != nil {
+			cp.Else = cloneBlock(st.Else, prefix, rename)
+		}
+		return cp
+	case *WhileStmt:
+		return &WhileStmt{Cond: cloneExpr(st.Cond, rename), Body: cloneBlock(st.Body, prefix, rename)}
+	case *ReturnStmt:
+		cp := &ReturnStmt{Line: st.Line}
+		if st.Val != nil {
+			cp.Val = cloneExpr(st.Val, rename)
+		}
+		return cp
+	case *ExprStmt:
+		return &ExprStmt{X: cloneExpr(st.X, rename)}
+	case *AtomicStmt:
+		return &AtomicStmt{Body: cloneBlock(st.Body, prefix, rename), Line: st.Line}
+	case *FreeStmt:
+		return &FreeStmt{Ptr: cloneExpr(st.Ptr, rename), Line: st.Line}
+	case *BreakStmt:
+		return &BreakStmt{Line: st.Line}
+	case *ContinueStmt:
+		return &ContinueStmt{Line: st.Line}
+	case *AbortStmt:
+		return &AbortStmt{Line: st.Line}
+	}
+	panic(fmt.Sprintf("tlc: clone of unhandled statement %T", st))
+}
+
+func cloneExpr(e Expr, rename map[string]string) Expr {
+	switch e := e.(type) {
+	case *IntLit:
+		cp := *e
+		return &cp
+	case *BoolLit:
+		cp := *e
+		return &cp
+	case *NilLit:
+		cp := *e
+		return &cp
+	case *Ident:
+		name := e.Name
+		if nn, ok := rename[name]; ok {
+			name = nn
+		}
+		return &Ident{Name: name, Line: e.Line}
+	case *FieldExpr:
+		return &FieldExpr{X: cloneExpr(e.X, rename), Name: e.Name, Line: e.Line}
+	case *IndexExpr:
+		return &IndexExpr{X: cloneExpr(e.X, rename), I: cloneExpr(e.I, rename), Line: e.Line}
+	case *AllocExpr:
+		cp := *e
+		return &cp
+	case *CallExpr:
+		cp := &CallExpr{Name: e.Name, Line: e.Line}
+		for _, a := range e.Args {
+			cp.Args = append(cp.Args, cloneExpr(a, rename))
+		}
+		return cp
+	case *BinExpr:
+		return &BinExpr{Op: e.Op, L: cloneExpr(e.L, rename), R: cloneExpr(e.R, rename), Line: e.Line}
+	case *UnExpr:
+		return &UnExpr{Op: e.Op, X: cloneExpr(e.X, rename), Line: e.Line}
+	}
+	panic(fmt.Sprintf("tlc: clone of unhandled expression %T", e))
+}

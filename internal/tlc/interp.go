@@ -1,0 +1,442 @@
+package tlc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Interp executes a compiled TL program against an STM runtime. All TL
+// heap and global data lives in the runtime's simulated memory; every
+// access inside an atomic block goes through the STM barriers with the
+// stm.Acc the capture analysis assigned, so the runtime configuration
+// (baseline / runtime capture analysis / compiler elision) applies to
+// TL programs exactly as it does to the Go workloads.
+//
+// Locals of scalar and pointer type live in frame slots (registers) —
+// they are private to the executing thread and never instrumented,
+// like register-allocated temporaries in the paper's compiler. Frame
+// slots are checkpointed at transaction begin and restored on retry,
+// the register-checkpointing every STM compiler performs. Array locals
+// live on the simulated stack.
+type Interp struct {
+	c     *Compiled
+	rt    *stm.Runtime
+	gbase mem.Addr
+
+	mu  sync.Mutex
+	out []uint64
+}
+
+// NewInterp prepares a program for execution on rt, allocating its
+// globals in the simulated globals region.
+func NewInterp(c *Compiled, rt *stm.Runtime) *Interp {
+	return &Interp{c: c, rt: rt, gbase: rt.Space().AllocGlobal(c.s.gWords)}
+}
+
+// Output returns the values printed so far (in print order).
+func (in *Interp) Output() []uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]uint64(nil), in.out...)
+}
+
+// RuntimeError is a TL execution error with a source line.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error at line %d: %s", e.Line, e.Msg)
+}
+
+func rtErrf(line int, format string, args ...any) *RuntimeError {
+	return &RuntimeError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// interpPanic carries a runtime error through Thread.Atomic's rollback.
+type interpPanic struct{ err *RuntimeError }
+
+// env is one thread's execution state.
+type env struct {
+	in *Interp
+	th *stm.Thread
+	tx *stm.Tx // innermost transaction, nil outside
+}
+
+// frame is one function invocation.
+type frame struct {
+	slots     []uint64
+	stackMark mem.Addr // simulated-stack mark to pop at return
+	popStack  bool
+}
+
+type ctrl int
+
+const (
+	ctrlNext ctrl = iota
+	ctrlReturn
+	ctrlBreak
+	ctrlContinue
+)
+
+// Call runs the named function on the given thread. Arguments and the
+// return value are raw words (pointers are simulated addresses).
+func (in *Interp) Call(th *stm.Thread, name string, args ...uint64) (ret uint64, err error) {
+	fi, ok := in.c.s.funcs[name]
+	if !ok {
+		return 0, fmt.Errorf("tlc: no function %q", name)
+	}
+	if len(args) != len(fi.decl.Params) {
+		return 0, fmt.Errorf("tlc: %s takes %d arguments, got %d", name, len(fi.decl.Params), len(args))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if ip, ok := r.(interpPanic); ok {
+				err = ip.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	e := &env{in: in, th: th}
+	return e.call(fi, args), nil
+}
+
+// call executes one function invocation.
+func (e *env) call(fi *funcInfo, args []uint64) uint64 {
+	fr := &frame{slots: make([]uint64, fi.nSlots)}
+	copy(fr.slots, args)
+	c, v := e.block(fi.decl.Body, fr)
+	if fr.popStack && e.tx == nil {
+		e.th.StackPop(fr.stackMark)
+	}
+	if c == ctrlReturn {
+		return v
+	}
+	return 0
+}
+
+func (e *env) block(b *Block, fr *frame) (ctrl, uint64) {
+	for _, st := range b.Stmts {
+		if c, v := e.stmt(st, fr); c != ctrlNext {
+			return c, v
+		}
+	}
+	return ctrlNext, 0
+}
+
+func (e *env) stmt(st Stmt, fr *frame) (ctrl, uint64) {
+	s := e.in.c.s
+	switch st := st.(type) {
+	case *Block:
+		return e.block(st, fr)
+	case *DeclStmt:
+		slot := s.localSlot[st]
+		if st.Decl.Type.Kind == TArray {
+			// Array locals get simulated-stack storage: inside a
+			// transaction it is transaction-local (captured); outside
+			// it is reclaimed when the function returns.
+			n := st.Decl.Type.ArrLen
+			if e.tx != nil {
+				fr.slots[slot] = uint64(e.tx.StackAlloc(n))
+			} else {
+				f, mk := e.th.StackPush(n)
+				if !fr.popStack {
+					fr.stackMark = mk
+					fr.popStack = true
+				}
+				fr.slots[slot] = uint64(f)
+			}
+		} else {
+			fr.slots[slot] = 0
+		}
+		return ctrlNext, 0
+	case *AssignStmt:
+		v := e.expr(st.Rhs, fr)
+		e.assign(st.Lhs, v, fr)
+		return ctrlNext, 0
+	case *IfStmt:
+		if e.expr(st.Cond, fr) != 0 {
+			return e.block(st.Then, fr)
+		}
+		if st.Else != nil {
+			return e.block(st.Else, fr)
+		}
+		return ctrlNext, 0
+	case *WhileStmt:
+		for e.expr(st.Cond, fr) != 0 {
+			c, v := e.block(st.Body, fr)
+			switch c {
+			case ctrlReturn:
+				return c, v
+			case ctrlBreak:
+				return ctrlNext, 0
+			}
+		}
+		return ctrlNext, 0
+	case *ReturnStmt:
+		if st.Val != nil {
+			return ctrlReturn, e.expr(st.Val, fr)
+		}
+		return ctrlReturn, 0
+	case *ExprStmt:
+		e.expr(st.X, fr)
+		return ctrlNext, 0
+	case *AtomicStmt:
+		return e.atomic(st, fr)
+	case *FreeStmt:
+		p := mem.Addr(e.expr(st.Ptr, fr))
+		if p == mem.Nil {
+			return ctrlNext, 0
+		}
+		if e.tx != nil {
+			e.tx.Free(p)
+		} else {
+			e.th.Free(p)
+		}
+		return ctrlNext, 0
+	case *BreakStmt:
+		return ctrlBreak, 0
+	case *ContinueStmt:
+		return ctrlContinue, 0
+	case *AbortStmt:
+		if e.tx == nil {
+			panic(interpPanic{rtErrf(st.Line, "abort outside transaction")})
+		}
+		e.tx.UserAbort()
+		return ctrlNext, 0 // unreachable
+	}
+	panic(interpPanic{rtErrf(0, "unhandled statement %T", st)})
+}
+
+// atomic runs an atomic block as a transaction, checkpointing the
+// frame registers for retry, and propagates control flow that exits
+// the block after commit.
+func (e *env) atomic(st *AtomicStmt, fr *frame) (ctrl, uint64) {
+	if e.tx != nil {
+		// Already transactional: closed nested transaction.
+		saved := append([]uint64(nil), fr.slots...)
+		var c ctrl
+		var v uint64
+		e.th.Atomic(func(tx *stm.Tx) {
+			copy(fr.slots, saved)
+			prev := e.tx
+			e.tx = tx
+			c, v = e.block(st.Body, fr)
+			e.tx = prev
+		})
+		return c, v
+	}
+	saved := append([]uint64(nil), fr.slots...)
+	var c ctrl
+	var v uint64
+	e.th.Atomic(func(tx *stm.Tx) {
+		copy(fr.slots, saved) // restore registers on retry
+		e.tx = tx
+		c, v = e.block(st.Body, fr)
+		e.tx = nil
+	})
+	e.tx = nil
+	return c, v
+}
+
+// acc returns the stm.Acc the capture analysis assigned to an access.
+func (e *env) acc(node Expr) stm.Acc {
+	switch e.in.c.s.accOf[node] {
+	case accFresh:
+		return stm.AccFresh
+	case accStack:
+		return stm.AccStack
+	case accShared:
+		return stm.Acc{Prov: stm.ProvShared}
+	default:
+		return stm.AccAuto
+	}
+}
+
+// load reads a simulated word, transactionally inside atomic blocks.
+func (e *env) load(a mem.Addr, node Expr) uint64 {
+	if e.tx != nil {
+		return e.tx.Load(a, e.acc(node))
+	}
+	return e.th.Load(a)
+}
+
+// store writes a simulated word, transactionally inside atomic blocks.
+func (e *env) store(a mem.Addr, v uint64, node Expr) {
+	if e.tx != nil {
+		e.tx.Store(a, v, e.acc(node))
+		return
+	}
+	e.th.Store(a, v)
+}
+
+// address computes the simulated address of an lvalue (field or index
+// expression, or a global variable).
+func (e *env) address(lv Expr, fr *frame) (mem.Addr, bool) {
+	s := e.in.c.s
+	switch lv := lv.(type) {
+	case *Ident:
+		r := s.identRef[lv]
+		if r.global {
+			return e.in.gbase + mem.Addr(r.slot), true
+		}
+		return 0, false // register
+	case *FieldExpr:
+		base := mem.Addr(e.expr(lv.X, fr))
+		if base == mem.Nil {
+			panic(interpPanic{rtErrf(lv.Line, "nil pointer dereference (.%s)", lv.Name)})
+		}
+		return base + mem.Addr(s.fieldOff[lv]), true
+	case *IndexExpr:
+		arrT := s.exprType[lv.X]
+		idx := e.expr(lv.I, fr)
+		if idx >= uint64(arrT.ArrLen) {
+			panic(interpPanic{rtErrf(lv.Line, "index %d out of range [0,%d)", idx, arrT.ArrLen)})
+		}
+		switch x := lv.X.(type) {
+		case *Ident:
+			r := s.identRef[x]
+			if r.global {
+				return e.in.gbase + mem.Addr(r.slot) + mem.Addr(idx), true
+			}
+			return mem.Addr(fr.slots[r.slot]) + mem.Addr(idx), true
+		case *FieldExpr:
+			base := mem.Addr(e.expr(x.X, fr))
+			if base == mem.Nil {
+				panic(interpPanic{rtErrf(x.Line, "nil pointer dereference (.%s)", x.Name)})
+			}
+			return base + mem.Addr(s.fieldOff[x]) + mem.Addr(idx), true
+		}
+		panic(interpPanic{rtErrf(lv.Line, "unsupported array expression")})
+	}
+	panic(interpPanic{rtErrf(line(lv), "not an lvalue")})
+}
+
+func (e *env) assign(lv Expr, v uint64, fr *frame) {
+	if id, ok := lv.(*Ident); ok {
+		r := e.in.c.s.identRef[id]
+		if !r.global {
+			fr.slots[r.slot] = v
+			return
+		}
+	}
+	a, _ := e.address(lv, fr)
+	e.store(a, v, lv)
+}
+
+func (e *env) expr(x Expr, fr *frame) uint64 {
+	s := e.in.c.s
+	switch x := x.(type) {
+	case *IntLit:
+		return x.Val
+	case *BoolLit:
+		if x.Val {
+			return 1
+		}
+		return 0
+	case *NilLit:
+		return 0
+	case *Ident:
+		r := s.identRef[x]
+		if r.global {
+			if r.typ.Kind == TArray {
+				return uint64(e.in.gbase) + uint64(r.slot) // array decays to base
+			}
+			return e.load(e.in.gbase+mem.Addr(r.slot), x)
+		}
+		return fr.slots[r.slot]
+	case *FieldExpr:
+		a, _ := e.address(x, fr)
+		if s.fieldType[x].Kind == TArray {
+			return uint64(a) // field array decays to its address
+		}
+		return e.load(a, x)
+	case *IndexExpr:
+		a, _ := e.address(x, fr)
+		return e.load(a, x)
+	case *AllocExpr:
+		size := s.allocOf[x].size
+		if e.tx != nil {
+			return uint64(e.tx.Alloc(size))
+		}
+		return uint64(e.th.Alloc(size))
+	case *CallExpr:
+		if x.Name == "print" {
+			v := e.expr(x.Args[0], fr)
+			e.in.mu.Lock()
+			e.in.out = append(e.in.out, v)
+			e.in.mu.Unlock()
+			return 0
+		}
+		fi := s.callee[x]
+		args := make([]uint64, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = e.expr(a, fr)
+		}
+		return e.call(fi, args)
+	case *BinExpr:
+		switch x.Op {
+		case tokAndAnd:
+			if e.expr(x.L, fr) == 0 {
+				return 0
+			}
+			return e.expr(x.R, fr)
+		case tokOrOr:
+			if e.expr(x.L, fr) != 0 {
+				return 1
+			}
+			return e.expr(x.R, fr)
+		}
+		l := e.expr(x.L, fr)
+		r := e.expr(x.R, fr)
+		switch x.Op {
+		case tokPlus:
+			return l + r
+		case tokMinus:
+			return l - r
+		case tokStar:
+			return l * r
+		case tokSlash:
+			if r == 0 {
+				panic(interpPanic{rtErrf(x.Line, "division by zero")})
+			}
+			return l / r
+		case tokPercent:
+			if r == 0 {
+				panic(interpPanic{rtErrf(x.Line, "division by zero")})
+			}
+			return l % r
+		case tokEQ:
+			return b2u(l == r)
+		case tokNE:
+			return b2u(l != r)
+		case tokLT:
+			return b2u(l < r)
+		case tokLE:
+			return b2u(l <= r)
+		case tokGT:
+			return b2u(l > r)
+		case tokGE:
+			return b2u(l >= r)
+		}
+	case *UnExpr:
+		v := e.expr(x.X, fr)
+		if x.Op == tokBang {
+			return b2u(v == 0)
+		}
+		return -v
+	}
+	panic(interpPanic{rtErrf(line(x), "unhandled expression %T", x)})
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

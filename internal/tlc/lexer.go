@@ -1,0 +1,183 @@
+package tlc
+
+import "strconv"
+
+// lexer turns TL source into tokens. TL uses //-comments; numbers are
+// decimal or 0x-hex unsigned 64-bit integers.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) errf(format string, args ...any) *Error {
+	return errf(lx.line, lx.col, format, args...)
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (lx *lexer) next() (token, *Error) {
+	for {
+		// Skip whitespace.
+		for lx.pos < len(lx.src) {
+			c := lx.peekByte()
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+				lx.advance()
+			} else {
+				break
+			}
+		}
+		// Skip // comments.
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos] == '/' && lx.src[lx.pos+1] == '/' {
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		break
+	}
+	line, col := lx.line, lx.col
+	mk := func(k tokKind, text string) (token, *Error) {
+		return token{kind: k, text: text, line: line, col: col}, nil
+	}
+	if lx.pos >= len(lx.src) {
+		return mk(tokEOF, "")
+	}
+	c := lx.advance()
+	switch {
+	case isLetter(c):
+		start := lx.pos - 1
+		for lx.pos < len(lx.src) && (isLetter(lx.peekByte()) || isDigit(lx.peekByte())) {
+			lx.advance()
+		}
+		word := lx.src[start:lx.pos]
+		if k, ok := keywords[word]; ok {
+			return mk(k, word)
+		}
+		return mk(tokIdent, word)
+	case isDigit(c):
+		start := lx.pos - 1
+		base := 10
+		if c == '0' && lx.peekByte() == 'x' {
+			lx.advance()
+			base = 16
+		}
+		for lx.pos < len(lx.src) && (isDigit(lx.peekByte()) || (base == 16 && isHex(lx.peekByte()))) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		digits := text
+		if base == 16 {
+			digits = text[2:]
+		}
+		v, err := strconv.ParseUint(digits, base, 64)
+		if err != nil {
+			return token{}, errf(line, col, "bad integer literal %q", text)
+		}
+		t, _ := mk(tokInt, text)
+		t.val = v
+		return t, nil
+	}
+	two := func(nextC byte, k2 tokKind, t2 string, k1 tokKind, t1 string) (token, *Error) {
+		if lx.peekByte() == nextC {
+			lx.advance()
+			return mk(k2, t2)
+		}
+		return mk(k1, t1)
+	}
+	switch c {
+	case '(':
+		return mk(tokLParen, "(")
+	case ')':
+		return mk(tokRParen, ")")
+	case '{':
+		return mk(tokLBrace, "{")
+	case '}':
+		return mk(tokRBrace, "}")
+	case '[':
+		return mk(tokLBrack, "[")
+	case ']':
+		return mk(tokRBrack, "]")
+	case ',':
+		return mk(tokComma, ",")
+	case ';':
+		return mk(tokSemi, ";")
+	case '.':
+		return mk(tokDot, ".")
+	case '+':
+		return mk(tokPlus, "+")
+	case '-':
+		return mk(tokMinus, "-")
+	case '*':
+		return mk(tokStar, "*")
+	case '/':
+		return mk(tokSlash, "/")
+	case '%':
+		return mk(tokPercent, "%")
+	case '=':
+		return two('=', tokEQ, "==", tokAssign, "=")
+	case '<':
+		return two('=', tokLE, "<=", tokLT, "<")
+	case '>':
+		return two('=', tokGE, ">=", tokGT, ">")
+	case '!':
+		return two('=', tokNE, "!=", tokBang, "!")
+	case '&':
+		return two('&', tokAndAnd, "&&", tokAmp, "&")
+	case '|':
+		if lx.peekByte() == '|' {
+			lx.advance()
+			return mk(tokOrOr, "||")
+		}
+	}
+	return token{}, errf(line, col, "unexpected character %q", string(c))
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, *Error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,546 @@
+package tlc
+
+// Recursive-descent parser for TL.
+//
+// Grammar sketch:
+//
+//	program   := (structDecl | varDecl | funcDecl)*
+//	structDecl:= "struct" IDENT "{" (IDENT type ";")* "}"
+//	varDecl   := "var" IDENT type ";"
+//	funcDecl  := "fn" IDENT "(" params ")" [type] block
+//	type      := "int" | "bool" | "*" IDENT | "[" INT "]" "int"
+//	stmt      := varDecl | assign | if | while | return | atomic
+//	           | free | break | continue | abort | exprStmt | block
+//	expr      := orExpr; usual precedence: || && == <  +  *  unary
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*Program, *Error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[p.pos+1] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k tokKind) bool {
+	if p.cur().kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, what string) (token, *Error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, errf(t.line, t.col, "expected %s, found %s", what, t)
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) program() (*Program, *Error) {
+	prog := &Program{}
+	for p.cur().kind != tokEOF {
+		switch p.cur().kind {
+		case tokStruct:
+			sd, err := p.structDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Structs = append(prog.Structs, sd)
+		case tokVar:
+			vd, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, vd)
+		case tokFn:
+			fd, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fd)
+		default:
+			t := p.cur()
+			return nil, errf(t.line, t.col, "expected declaration, found %s", t)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) structDecl() (*StructDecl, *Error) {
+	kw := p.advance() // struct
+	name, err := p.expect(tokIdent, "struct name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	sd := &StructDecl{Name: name.text, Line: kw.line}
+	for !p.accept(tokRBrace) {
+		fname, err := p.expect(tokIdent, "field name")
+		if err != nil {
+			return nil, err
+		}
+		ft, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		sd.Fields = append(sd.Fields, Field{Name: fname.text, Type: ft})
+	}
+	return sd, nil
+}
+
+func (p *parser) parseType() (Type, *Error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIdent:
+		switch t.text {
+		case "int":
+			p.advance()
+			return Type{Kind: TInt}, nil
+		case "bool":
+			p.advance()
+			return Type{Kind: TBool}, nil
+		}
+		return Type{}, errf(t.line, t.col, "unknown type %q (did you mean *%s?)", t.text, t.text)
+	case tokStar:
+		p.advance()
+		name, err := p.expect(tokIdent, "struct name after '*'")
+		if err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TPtr, Elem: name.text}, nil
+	case tokLBrack:
+		p.advance()
+		n, err := p.expect(tokInt, "array length")
+		if err != nil {
+			return Type{}, err
+		}
+		if _, err := p.expect(tokRBrack, "']'"); err != nil {
+			return Type{}, err
+		}
+		elem, err := p.expect(tokIdent, "'int'")
+		if err != nil || elem.text != "int" {
+			return Type{}, errf(elem.line, elem.col, "array element type must be int")
+		}
+		if n.val == 0 || n.val > 1<<20 {
+			return Type{}, errf(n.line, n.col, "array length out of range")
+		}
+		return Type{Kind: TArray, ArrLen: int(n.val)}, nil
+	}
+	return Type{}, errf(t.line, t.col, "expected type, found %s", t)
+}
+
+func (p *parser) varDecl() (*VarDecl, *Error) {
+	kw := p.advance() // var
+	name, err := p.expect(tokIdent, "variable name")
+	if err != nil {
+		return nil, err
+	}
+	vt, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &VarDecl{Name: name.text, Type: vt, Line: kw.line}, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, *Error) {
+	kw := p.advance() // fn
+	name, err := p.expect(tokIdent, "function name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	fd := &FuncDecl{Name: name.text, Ret: Type{Kind: TVoid}, Line: kw.line}
+	for !p.accept(tokRParen) {
+		if len(fd.Params) > 0 {
+			if _, err := p.expect(tokComma, "','"); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expect(tokIdent, "parameter name")
+		if err != nil {
+			return nil, err
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if pt.Kind == TArray {
+			return nil, errf(pn.line, pn.col, "array parameters are not supported")
+		}
+		fd.Params = append(fd.Params, VarDecl{Name: pn.text, Type: pt, Line: pn.line})
+	}
+	if p.cur().kind != tokLBrace {
+		rt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fd.Ret = rt
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *parser) block() (*Block, *Error) {
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept(tokRBrace) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, *Error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		vd, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: *vd}, nil
+	case tokIf:
+		p.advance()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then}
+		if p.accept(tokElse) {
+			if p.cur().kind == tokIf {
+				inner, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = &Block{Stmts: []Stmt{inner}}
+			} else {
+				els, err := p.block()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = els
+			}
+		}
+		return st, nil
+	case tokWhile:
+		p.advance()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case tokReturn:
+		p.advance()
+		st := &ReturnStmt{Line: t.line}
+		if p.cur().kind != tokSemi {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Val = v
+		}
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case tokAtomic:
+		p.advance()
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &AtomicStmt{Body: body, Line: t.line}, nil
+	case tokFree:
+		p.advance()
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		ptr, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &FreeStmt{Ptr: ptr, Line: t.line}, nil
+	case tokBreak:
+		p.advance()
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.line}, nil
+	case tokContinue:
+		p.advance()
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.line}, nil
+	case tokAbort:
+		p.advance()
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &AbortStmt{Line: t.line}, nil
+	case tokLBrace:
+		return p.block()
+	}
+	// Assignment or expression statement.
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokAssign {
+		eq := p.advance()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Lhs: lhs, Rhs: rhs, Line: eq.line}, nil
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: lhs}, nil
+}
+
+// --- Expressions, by precedence ---
+
+func (p *parser) expr() (Expr, *Error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, *Error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOrOr {
+		op := p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: tokOrOr, L: l, R: r, Line: op.line}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, *Error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokAndAnd {
+		op := p.advance()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: tokAndAnd, L: l, R: r, Line: op.line}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, *Error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().kind
+		if k != tokLT && k != tokLE && k != tokGT && k != tokGE && k != tokEQ && k != tokNE {
+			return l, nil
+		}
+		op := p.advance()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: k, L: l, R: r, Line: op.line}
+	}
+}
+
+func (p *parser) addExpr() (Expr, *Error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().kind
+		if k != tokPlus && k != tokMinus {
+			return l, nil
+		}
+		op := p.advance()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: k, L: l, R: r, Line: op.line}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, *Error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().kind
+		if k != tokStar && k != tokSlash && k != tokPercent {
+			return l, nil
+		}
+		op := p.advance()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: k, L: l, R: r, Line: op.line}
+	}
+}
+
+func (p *parser) unary() (Expr, *Error) {
+	t := p.cur()
+	switch t.kind {
+	case tokBang, tokMinus:
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: t.kind, X: x, Line: t.line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, *Error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().kind {
+		case tokDot:
+			p.advance()
+			name, err := p.expect(tokIdent, "field name")
+			if err != nil {
+				return nil, err
+			}
+			x = &FieldExpr{X: x, Name: name.text, Line: name.line}
+		case tokLBrack:
+			lb := p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBrack, "']'"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{X: x, I: idx, Line: lb.line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, *Error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		return &IntLit{Val: t.val, Line: t.line}, nil
+	case tokTrue, tokFalse:
+		p.advance()
+		return &BoolLit{Val: t.kind == tokTrue, Line: t.line}, nil
+	case tokNil:
+		p.advance()
+		return &NilLit{Line: t.line}, nil
+	case tokAlloc:
+		p.advance()
+		name, err := p.expect(tokIdent, "struct name after alloc")
+		if err != nil {
+			return nil, err
+		}
+		return &AllocExpr{TypeName: name.text, Line: t.line}, nil
+	case tokIdent:
+		if p.peek().kind == tokLParen {
+			p.advance()
+			p.advance()
+			call := &CallExpr{Name: t.text, Line: t.line}
+			for !p.accept(tokRParen) {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(tokComma, "','"); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			return call, nil
+		}
+		p.advance()
+		return &Ident{Name: t.text, Line: t.line}, nil
+	case tokLParen:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(t.line, t.col, "expected expression, found %s", t)
+}

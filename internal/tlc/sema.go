@@ -1,0 +1,519 @@
+package tlc
+
+import "fmt"
+
+// Semantic analysis: resolves struct layouts, variables, and function
+// signatures; type-checks every statement and expression. The results
+// are recorded in side tables keyed by AST node, which the capture
+// analysis and the interpreter both consume.
+
+// varRef resolves an identifier.
+type varRef struct {
+	global bool
+	slot   int // frame slot (locals/params) or global word offset
+	typ    Type
+}
+
+// structInfo is a struct layout: one word per int/bool/pointer field,
+// ArrLen words per array field.
+type structInfo struct {
+	decl    *StructDecl
+	size    int
+	offsets map[string]int
+	types   map[string]Type
+}
+
+// funcInfo is a checked function.
+type funcInfo struct {
+	decl   *FuncDecl
+	nSlots int // frame slots (params first)
+}
+
+// semaInfo carries all resolution results.
+type semaInfo struct {
+	structs map[string]*structInfo
+	funcs   map[string]*funcInfo
+	globals map[string]*varRef
+	gWords  int // total global words
+
+	identRef  map[*Ident]*varRef
+	exprType  map[Expr]Type
+	fieldOff  map[*FieldExpr]int
+	fieldType map[*FieldExpr]Type
+	allocOf   map[*AllocExpr]*structInfo
+	callee    map[*CallExpr]*funcInfo
+
+	// localSlot assigns frame slots; declInAtomic marks array locals
+	// declared inside an atomic block (their accesses are
+	// transaction-local stack, the paper's Fig. 1(a) case).
+	localSlot    map[*DeclStmt]int
+	declInAtomic map[*DeclStmt]bool
+
+	// acc is filled by the capture analysis: the stm.Acc equivalent
+	// classification for every transactional access node.
+	accOf map[Expr]accClass
+}
+
+// accClass is the analysis verdict for an access site.
+type accClass int
+
+const (
+	accUnknown accClass = iota // barrier kept
+	accFresh                   // provably tx-local heap (elide)
+	accStack                   // tx-local stack array (elide)
+	accShared                  // definitely shared (skip runtime checks)
+)
+
+func (a accClass) String() string {
+	switch a {
+	case accFresh:
+		return "fresh"
+	case accStack:
+		return "stack"
+	case accShared:
+		return "shared"
+	}
+	return "unknown"
+}
+
+func newSema() *semaInfo {
+	return &semaInfo{
+		structs:      map[string]*structInfo{},
+		funcs:        map[string]*funcInfo{},
+		globals:      map[string]*varRef{},
+		identRef:     map[*Ident]*varRef{},
+		exprType:     map[Expr]Type{},
+		fieldOff:     map[*FieldExpr]int{},
+		fieldType:    map[*FieldExpr]Type{},
+		allocOf:      map[*AllocExpr]*structInfo{},
+		callee:       map[*CallExpr]*funcInfo{},
+		localSlot:    map[*DeclStmt]int{},
+		declInAtomic: map[*DeclStmt]bool{},
+		accOf:        map[Expr]accClass{},
+	}
+}
+
+// checker walks one function.
+type checker struct {
+	s       *semaInfo
+	fn      *funcInfo
+	scopes  []map[string]*varRef
+	nextVar int
+	loop    int // loop nesting depth
+	atomic  int // atomic nesting depth
+}
+
+// analyze runs semantic analysis over the program.
+func analyze(prog *Program) (*semaInfo, *Error) {
+	s := newSema()
+	// Struct layouts.
+	for _, sd := range prog.Structs {
+		if _, dup := s.structs[sd.Name]; dup {
+			return nil, errf(sd.Line, 1, "duplicate struct %q", sd.Name)
+		}
+		s.structs[sd.Name] = &structInfo{decl: sd, offsets: map[string]int{}, types: map[string]Type{}}
+	}
+	for _, sd := range prog.Structs {
+		si := s.structs[sd.Name]
+		off := 0
+		for _, f := range sd.Fields {
+			if _, dup := si.offsets[f.Name]; dup {
+				return nil, errf(sd.Line, 1, "duplicate field %q in struct %s", f.Name, sd.Name)
+			}
+			if f.Type.Kind == TPtr {
+				if _, ok := s.structs[f.Type.Elem]; !ok {
+					return nil, errf(sd.Line, 1, "field %s.%s: unknown struct %q", sd.Name, f.Name, f.Type.Elem)
+				}
+			}
+			si.offsets[f.Name] = off
+			si.types[f.Name] = f.Type
+			if f.Type.Kind == TArray {
+				off += f.Type.ArrLen
+			} else {
+				off++
+			}
+		}
+		si.size = off
+		if si.size == 0 {
+			si.size = 1
+		}
+	}
+	// Globals (scalar/pointer only; one word each).
+	off := 0
+	for _, g := range prog.Globals {
+		if _, dup := s.globals[g.Name]; dup {
+			return nil, errf(g.Line, 1, "duplicate global %q", g.Name)
+		}
+		if g.Type.Kind == TArray {
+			s.globals[g.Name] = &varRef{global: true, slot: off, typ: g.Type}
+			off += g.Type.ArrLen
+			continue
+		}
+		if g.Type.Kind == TPtr {
+			if _, ok := s.structs[g.Type.Elem]; !ok {
+				return nil, errf(g.Line, 1, "global %s: unknown struct %q", g.Name, g.Type.Elem)
+			}
+		}
+		s.globals[g.Name] = &varRef{global: true, slot: off, typ: g.Type}
+		off++
+	}
+	s.gWords = off
+	if s.gWords == 0 {
+		s.gWords = 1
+	}
+	// Function signatures.
+	for _, fd := range prog.Funcs {
+		if _, dup := s.funcs[fd.Name]; dup {
+			return nil, errf(fd.Line, 1, "duplicate function %q", fd.Name)
+		}
+		s.funcs[fd.Name] = &funcInfo{decl: fd}
+	}
+	// Bodies.
+	for _, fd := range prog.Funcs {
+		c := &checker{s: s, fn: s.funcs[fd.Name]}
+		c.push()
+		for i, p := range fd.Params {
+			if p.Type.Kind == TPtr {
+				if _, ok := s.structs[p.Type.Elem]; !ok {
+					return nil, errf(p.Line, 1, "param %s: unknown struct %q", p.Name, p.Type.Elem)
+				}
+			}
+			c.declare(p.Name, &varRef{slot: i, typ: p.Type})
+		}
+		c.nextVar = len(fd.Params)
+		if err := c.block(fd.Body); err != nil {
+			return nil, err
+		}
+		c.fn.nSlots = c.nextVar
+	}
+	return s, nil
+}
+
+func (c *checker) push()                       { c.scopes = append(c.scopes, map[string]*varRef{}) }
+func (c *checker) pop()                        { c.scopes = c.scopes[:len(c.scopes)-1] }
+func (c *checker) declare(n string, r *varRef) { c.scopes[len(c.scopes)-1][n] = r }
+
+func (c *checker) lookup(n string) *varRef {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if r, ok := c.scopes[i][n]; ok {
+			return r
+		}
+	}
+	if r, ok := c.s.globals[n]; ok {
+		return r
+	}
+	return nil
+}
+
+func (c *checker) block(b *Block) *Error {
+	c.push()
+	defer c.pop()
+	for _, st := range b.Stmts {
+		if err := c.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(st Stmt) *Error {
+	switch st := st.(type) {
+	case *Block:
+		return c.block(st)
+	case *DeclStmt:
+		d := st.Decl
+		if d.Type.Kind == TPtr {
+			if _, ok := c.s.structs[d.Type.Elem]; !ok {
+				return errf(d.Line, 1, "var %s: unknown struct %q", d.Name, d.Type.Elem)
+			}
+		}
+		r := &varRef{slot: c.nextVar, typ: d.Type}
+		c.nextVar++
+		c.declare(d.Name, r)
+		c.s.localSlot[st] = r.slot
+		c.s.declInAtomic[st] = c.atomic > 0
+		return nil
+	case *AssignStmt:
+		lt, err := c.expr(st.Lhs)
+		if err != nil {
+			return err
+		}
+		if !isLValue(st.Lhs) {
+			return errf(st.Line, 1, "left side of assignment is not assignable")
+		}
+		rt, err := c.expr(st.Rhs)
+		if err != nil {
+			return err
+		}
+		if !assignable(lt, rt) {
+			return errf(st.Line, 1, "cannot assign %s to %s", rt, lt)
+		}
+		return nil
+	case *IfStmt:
+		t, err := c.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t.Kind != TBool {
+			return errf(line(st.Cond), 1, "if condition must be bool, got %s", t)
+		}
+		if err := c.block(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.block(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		t, err := c.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t.Kind != TBool {
+			return errf(line(st.Cond), 1, "while condition must be bool, got %s", t)
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.block(st.Body)
+	case *ReturnStmt:
+		want := c.fn.decl.Ret
+		if st.Val == nil {
+			if want.Kind != TVoid {
+				return errf(st.Line, 1, "missing return value (%s)", want)
+			}
+			return nil
+		}
+		got, err := c.expr(st.Val)
+		if err != nil {
+			return err
+		}
+		if !assignable(want, got) {
+			return errf(st.Line, 1, "cannot return %s as %s", got, want)
+		}
+		return nil
+	case *ExprStmt:
+		_, err := c.expr(st.X)
+		return err
+	case *AtomicStmt:
+		c.atomic++
+		defer func() { c.atomic-- }()
+		return c.block(st.Body)
+	case *FreeStmt:
+		t, err := c.expr(st.Ptr)
+		if err != nil {
+			return err
+		}
+		if t.Kind != TPtr {
+			return errf(st.Line, 1, "free needs a pointer, got %s", t)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loop == 0 {
+			return errf(st.Line, 1, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loop == 0 {
+			return errf(st.Line, 1, "continue outside loop")
+		}
+		return nil
+	case *AbortStmt:
+		if c.atomic == 0 {
+			return errf(st.Line, 1, "abort outside atomic block")
+		}
+		return nil
+	}
+	return errf(0, 0, "unhandled statement %T", st)
+}
+
+func isLValue(e Expr) bool {
+	switch e.(type) {
+	case *Ident, *FieldExpr, *IndexExpr:
+		return true
+	}
+	return false
+}
+
+func assignable(dst, src Type) bool {
+	if dst.Kind == TPtr && src.Kind == TPtr {
+		return dst.Elem == src.Elem || src.Elem == "" // "" = nil
+	}
+	if dst.Kind == TArray || src.Kind == TArray {
+		return false // arrays are not assignable wholesale
+	}
+	return dst.Kind == src.Kind
+}
+
+func line(e Expr) int {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Line
+	case *BoolLit:
+		return e.Line
+	case *NilLit:
+		return e.Line
+	case *Ident:
+		return e.Line
+	case *FieldExpr:
+		return e.Line
+	case *IndexExpr:
+		return e.Line
+	case *AllocExpr:
+		return e.Line
+	case *CallExpr:
+		return e.Line
+	case *BinExpr:
+		return e.Line
+	case *UnExpr:
+		return e.Line
+	}
+	return 0
+}
+
+func (c *checker) expr(e Expr) (Type, *Error) {
+	t, err := c.exprInner(e)
+	if err == nil {
+		c.s.exprType[e] = t
+	}
+	return t, err
+}
+
+func (c *checker) exprInner(e Expr) (Type, *Error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return Type{Kind: TInt}, nil
+	case *BoolLit:
+		return Type{Kind: TBool}, nil
+	case *NilLit:
+		return Type{Kind: TPtr, Elem: ""}, nil
+	case *Ident:
+		r := c.lookup(e.Name)
+		if r == nil {
+			return Type{}, errf(e.Line, 1, "undefined: %s", e.Name)
+		}
+		c.s.identRef[e] = r
+		return r.typ, nil
+	case *FieldExpr:
+		bt, err := c.expr(e.X)
+		if err != nil {
+			return Type{}, err
+		}
+		if bt.Kind != TPtr || bt.Elem == "" {
+			return Type{}, errf(e.Line, 1, "field access on non-pointer %s", bt)
+		}
+		si := c.s.structs[bt.Elem]
+		off, ok := si.offsets[e.Name]
+		if !ok {
+			return Type{}, errf(e.Line, 1, "struct %s has no field %q", bt.Elem, e.Name)
+		}
+		c.s.fieldOff[e] = off
+		ft := si.types[e.Name]
+		c.s.fieldType[e] = ft
+		return ft, nil
+	case *IndexExpr:
+		bt, err := c.expr(e.X)
+		if err != nil {
+			return Type{}, err
+		}
+		if bt.Kind != TArray {
+			return Type{}, errf(e.Line, 1, "indexing non-array %s", bt)
+		}
+		it, err := c.expr(e.I)
+		if err != nil {
+			return Type{}, err
+		}
+		if it.Kind != TInt {
+			return Type{}, errf(e.Line, 1, "array index must be int, got %s", it)
+		}
+		return Type{Kind: TInt}, nil
+	case *AllocExpr:
+		si, ok := c.s.structs[e.TypeName]
+		if !ok {
+			return Type{}, errf(e.Line, 1, "alloc of unknown struct %q", e.TypeName)
+		}
+		c.s.allocOf[e] = si
+		return Type{Kind: TPtr, Elem: e.TypeName}, nil
+	case *CallExpr:
+		if e.Name == "print" { // builtin
+			if len(e.Args) != 1 {
+				return Type{}, errf(e.Line, 1, "print takes one argument")
+			}
+			if _, err := c.expr(e.Args[0]); err != nil {
+				return Type{}, err
+			}
+			return Type{Kind: TVoid}, nil
+		}
+		fi, ok := c.s.funcs[e.Name]
+		if !ok {
+			return Type{}, errf(e.Line, 1, "undefined function %q", e.Name)
+		}
+		c.s.callee[e] = fi
+		if len(e.Args) != len(fi.decl.Params) {
+			return Type{}, errf(e.Line, 1, "%s takes %d arguments, got %d",
+				e.Name, len(fi.decl.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			at, err := c.expr(a)
+			if err != nil {
+				return Type{}, err
+			}
+			if !assignable(fi.decl.Params[i].Type, at) {
+				return Type{}, errf(e.Line, 1, "argument %d: cannot use %s as %s",
+					i+1, at, fi.decl.Params[i].Type)
+			}
+		}
+		return fi.decl.Ret, nil
+	case *BinExpr:
+		lt, err := c.expr(e.L)
+		if err != nil {
+			return Type{}, err
+		}
+		rt, err := c.expr(e.R)
+		if err != nil {
+			return Type{}, err
+		}
+		switch e.Op {
+		case tokAndAnd, tokOrOr:
+			if lt.Kind != TBool || rt.Kind != TBool {
+				return Type{}, errf(e.Line, 1, "logical op needs bool operands")
+			}
+			return Type{Kind: TBool}, nil
+		case tokEQ, tokNE:
+			if lt.Kind == TPtr && rt.Kind == TPtr {
+				return Type{Kind: TBool}, nil
+			}
+			if lt.Kind == rt.Kind && lt.Kind != TArray {
+				return Type{Kind: TBool}, nil
+			}
+			return Type{}, errf(e.Line, 1, "cannot compare %s and %s", lt, rt)
+		case tokLT, tokLE, tokGT, tokGE:
+			if lt.Kind != TInt || rt.Kind != TInt {
+				return Type{}, errf(e.Line, 1, "comparison needs int operands")
+			}
+			return Type{Kind: TBool}, nil
+		default:
+			if lt.Kind != TInt || rt.Kind != TInt {
+				return Type{}, errf(e.Line, 1, "arithmetic needs int operands, got %s and %s", lt, rt)
+			}
+			return Type{Kind: TInt}, nil
+		}
+	case *UnExpr:
+		xt, err := c.expr(e.X)
+		if err != nil {
+			return Type{}, err
+		}
+		if e.Op == tokBang {
+			if xt.Kind != TBool {
+				return Type{}, errf(e.Line, 1, "! needs bool")
+			}
+			return Type{Kind: TBool}, nil
+		}
+		if xt.Kind != TInt {
+			return Type{}, errf(e.Line, 1, "unary - needs int")
+		}
+		return Type{Kind: TInt}, nil
+	}
+	return Type{}, errf(0, 0, "unhandled expression %T", e)
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,111 @@
+package tlc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mem"
+)
+
+// Compiled is a TL program after the full pipeline: parse → inline →
+// semantic analysis → capture analysis.
+type Compiled struct {
+	prog *Program
+	s    *semaInfo
+	// Analysis summarizes the capture analysis: how many access sites
+	// it proved transaction-local.
+	Analysis analysisStats
+}
+
+// Compile runs the whole compiler over one TL source file.
+func Compile(src string) (*Compiled, error) {
+	return compile(src, true)
+}
+
+// CompileNoInline compiles without the inlining pass (to observe how
+// much of the analysis power comes from inlining, as in Sec. 3.2).
+func CompileNoInline(src string) (*Compiled, error) {
+	return compile(src, false)
+}
+
+func compile(src string, inline bool) (*Compiled, error) {
+	prog, perr := parse(src)
+	if perr != nil {
+		return nil, perr
+	}
+	if inline {
+		inlineAll(prog)
+	}
+	s, serr := analyze(prog)
+	if serr != nil {
+		return nil, serr
+	}
+	c := &Compiled{prog: prog, s: s}
+	c.Analysis = captureAnalysis(prog, s)
+	return c, nil
+}
+
+// GlobalWords reports how many words of the globals region the
+// program needs.
+func (c *Compiled) GlobalWords() int { return c.s.gWords }
+
+// DefaultMemConfig returns an address-space configuration suitable for
+// running the program.
+func (c *Compiled) DefaultMemConfig() mem.Config {
+	g := c.s.gWords + 16
+	if g < 1<<10 {
+		g = 1 << 10
+	}
+	return mem.Config{GlobalWords: g, HeapWords: 1 << 20, StackWords: 1 << 12, MaxThreads: 32}
+}
+
+// Report formats the capture-analysis result: the totals and every
+// transactional access site with its classification, in source order.
+func (c *Compiled) Report() string {
+	var sb strings.Builder
+	a := c.Analysis
+	total := a.Fresh + a.Stack + a.Unknown + a.Shared
+	fmt.Fprintf(&sb, "capture analysis: %d transactional access sites\n", total)
+	if total > 0 {
+		fmt.Fprintf(&sb, "  elided  (tx-local heap):    %3d (%.0f%%)\n", a.Fresh, pct(a.Fresh, total))
+		fmt.Fprintf(&sb, "  elided  (tx-local stack):   %3d (%.0f%%)\n", a.Stack, pct(a.Stack, total))
+		fmt.Fprintf(&sb, "  kept    (definitely shared):%3d (%.0f%%)\n", a.Shared, pct(a.Shared, total))
+		fmt.Fprintf(&sb, "  kept    (unknown):          %3d (%.0f%%)\n", a.Unknown, pct(a.Unknown, total))
+	}
+	type site struct {
+		line int
+		desc string
+	}
+	var sites []site
+	for e, cl := range c.s.accOf {
+		sites = append(sites, site{line(e), fmt.Sprintf("line %3d: %-18s %s", line(e), describe(e), cl)})
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].line != sites[j].line {
+			return sites[i].line < sites[j].line
+		}
+		return sites[i].desc < sites[j].desc
+	})
+	for _, s := range sites {
+		sb.WriteString("  " + s.desc + "\n")
+	}
+	return sb.String()
+}
+
+func pct(n, total int) float64 { return 100 * float64(n) / float64(total) }
+
+func describe(e Expr) string {
+	switch e := e.(type) {
+	case *FieldExpr:
+		return "." + e.Name
+	case *IndexExpr:
+		if id, ok := e.X.(*Ident); ok {
+			return id.Name + "[...]"
+		}
+		return "[...]"
+	case *Ident:
+		return e.Name + " (global)"
+	}
+	return "?"
+}

@@ -1,0 +1,111 @@
+// Package tlc implements TLC, a compiler for TL — a small C-like
+// language with first-class atomic blocks — targeting the STM runtime
+// in internal/stm. It exists to make the paper's Section 3.2 concrete:
+// the compiler's *capture analysis* (an intraprocedural pointer
+// analysis extended across calls by function inlining) decides,
+// per memory access, whether the accessed location is provably
+// transaction-local, and elides the STM barrier if so.
+//
+// Pipeline: lexer → parser → semantic analysis → inliner → lowering to
+// a register IR → capture analysis (annotates every Load/Store with an
+// stm.Acc) → interpreter executing the instrumented IR against the STM
+// runtime.
+//
+// The analysis is validated against the runtime's precise dynamic
+// capture analysis via stm.OptConfig.VerifyElision: every statically
+// elided access is checked captured at runtime (no false elisions),
+// and the test suite asserts it (see tlc_test.go).
+package tlc
+
+import "fmt"
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	// punctuation
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBrack
+	tokRBrack
+	tokComma
+	tokSemi
+	tokDot
+	tokAssign
+	tokStar
+	// operators
+	tokPlus
+	tokMinus
+	tokSlash
+	tokPercent
+	tokLT
+	tokLE
+	tokGT
+	tokGE
+	tokEQ
+	tokNE
+	tokAndAnd
+	tokOrOr
+	tokBang
+	tokAmp
+	// keywords
+	tokStruct
+	tokFn
+	tokVar
+	tokIf
+	tokElse
+	tokWhile
+	tokReturn
+	tokAtomic
+	tokAlloc
+	tokFree
+	tokNil
+	tokTrue
+	tokFalse
+	tokBreak
+	tokContinue
+	tokAbort
+)
+
+var keywords = map[string]tokKind{
+	"struct": tokStruct, "fn": tokFn, "var": tokVar, "if": tokIf,
+	"else": tokElse, "while": tokWhile, "return": tokReturn,
+	"atomic": tokAtomic, "alloc": tokAlloc, "free": tokFree,
+	"nil": tokNil, "true": tokTrue, "false": tokFalse,
+	"break": tokBreak, "continue": tokContinue, "abort": tokAbort,
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	val  uint64 // for tokInt
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// Error is a compile error with a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

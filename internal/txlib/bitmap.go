@@ -1,0 +1,73 @@
+package txlib
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Bitmap is a fixed-size bit set in simulated memory (STAMP's
+// bitmap.c, as used by genome and ssca2).
+//
+// Layout:
+//
+//	header: [0] nbits, words follow inline.
+const (
+	bmNBits = 0
+	bmHdr   = 1
+)
+
+// NewBitmap allocates a bitmap of nbits cleared bits.
+func NewBitmap(tx *stm.Tx, nbits int) mem.Addr {
+	words := (nbits + 63) / 64
+	b := tx.Alloc(bmHdr + words)
+	tx.Store(b+bmNBits, uint64(nbits), stm.AccFresh)
+	return b
+}
+
+// BitmapNBits returns the bitmap's capacity in bits.
+func BitmapNBits(tx *stm.Tx, b mem.Addr, mode stm.Acc) int {
+	return int(tx.Load(b+bmNBits, mode))
+}
+
+func bmSlot(i int) (word mem.Addr, bit uint64) {
+	return bmHdr + mem.Addr(i/64), 1 << (uint(i) % 64)
+}
+
+// BitmapTestAndSet sets bit i, reporting whether it was clear before
+// (STAMP's bitmap_set returning whether the bit changed).
+func BitmapTestAndSet(tx *stm.Tx, b mem.Addr, i int, mode stm.Acc) bool {
+	w, bit := bmSlot(i)
+	v := tx.Load(b+w, mode)
+	if v&bit != 0 {
+		return false
+	}
+	tx.Store(b+w, v|bit, mode)
+	return true
+}
+
+// BitmapTest reports whether bit i is set.
+func BitmapTest(tx *stm.Tx, b mem.Addr, i int, mode stm.Acc) bool {
+	w, bit := bmSlot(i)
+	return tx.Load(b+w, mode)&bit != 0
+}
+
+// BitmapClear clears bit i.
+func BitmapClear(tx *stm.Tx, b mem.Addr, i int, mode stm.Acc) {
+	w, bit := bmSlot(i)
+	tx.Store(b+w, tx.Load(b+w, mode)&^bit, mode)
+}
+
+// BitmapCount returns the number of set bits.
+func BitmapCount(tx *stm.Tx, b mem.Addr, mode stm.Acc) int {
+	nbits := int(tx.Load(b+bmNBits, mode))
+	words := (nbits + 63) / 64
+	total := 0
+	for w := 0; w < words; w++ {
+		v := tx.Load(b+bmHdr+mem.Addr(w), mode)
+		for v != 0 {
+			v &= v - 1
+			total++
+		}
+	}
+	return total
+}

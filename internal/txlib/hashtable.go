@@ -1,0 +1,137 @@
+package txlib
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Hashtable is a chained hash table keyed by arbitrary word sequences
+// stored in simulated memory (STAMP's hashtable.c, as used by genome's
+// segment-deduplication phase). The bucket count is fixed at creation.
+//
+// Layout:
+//
+//	header: [0] buckets ptr  [1] nbuckets  [2] size
+//	entry:  [0] next  [1] hash  [2] keyPtr  [3] keyWords  [4] data
+const (
+	htBuckets  = 0
+	htNBuckets = 1
+	htSize     = 2
+	htHdr      = 3
+
+	heNext     = 0
+	heHash     = 1
+	heKeyPtr   = 2
+	heKeyWords = 3
+	heData     = 4
+	heSize     = 5
+)
+
+// NewHashtable allocates a table with nbuckets chains.
+func NewHashtable(tx *stm.Tx, nbuckets int) mem.Addr {
+	ht := tx.Alloc(htHdr)
+	b := tx.Alloc(nbuckets)
+	// The bucket array is freshly allocated: its initializing state is
+	// already zero (empty chains), so only the header needs stores.
+	tx.StoreAddr(ht+htBuckets, b, stm.AccFresh)
+	tx.Store(ht+htNBuckets, uint64(nbuckets), stm.AccFresh)
+	tx.Store(ht+htSize, 0, stm.AccFresh)
+	return ht
+}
+
+// HashWords computes the hash of a key already resident in simulated
+// memory, reading it transactionally with the given mode (the key
+// buffer is typically transaction-local, so these reads are captured).
+func HashWords(tx *stm.Tx, key mem.Addr, words int, mode stm.Acc) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < words; i++ {
+		h = (h ^ tx.Load(key+mem.Addr(i), mode)) * 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+func htBucket(tx *stm.Tx, ht mem.Addr, hash uint64, mode stm.Acc) mem.Addr {
+	b := tx.LoadAddr(ht+htBuckets, mode)
+	n := tx.Load(ht+htNBuckets, mode)
+	return b + mem.Addr(hash%n)
+}
+
+// keyEqual compares an entry's stored key with the probe key.
+func keyEqual(tx *stm.Tx, entry mem.Addr, key mem.Addr, words int, mode, keyMode stm.Acc) bool {
+	if int(tx.Load(entry+heKeyWords, mode)) != words {
+		return false
+	}
+	kp := tx.LoadAddr(entry+heKeyPtr, mode)
+	for i := 0; i < words; i++ {
+		if tx.Load(kp+mem.Addr(i), mode) != tx.Load(key+mem.Addr(i), keyMode) {
+			return false
+		}
+	}
+	return true
+}
+
+// HTInsertIfAbsent inserts (key, data) unless an equal key is already
+// present. The key is copied into a freshly allocated buffer owned by
+// the table. keyMode tags accesses to the caller's key buffer (usually
+// transaction-local). Returns true if inserted.
+func HTInsertIfAbsent(tx *stm.Tx, ht mem.Addr, key mem.Addr, words int, data uint64, mode, keyMode stm.Acc) bool {
+	hash := HashWords(tx, key, words, keyMode)
+	slot := htBucket(tx, ht, hash, mode)
+	for e := tx.LoadAddr(slot, mode); e != mem.Nil; e = tx.LoadAddr(e+heNext, mode) {
+		if tx.Load(e+heHash, mode) == hash && keyEqual(tx, e, key, words, mode, keyMode) {
+			return false
+		}
+	}
+	kp := tx.Alloc(words)
+	for i := 0; i < words; i++ {
+		tx.Store(kp+mem.Addr(i), tx.Load(key+mem.Addr(i), keyMode), stm.AccFresh)
+	}
+	e := tx.Alloc(heSize)
+	tx.StoreAddr(e+heNext, tx.LoadAddr(slot, mode), stm.AccFresh)
+	tx.Store(e+heHash, hash, stm.AccFresh)
+	tx.StoreAddr(e+heKeyPtr, kp, stm.AccFresh)
+	tx.Store(e+heKeyWords, uint64(words), stm.AccFresh)
+	tx.Store(e+heData, data, stm.AccFresh)
+	tx.StoreAddr(slot, e, mode)
+	tx.Store(ht+htSize, tx.Load(ht+htSize, mode)+1, mode)
+	return true
+}
+
+// HTGet returns the data stored under key.
+func HTGet(tx *stm.Tx, ht mem.Addr, key mem.Addr, words int, mode, keyMode stm.Acc) (uint64, bool) {
+	hash := HashWords(tx, key, words, keyMode)
+	slot := htBucket(tx, ht, hash, mode)
+	for e := tx.LoadAddr(slot, mode); e != mem.Nil; e = tx.LoadAddr(e+heNext, mode) {
+		if tx.Load(e+heHash, mode) == hash && keyEqual(tx, e, key, words, mode, keyMode) {
+			return tx.Load(e+heData, mode), true
+		}
+	}
+	return 0, false
+}
+
+// HTContains reports whether key is present.
+func HTContains(tx *stm.Tx, ht mem.Addr, key mem.Addr, words int, mode, keyMode stm.Acc) bool {
+	_, ok := HTGet(tx, ht, key, words, mode, keyMode)
+	return ok
+}
+
+// HTSize returns the number of entries.
+func HTSize(tx *stm.Tx, ht mem.Addr, mode stm.Acc) int {
+	return int(tx.Load(ht+htSize, mode))
+}
+
+// HTForEach visits every entry in unspecified order.
+func HTForEach(tx *stm.Tx, ht mem.Addr, mode stm.Acc, fn func(keyPtr mem.Addr, keyWords int, data uint64) bool) {
+	b := tx.LoadAddr(ht+htBuckets, mode)
+	n := int(tx.Load(ht+htNBuckets, mode))
+	for i := 0; i < n; i++ {
+		for e := tx.LoadAddr(b+mem.Addr(i), mode); e != mem.Nil; e = tx.LoadAddr(e+heNext, mode) {
+			if !fn(tx.LoadAddr(e+heKeyPtr, mode), int(tx.Load(e+heKeyWords, mode)), tx.Load(e+heData, mode)) {
+				return
+			}
+		}
+	}
+}

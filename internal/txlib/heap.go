@@ -1,0 +1,127 @@
+package txlib
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Heap is a growable binary max-heap of (priority, data) pairs
+// (STAMP's heap.c, as used by yada's bad-triangle work queue).
+//
+// Layout:
+//
+//	header: [0] size  [1] cap  [2] data ptr
+//	slot i: data[2i] = priority, data[2i+1] = payload
+const (
+	hpSize = 0
+	hpCap  = 1
+	hpData = 2
+	hpHdr  = 3
+)
+
+// NewHeap allocates a heap with room for capacity elements.
+func NewHeap(tx *stm.Tx, capacity int) mem.Addr {
+	if capacity < 2 {
+		capacity = 2
+	}
+	h := tx.Alloc(hpHdr)
+	d := tx.Alloc(2 * capacity)
+	tx.Store(h+hpSize, 0, stm.AccFresh)
+	tx.Store(h+hpCap, uint64(capacity), stm.AccFresh)
+	tx.StoreAddr(h+hpData, d, stm.AccFresh)
+	return h
+}
+
+// HeapSize returns the element count.
+func HeapSize(tx *stm.Tx, h mem.Addr, mode stm.Acc) int {
+	return int(tx.Load(h+hpSize, mode))
+}
+
+// HeapInsert adds (prio, data), sifting up.
+func HeapInsert(tx *stm.Tx, h mem.Addr, prio, payload uint64, mode stm.Acc) {
+	size := tx.Load(h+hpSize, mode)
+	capN := tx.Load(h+hpCap, mode)
+	d := tx.LoadAddr(h+hpData, mode)
+	if size == capN {
+		newCap := capN * 2
+		nd := tx.Alloc(int(2 * newCap))
+		for i := mem.Addr(0); i < mem.Addr(2*size); i++ {
+			tx.Store(nd+i, tx.Load(d+i, mode), stm.AccFresh)
+		}
+		tx.Free(d)
+		tx.StoreAddr(h+hpData, nd, mode)
+		tx.Store(h+hpCap, newCap, mode)
+		d = nd
+	}
+	i := size
+	tx.Store(d+mem.Addr(2*i), prio, mode)
+	tx.Store(d+mem.Addr(2*i+1), payload, mode)
+	tx.Store(h+hpSize, size+1, mode)
+	for i > 0 {
+		parent := (i - 1) / 2
+		pp := tx.Load(d+mem.Addr(2*parent), mode)
+		if pp >= prio {
+			break
+		}
+		heapSwap(tx, d, i, parent, mode)
+		i = parent
+	}
+}
+
+func heapSwap(tx *stm.Tx, d mem.Addr, i, j uint64, mode stm.Acc) {
+	pi := tx.Load(d+mem.Addr(2*i), mode)
+	vi := tx.Load(d+mem.Addr(2*i+1), mode)
+	pj := tx.Load(d+mem.Addr(2*j), mode)
+	vj := tx.Load(d+mem.Addr(2*j+1), mode)
+	tx.Store(d+mem.Addr(2*i), pj, mode)
+	tx.Store(d+mem.Addr(2*i+1), vj, mode)
+	tx.Store(d+mem.Addr(2*j), pi, mode)
+	tx.Store(d+mem.Addr(2*j+1), vi, mode)
+}
+
+// HeapExtractMax removes and returns the highest-priority element.
+func HeapExtractMax(tx *stm.Tx, h mem.Addr, mode stm.Acc) (prio, payload uint64, ok bool) {
+	size := tx.Load(h+hpSize, mode)
+	if size == 0 {
+		return 0, 0, false
+	}
+	d := tx.LoadAddr(h+hpData, mode)
+	prio = tx.Load(d, mode)
+	payload = tx.Load(d+1, mode)
+	size--
+	tx.Store(h+hpSize, size, mode)
+	if size == 0 {
+		return prio, payload, true
+	}
+	// Move the last element to the root and sift down.
+	tx.Store(d, tx.Load(d+mem.Addr(2*size), mode), mode)
+	tx.Store(d+1, tx.Load(d+mem.Addr(2*size+1), mode), mode)
+	i := uint64(0)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		lp := tx.Load(d+mem.Addr(2*largest), mode)
+		if l < size {
+			if p := tx.Load(d+mem.Addr(2*l), mode); p > lp {
+				largest, lp = l, p
+			}
+		}
+		if r < size {
+			if p := tx.Load(d+mem.Addr(2*r), mode); p > lp {
+				largest = r
+			}
+		}
+		if largest == i {
+			break
+		}
+		heapSwap(tx, d, i, largest, mode)
+		i = largest
+	}
+	return prio, payload, true
+}
+
+// HeapFree frees the slots and header.
+func HeapFree(tx *stm.Tx, h mem.Addr, mode stm.Acc) {
+	tx.Free(tx.LoadAddr(h+hpData, mode))
+	tx.Free(h)
+}

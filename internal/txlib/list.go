@@ -1,0 +1,150 @@
+package txlib
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// List is a sorted singly linked list with unique uint64 keys and one
+// data word per node (STAMP's list.c). The header holds the head
+// pointer and the size; each node is {next, key, data}.
+//
+// Layout:
+//
+//	header: [0] head  [1] size
+//	node:   [0] next  [1] key  [2] data
+const (
+	listHead = 0
+	listSize = 1
+	listHdr  = 2
+
+	nodeNext = 0
+	nodeKey  = 1
+	nodeData = 2
+	nodeSize = 3
+)
+
+// NewList allocates an empty list inside the transaction.
+func NewList(tx *stm.Tx) mem.Addr {
+	l := tx.Alloc(listHdr)
+	tx.Store(l+listHead, 0, stm.AccFresh)
+	tx.Store(l+listSize, 0, stm.AccFresh)
+	return l
+}
+
+// ListSize returns the number of nodes.
+func ListSize(tx *stm.Tx, l mem.Addr, mode stm.Acc) int {
+	return int(tx.Load(l+listSize, mode))
+}
+
+// ListIsEmpty reports whether the list has no nodes.
+func ListIsEmpty(tx *stm.Tx, l mem.Addr, mode stm.Acc) bool {
+	return tx.LoadAddr(l+listHead, mode) == mem.Nil
+}
+
+// listFindPrev returns the last node (or the header slot) whose key is
+// < key, and the following node.
+func listFindPrev(tx *stm.Tx, l mem.Addr, key uint64, mode stm.Acc) (prevSlot, cur mem.Addr) {
+	prevSlot = l + listHead
+	cur = tx.LoadAddr(prevSlot, mode)
+	for cur != mem.Nil && tx.Load(cur+nodeKey, mode) < key {
+		prevSlot = cur + nodeNext
+		cur = tx.LoadAddr(prevSlot, mode)
+	}
+	return prevSlot, cur
+}
+
+// ListInsert inserts key with data, keeping the list sorted. It
+// returns false if the key is already present.
+func ListInsert(tx *stm.Tx, l mem.Addr, key, data uint64, mode stm.Acc) bool {
+	prevSlot, cur := listFindPrev(tx, l, key, mode)
+	if cur != mem.Nil && tx.Load(cur+nodeKey, mode) == key {
+		return false
+	}
+	n := tx.Alloc(nodeSize)
+	tx.Store(n+nodeKey, key, stm.AccFresh)
+	tx.Store(n+nodeData, data, stm.AccFresh)
+	tx.StoreAddr(n+nodeNext, cur, stm.AccFresh)
+	tx.StoreAddr(prevSlot, n, mode)
+	tx.Store(l+listSize, tx.Load(l+listSize, mode)+1, mode)
+	return true
+}
+
+// ListFind returns the data stored under key.
+func ListFind(tx *stm.Tx, l mem.Addr, key uint64, mode stm.Acc) (uint64, bool) {
+	_, cur := listFindPrev(tx, l, key, mode)
+	if cur != mem.Nil && tx.Load(cur+nodeKey, mode) == key {
+		return tx.Load(cur+nodeData, mode), true
+	}
+	return 0, false
+}
+
+// ListRemove unlinks and frees the node with the given key, returning
+// its data word.
+func ListRemove(tx *stm.Tx, l mem.Addr, key uint64, mode stm.Acc) (uint64, bool) {
+	prevSlot, cur := listFindPrev(tx, l, key, mode)
+	if cur == mem.Nil || tx.Load(cur+nodeKey, mode) != key {
+		return 0, false
+	}
+	data := tx.Load(cur+nodeData, mode)
+	tx.StoreAddr(prevSlot, tx.LoadAddr(cur+nodeNext, mode), mode)
+	tx.Store(l+listSize, tx.Load(l+listSize, mode)-1, mode)
+	tx.Free(cur)
+	return data, true
+}
+
+// ListRemoveHead unlinks and frees the first node (lowest key).
+func ListRemoveHead(tx *stm.Tx, l mem.Addr, mode stm.Acc) (key, data uint64, ok bool) {
+	head := tx.LoadAddr(l+listHead, mode)
+	if head == mem.Nil {
+		return 0, 0, false
+	}
+	key = tx.Load(head+nodeKey, mode)
+	data = tx.Load(head+nodeData, mode)
+	tx.StoreAddr(l+listHead, tx.LoadAddr(head+nodeNext, mode), mode)
+	tx.Store(l+listSize, tx.Load(l+listSize, mode)-1, mode)
+	tx.Free(head)
+	return key, data, true
+}
+
+// ListFree frees every node and the header. The list must not be used
+// afterwards.
+func ListFree(tx *stm.Tx, l mem.Addr, mode stm.Acc) {
+	cur := tx.LoadAddr(l+listHead, mode)
+	for cur != mem.Nil {
+		next := tx.LoadAddr(cur+nodeNext, mode)
+		tx.Free(cur)
+		cur = next
+	}
+	tx.Free(l)
+}
+
+// --- Iterator (the paper's Fig. 1(a) pattern) ---
+//
+// The iterator is a single word allocated on the *transaction-local
+// stack*, exactly like STAMP bayes' list_iter_t: the stores and loads
+// of the iterator word are the captured-stack accesses of Fig. 8.
+
+// ListIterNew allocates an iterator on the transaction-local stack.
+func ListIterNew(tx *stm.Tx) mem.Addr {
+	return tx.StackAlloc(1)
+}
+
+// ListIterReset points the iterator at the first node.
+func ListIterReset(tx *stm.Tx, it, l mem.Addr, mode stm.Acc) {
+	tx.StoreAddr(it, tx.LoadAddr(l+listHead, mode), stm.AccStack)
+}
+
+// ListIterHasNext reports whether another node is available.
+func ListIterHasNext(tx *stm.Tx, it mem.Addr) bool {
+	return tx.LoadAddr(it, stm.AccStack) != mem.Nil
+}
+
+// ListIterNext returns the current node's key and data and advances.
+func ListIterNext(tx *stm.Tx, it mem.Addr, mode stm.Acc) (key, data uint64) {
+	cur := tx.LoadAddr(it, stm.AccStack)
+	key = tx.Load(cur+nodeKey, mode)
+	data = tx.Load(cur+nodeData, mode)
+	tx.StoreAddr(it, tx.LoadAddr(cur+nodeNext, mode), stm.AccStack)
+	return key, data
+}

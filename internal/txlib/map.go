@@ -1,0 +1,302 @@
+package txlib
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Map is an ordered map from uint64 keys to one data word, implemented
+// as an AVL tree in simulated memory. STAMP's MAP_T is a red-black
+// tree; an AVL tree has the same O(log n) pointer-chasing access
+// pattern and rebalancing writes, which is what the barrier-mix
+// experiments depend on (the substitution is recorded in DESIGN.md).
+//
+// Layout:
+//
+//	header: [0] root  [1] size
+//	node:   [0] key  [1] val  [2] left  [3] right  [4] height
+const (
+	mapRoot = 0
+	mapSize = 1
+	mapHdr  = 2
+
+	mnKey    = 0
+	mnVal    = 1
+	mnLeft   = 2
+	mnRight  = 3
+	mnHeight = 4
+	mnSize   = 5
+)
+
+// NewMap allocates an empty map inside the transaction.
+func NewMap(tx *stm.Tx) mem.Addr {
+	m := tx.Alloc(mapHdr)
+	tx.Store(m+mapRoot, 0, stm.AccFresh)
+	tx.Store(m+mapSize, 0, stm.AccFresh)
+	return m
+}
+
+// MapSize returns the number of entries.
+func MapSize(tx *stm.Tx, m mem.Addr, mode stm.Acc) int {
+	return int(tx.Load(m+mapSize, mode))
+}
+
+func mheight(tx *stm.Tx, n mem.Addr, mode stm.Acc) int64 {
+	if n == mem.Nil {
+		return 0
+	}
+	return int64(tx.Load(n+mnHeight, mode))
+}
+
+func mfix(tx *stm.Tx, n mem.Addr, mode stm.Acc) mem.Addr {
+	l := tx.LoadAddr(n+mnLeft, mode)
+	r := tx.LoadAddr(n+mnRight, mode)
+	hl, hr := mheight(tx, l, mode), mheight(tx, r, mode)
+	h := hl
+	if hr > h {
+		h = hr
+	}
+	// Store only when the height actually changes: rebalancing writes
+	// are O(1) amortized, like STAMP's red-black tree.
+	if int64(tx.Load(n+mnHeight, mode)) != h+1 {
+		tx.Store(n+mnHeight, uint64(h+1), mode)
+	}
+	switch bal := hl - hr; {
+	case bal > 1:
+		ll := tx.LoadAddr(l+mnLeft, mode)
+		lr := tx.LoadAddr(l+mnRight, mode)
+		if mheight(tx, ll, mode) < mheight(tx, lr, mode) {
+			tx.StoreAddr(n+mnLeft, mrotL(tx, l, mode), mode)
+		}
+		return mrotR(tx, n, mode)
+	case bal < -1:
+		rl := tx.LoadAddr(r+mnLeft, mode)
+		rr := tx.LoadAddr(r+mnRight, mode)
+		if mheight(tx, rr, mode) < mheight(tx, rl, mode) {
+			tx.StoreAddr(n+mnRight, mrotR(tx, r, mode), mode)
+		}
+		return mrotL(tx, n, mode)
+	}
+	return n
+}
+
+func mrefresh(tx *stm.Tx, n mem.Addr, mode stm.Acc) {
+	hl := mheight(tx, tx.LoadAddr(n+mnLeft, mode), mode)
+	hr := mheight(tx, tx.LoadAddr(n+mnRight, mode), mode)
+	if hr > hl {
+		hl = hr
+	}
+	if tx.Load(n+mnHeight, mode) != uint64(hl+1) {
+		tx.Store(n+mnHeight, uint64(hl+1), mode)
+	}
+}
+
+func mrotR(tx *stm.Tx, n mem.Addr, mode stm.Acc) mem.Addr {
+	l := tx.LoadAddr(n+mnLeft, mode)
+	tx.StoreAddr(n+mnLeft, tx.LoadAddr(l+mnRight, mode), mode)
+	tx.StoreAddr(l+mnRight, n, mode)
+	mrefresh(tx, n, mode)
+	mrefresh(tx, l, mode)
+	return l
+}
+
+func mrotL(tx *stm.Tx, n mem.Addr, mode stm.Acc) mem.Addr {
+	r := tx.LoadAddr(n+mnRight, mode)
+	tx.StoreAddr(n+mnRight, tx.LoadAddr(r+mnLeft, mode), mode)
+	tx.StoreAddr(r+mnLeft, n, mode)
+	mrefresh(tx, n, mode)
+	mrefresh(tx, r, mode)
+	return r
+}
+
+// MapInsert inserts key→val. It returns false (and leaves the map
+// unchanged) if the key is already present.
+func MapInsert(tx *stm.Tx, m mem.Addr, key, val uint64, mode stm.Acc) bool {
+	root := tx.LoadAddr(m+mapRoot, mode)
+	newRoot, inserted := mapInsert(tx, root, key, val, mode)
+	tx.StoreAddr(m+mapRoot, newRoot, mode)
+	if inserted {
+		tx.Store(m+mapSize, tx.Load(m+mapSize, mode)+1, mode)
+	}
+	return inserted
+}
+
+func mapInsert(tx *stm.Tx, n mem.Addr, key, val uint64, mode stm.Acc) (mem.Addr, bool) {
+	if n == mem.Nil {
+		nn := tx.Alloc(mnSize)
+		tx.Store(nn+mnKey, key, stm.AccFresh)
+		tx.Store(nn+mnVal, val, stm.AccFresh)
+		tx.StoreAddr(nn+mnLeft, 0, stm.AccFresh)
+		tx.StoreAddr(nn+mnRight, 0, stm.AccFresh)
+		tx.Store(nn+mnHeight, 1, stm.AccFresh)
+		return nn, true
+	}
+	k := tx.Load(n+mnKey, mode)
+	switch {
+	case key < k:
+		old := tx.LoadAddr(n+mnLeft, mode)
+		child, ins := mapInsert(tx, old, key, val, mode)
+		if !ins {
+			return n, false
+		}
+		if child != old {
+			tx.StoreAddr(n+mnLeft, child, mode)
+		}
+		return mfix(tx, n, mode), true
+	case key > k:
+		old := tx.LoadAddr(n+mnRight, mode)
+		child, ins := mapInsert(tx, old, key, val, mode)
+		if !ins {
+			return n, false
+		}
+		if child != old {
+			tx.StoreAddr(n+mnRight, child, mode)
+		}
+		return mfix(tx, n, mode), true
+	default:
+		return n, false
+	}
+}
+
+// MapGet returns the value stored under key.
+func MapGet(tx *stm.Tx, m mem.Addr, key uint64, mode stm.Acc) (uint64, bool) {
+	n := tx.LoadAddr(m+mapRoot, mode)
+	for n != mem.Nil {
+		k := tx.Load(n+mnKey, mode)
+		switch {
+		case key < k:
+			n = tx.LoadAddr(n+mnLeft, mode)
+		case key > k:
+			n = tx.LoadAddr(n+mnRight, mode)
+		default:
+			return tx.Load(n+mnVal, mode), true
+		}
+	}
+	return 0, false
+}
+
+// MapContains reports whether key is present.
+func MapContains(tx *stm.Tx, m mem.Addr, key uint64, mode stm.Acc) bool {
+	_, ok := MapGet(tx, m, key, mode)
+	return ok
+}
+
+// MapSet updates the value under an existing key or inserts it.
+func MapSet(tx *stm.Tx, m mem.Addr, key, val uint64, mode stm.Acc) {
+	n := tx.LoadAddr(m+mapRoot, mode)
+	for n != mem.Nil {
+		k := tx.Load(n+mnKey, mode)
+		switch {
+		case key < k:
+			n = tx.LoadAddr(n+mnLeft, mode)
+		case key > k:
+			n = tx.LoadAddr(n+mnRight, mode)
+		default:
+			tx.Store(n+mnVal, val, mode)
+			return
+		}
+	}
+	MapInsert(tx, m, key, val, mode)
+}
+
+// MapRemove deletes key, returning its value. The freed node is
+// reclaimed transactionally.
+func MapRemove(tx *stm.Tx, m mem.Addr, key uint64, mode stm.Acc) (uint64, bool) {
+	root := tx.LoadAddr(m+mapRoot, mode)
+	newRoot, val, removed := mapRemove(tx, root, key, mode)
+	tx.StoreAddr(m+mapRoot, newRoot, mode)
+	if removed {
+		tx.Store(m+mapSize, tx.Load(m+mapSize, mode)-1, mode)
+	}
+	return val, removed
+}
+
+func mapRemove(tx *stm.Tx, n mem.Addr, key uint64, mode stm.Acc) (mem.Addr, uint64, bool) {
+	if n == mem.Nil {
+		return mem.Nil, 0, false
+	}
+	k := tx.Load(n+mnKey, mode)
+	switch {
+	case key < k:
+		old := tx.LoadAddr(n+mnLeft, mode)
+		child, val, rem := mapRemove(tx, old, key, mode)
+		if !rem {
+			return n, 0, false
+		}
+		if child != old {
+			tx.StoreAddr(n+mnLeft, child, mode)
+		}
+		return mfix(tx, n, mode), val, true
+	case key > k:
+		old := tx.LoadAddr(n+mnRight, mode)
+		child, val, rem := mapRemove(tx, old, key, mode)
+		if !rem {
+			return n, 0, false
+		}
+		if child != old {
+			tx.StoreAddr(n+mnRight, child, mode)
+		}
+		return mfix(tx, n, mode), val, true
+	}
+	val := tx.Load(n+mnVal, mode)
+	l := tx.LoadAddr(n+mnLeft, mode)
+	r := tx.LoadAddr(n+mnRight, mode)
+	if l == mem.Nil {
+		tx.Free(n)
+		return r, val, true
+	}
+	if r == mem.Nil {
+		tx.Free(n)
+		return l, val, true
+	}
+	// Two children: replace with in-order successor.
+	sk, sv := mapMin(tx, r, mode)
+	tx.Store(n+mnKey, sk, mode)
+	tx.Store(n+mnVal, sv, mode)
+	child, _, _ := mapRemove(tx, r, sk, mode)
+	tx.StoreAddr(n+mnRight, child, mode)
+	return mfix(tx, n, mode), val, true
+}
+
+func mapMin(tx *stm.Tx, n mem.Addr, mode stm.Acc) (key, val uint64) {
+	for {
+		l := tx.LoadAddr(n+mnLeft, mode)
+		if l == mem.Nil {
+			return tx.Load(n+mnKey, mode), tx.Load(n+mnVal, mode)
+		}
+		n = l
+	}
+}
+
+// MapForEach visits entries in key order. fn returns false to stop.
+func MapForEach(tx *stm.Tx, m mem.Addr, mode stm.Acc, fn func(key, val uint64) bool) {
+	var walk func(n mem.Addr) bool
+	walk = func(n mem.Addr) bool {
+		if n == mem.Nil {
+			return true
+		}
+		if !walk(tx.LoadAddr(n+mnLeft, mode)) {
+			return false
+		}
+		if !fn(tx.Load(n+mnKey, mode), tx.Load(n+mnVal, mode)) {
+			return false
+		}
+		return walk(tx.LoadAddr(n+mnRight, mode))
+	}
+	walk(tx.LoadAddr(m+mapRoot, mode))
+}
+
+// MapFree frees every node and the header.
+func MapFree(tx *stm.Tx, m mem.Addr, mode stm.Acc) {
+	var walk func(n mem.Addr)
+	walk = func(n mem.Addr) {
+		if n == mem.Nil {
+			return
+		}
+		walk(tx.LoadAddr(n+mnLeft, mode))
+		walk(tx.LoadAddr(n+mnRight, mode))
+		tx.Free(n)
+	}
+	walk(tx.LoadAddr(m+mapRoot, mode))
+	tx.Free(m)
+}

@@ -1,0 +1,106 @@
+package txlib
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Queue is a growable circular FIFO of words (STAMP's queue.c, as used
+// by intruder's packet and task queues).
+//
+// Layout:
+//
+//	header: [0] pop  [1] push  [2] cap  [3] data ptr
+//
+// pop is the index of the slot *before* the front element and push the
+// index of the next free slot, exactly like STAMP's representation;
+// the queue is empty when advancing pop reaches push.
+const (
+	qPop  = 0
+	qPush = 1
+	qCap  = 2
+	qData = 3
+	qHdr  = 4
+)
+
+// NewQueue allocates a queue with the given initial capacity (rounded
+// up to at least 2).
+func NewQueue(tx *stm.Tx, capacity int) mem.Addr {
+	if capacity < 2 {
+		capacity = 2
+	}
+	q := tx.Alloc(qHdr)
+	d := tx.Alloc(capacity)
+	tx.Store(q+qPop, uint64(capacity-1), stm.AccFresh)
+	tx.Store(q+qPush, 0, stm.AccFresh)
+	tx.Store(q+qCap, uint64(capacity), stm.AccFresh)
+	tx.StoreAddr(q+qData, d, stm.AccFresh)
+	return q
+}
+
+// QueueIsEmpty reports whether the queue holds no elements.
+func QueueIsEmpty(tx *stm.Tx, q mem.Addr, mode stm.Acc) bool {
+	pop := tx.Load(q+qPop, mode)
+	push := tx.Load(q+qPush, mode)
+	capWords := tx.Load(q+qCap, mode)
+	return (pop+1)%capWords == push
+}
+
+// QueueSize returns the number of queued elements.
+func QueueSize(tx *stm.Tx, q mem.Addr, mode stm.Acc) int {
+	pop := tx.Load(q+qPop, mode)
+	push := tx.Load(q+qPush, mode)
+	capWords := tx.Load(q+qCap, mode)
+	return int((push + capWords - (pop+1)%capWords) % capWords)
+}
+
+// QueuePush appends val at the back, doubling the buffer when full.
+func QueuePush(tx *stm.Tx, q mem.Addr, val uint64, mode stm.Acc) {
+	pop := tx.Load(q+qPop, mode)
+	push := tx.Load(q+qPush, mode)
+	capWords := tx.Load(q+qCap, mode)
+	data := tx.LoadAddr(q+qData, mode)
+	newPush := (push + 1) % capWords
+	if newPush == pop {
+		// Full: grow, compacting front to index 0 (STAMP's scheme).
+		newCap := capWords * 2
+		nd := tx.Alloc(int(newCap))
+		dst := mem.Addr(0)
+		for i := (pop + 1) % capWords; i != push; i = (i + 1) % capWords {
+			tx.Store(nd+dst, tx.Load(data+mem.Addr(i), mode), stm.AccFresh)
+			dst++
+		}
+		tx.Free(data)
+		tx.StoreAddr(q+qData, nd, mode)
+		tx.Store(q+qCap, newCap, mode)
+		tx.Store(q+qPop, newCap-1, mode)
+		tx.Store(q+qPush, uint64(dst), mode)
+		data = nd
+		push = uint64(dst)
+		capWords = newCap
+		newPush = push + 1
+	}
+	tx.Store(data+mem.Addr(push), val, mode)
+	tx.Store(q+qPush, newPush%capWords, mode)
+}
+
+// QueuePop removes and returns the front element.
+func QueuePop(tx *stm.Tx, q mem.Addr, mode stm.Acc) (uint64, bool) {
+	pop := tx.Load(q+qPop, mode)
+	push := tx.Load(q+qPush, mode)
+	capWords := tx.Load(q+qCap, mode)
+	newPop := (pop + 1) % capWords
+	if newPop == push {
+		return 0, false
+	}
+	data := tx.LoadAddr(q+qData, mode)
+	val := tx.Load(data+mem.Addr(newPop), mode)
+	tx.Store(q+qPop, newPop, mode)
+	return val, true
+}
+
+// QueueFree frees the buffer and header.
+func QueueFree(tx *stm.Tx, q mem.Addr, mode stm.Acc) {
+	tx.Free(tx.LoadAddr(q+qData, mode))
+	tx.Free(q)
+}

@@ -1,0 +1,35 @@
+// Package txlib is the transactional data-structure library the STAMP
+// ports are built from — the equivalent of STAMP's lib/ directory. All
+// structures live in the simulated address space and are accessed
+// through STM barriers.
+//
+// # Access modes
+//
+// Every operation takes a mode (an stm.Acc) describing how the
+// *container* is being accessed, mirroring STAMP's call variants:
+//
+//   - TM: the hand-instrumented shared variant (STAMP's TMLIST_*,
+//     TMMAP_* macros). These accesses are "required" in the paper's
+//     Fig. 8 terminology.
+//   - P: the plain variant (STAMP's PLIST_*, PVECTOR_*), which the
+//     original program runs without barriers but a naive STM compiler
+//     still instruments — the over-instrumentation the paper measures.
+//   - L: like P, but the container is provably transaction-local at
+//     the call site after inlining, so the compiler's capture analysis
+//     (Sec. 3.2) can elide the barriers statically.
+//
+// Independent of the container mode, stores that initialize freshly
+// allocated nodes carry stm.AccFresh: STAMP writes them as plain
+// stores (the authors knew fresh memory needs no barriers), a naive
+// compiler instruments them anyway, and they are precisely the
+// captured-heap writes that dominate the paper's Fig. 8 breakdown.
+package txlib
+
+import "repro/internal/stm"
+
+// Container access modes (see package comment).
+var (
+	TM = stm.AccShared
+	P  = stm.AccAuto
+	L  = stm.AccLocal
+)

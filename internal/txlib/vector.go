@@ -1,0 +1,87 @@
+package txlib
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Vector is a growable array of words (STAMP's vector.c, as used by
+// bayes' query vectors — the paper's Fig. 1(b) thread-local example).
+//
+// Layout:
+//
+//	header: [0] size  [1] cap  [2] data ptr
+const (
+	vecSize = 0
+	vecCap  = 1
+	vecData = 2
+	vecHdr  = 3
+)
+
+// NewVector allocates a vector with the given initial capacity.
+func NewVector(tx *stm.Tx, capacity int) mem.Addr {
+	if capacity < 1 {
+		capacity = 1
+	}
+	v := tx.Alloc(vecHdr)
+	d := tx.Alloc(capacity)
+	tx.Store(v+vecSize, 0, stm.AccFresh)
+	tx.Store(v+vecCap, uint64(capacity), stm.AccFresh)
+	tx.StoreAddr(v+vecData, d, stm.AccFresh)
+	return v
+}
+
+// VecSize returns the element count.
+func VecSize(tx *stm.Tx, v mem.Addr, mode stm.Acc) int {
+	return int(tx.Load(v+vecSize, mode))
+}
+
+// VecPushBack appends val, growing the backing array if needed.
+func VecPushBack(tx *stm.Tx, v mem.Addr, val uint64, mode stm.Acc) {
+	size := tx.Load(v+vecSize, mode)
+	capWords := tx.Load(v+vecCap, mode)
+	data := tx.LoadAddr(v+vecData, mode)
+	if size == capWords {
+		newCap := capWords * 2
+		nd := tx.Alloc(int(newCap))
+		for i := mem.Addr(0); i < mem.Addr(size); i++ {
+			tx.Store(nd+i, tx.Load(data+i, mode), stm.AccFresh)
+		}
+		tx.Free(data)
+		tx.StoreAddr(v+vecData, nd, mode)
+		tx.Store(v+vecCap, newCap, mode)
+		data = nd
+	}
+	tx.Store(data+mem.Addr(size), val, mode)
+	tx.Store(v+vecSize, size+1, mode)
+}
+
+// VecGet returns element i. It panics on out-of-range access, like a
+// Go slice.
+func VecGet(tx *stm.Tx, v mem.Addr, i int, mode stm.Acc) uint64 {
+	if uint64(i) >= tx.Load(v+vecSize, mode) {
+		panic("txlib: VecGet out of range")
+	}
+	data := tx.LoadAddr(v+vecData, mode)
+	return tx.Load(data+mem.Addr(i), mode)
+}
+
+// VecSet overwrites element i.
+func VecSet(tx *stm.Tx, v mem.Addr, i int, val uint64, mode stm.Acc) {
+	if uint64(i) >= tx.Load(v+vecSize, mode) {
+		panic("txlib: VecSet out of range")
+	}
+	data := tx.LoadAddr(v+vecData, mode)
+	tx.Store(data+mem.Addr(i), val, mode)
+}
+
+// VecClear resets the size to zero, keeping the capacity.
+func VecClear(tx *stm.Tx, v mem.Addr, mode stm.Acc) {
+	tx.Store(v+vecSize, 0, mode)
+}
+
+// VecFree frees the backing array and header.
+func VecFree(tx *stm.Tx, v mem.Addr, mode stm.Acc) {
+	tx.Free(tx.LoadAddr(v+vecData, mode))
+	tx.Free(v)
+}
