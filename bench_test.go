@@ -1,21 +1,18 @@
 package repro
 
 // One benchmark per table and figure of the paper's evaluation
-// (Sec. 4), plus barrier microbenchmarks and the ablations DESIGN.md
-// calls out. The text reports that accompany the paper figures are
-// produced by cmd/barriers and cmd/stampbench; these benches measure
-// the same configurations under testing.B so `go test -bench=.`
-// regenerates the performance data.
+// (Sec. 4), plus barrier microbenchmarks and ablations, all written
+// against the public tm / tm/bench API. The text reports that
+// accompany the paper figures are produced by cmd/barriers and
+// cmd/stampbench; these benches measure the same configurations under
+// testing.B so `go test -bench=.` regenerates the performance data.
 
 import (
 	"fmt"
 	"testing"
 
-	"repro/internal/capture"
-	"repro/internal/harness"
-	"repro/internal/mem"
-	"repro/internal/stamp"
-	"repro/internal/stm"
+	"repro/tm"
+	"repro/tm/bench"
 
 	_ "repro/internal/stamp/all"
 )
@@ -24,18 +21,18 @@ import (
 // had 24 cores and the paper measured up to 16 threads.
 const benchThreads = 16
 
-// runBench executes one benchmark/config/thread-count data point per
+// runBench executes one workload/profile/thread-count data point per
 // iteration (setup excluded from the timer).
-func runBench(b *testing.B, name string, cfg stm.OptConfig, threads int) {
+func runBench(b *testing.B, name string, p tm.Profile, threads int) {
 	b.Helper()
-	var stats stm.Stats
+	var stats tm.Stats
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		app, err := stamp.New(name)
+		app, err := tm.NewWorkload(name)
 		if err != nil {
 			b.Fatal(err)
 		}
-		rt := stm.New(app.MemConfig(), cfg)
+		rt := tm.Open(append(p.Options(), tm.WithMemory(app.MemConfig()))...)
 		app.Setup(rt)
 		rt.ResetStats()
 		b.StartTimer()
@@ -59,9 +56,9 @@ func runBench(b *testing.B, name string, cfg stm.OptConfig, threads int) {
 // counting mode — the configuration that produces the Fig. 8 barrier
 // breakdown (use cmd/barriers -fig 8 for the formatted table).
 func BenchmarkFig8Breakdown(b *testing.B) {
-	for _, name := range harness.Benches() {
+	for _, name := range bench.Benches() {
 		b.Run(name, func(b *testing.B) {
-			runBench(b, name, stm.CountingConfig(), 1)
+			runBench(b, name, tm.Counting(), 1)
 		})
 	}
 }
@@ -70,11 +67,11 @@ func BenchmarkFig8Breakdown(b *testing.B) {
 // the elided/barrier metric is the Fig. 9 "portion of barriers
 // removed" (use cmd/barriers -fig 9 for the formatted table).
 func BenchmarkFig9Removal(b *testing.B) {
-	techs := map[string]stm.OptConfig{
-		"tree":     stm.RuntimeAll(capture.KindTree),
-		"array":    stm.RuntimeAll(capture.KindArray),
-		"filter":   stm.RuntimeAll(capture.KindFilter),
-		"compiler": stm.Compiler(),
+	techs := map[string]tm.Profile{
+		"tree":     tm.RuntimeAll(tm.LogTree),
+		"array":    tm.RuntimeAll(tm.LogArray),
+		"filter":   tm.RuntimeAll(tm.LogFilter),
+		"compiler": tm.CompilerElision(),
 	}
 	for _, name := range []string{"vacation-high", "genome", "yada"} {
 		for _, tech := range []string{"tree", "array", "filter", "compiler"} {
@@ -91,10 +88,10 @@ func BenchmarkFig9Removal(b *testing.B) {
 // baseline and each optimization; the aborts/commit metric is the
 // Table 1 cell (cmd/stampbench -experiment table1 prints the table).
 func BenchmarkTable1(b *testing.B) {
-	for _, name := range harness.Benches() {
-		for _, cfg := range harness.Table1Configs() {
-			b.Run(name+"/"+cfg.Name, func(b *testing.B) {
-				runBench(b, name, cfg, benchThreads)
+	for _, name := range bench.Benches() {
+		for _, p := range bench.Table1Configs() {
+			b.Run(name+"/"+p.Name(), func(b *testing.B) {
+				runBench(b, name, p, benchThreads)
 			})
 		}
 	}
@@ -105,10 +102,10 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFig10 measures the runtime configurations and the compiler
 // optimization against the baseline at one thread.
 func BenchmarkFig10(b *testing.B) {
-	for _, name := range harness.Benches() {
-		for _, cfg := range harness.Fig10Configs() {
-			b.Run(name+"/"+cfg.Name, func(b *testing.B) {
-				runBench(b, name, cfg.Perf(), 1)
+	for _, name := range bench.Benches() {
+		for _, p := range bench.Fig10Configs() {
+			b.Run(name+"/"+p.Name(), func(b *testing.B) {
+				runBench(b, name, p.Perf(), 1)
 			})
 		}
 	}
@@ -119,9 +116,9 @@ func BenchmarkFig10(b *testing.B) {
 // BenchmarkFig11a measures the Fig. 10 configurations at 16 threads.
 func BenchmarkFig11a(b *testing.B) {
 	for _, name := range []string{"vacation-high", "vacation-low", "genome", "intruder", "kmeans-high", "yada"} {
-		for _, cfg := range harness.Fig10Configs() {
-			b.Run(name+"/"+cfg.Name, func(b *testing.B) {
-				runBench(b, name, cfg.Perf(), benchThreads)
+		for _, p := range bench.Fig10Configs() {
+			b.Run(name+"/"+p.Name(), func(b *testing.B) {
+				runBench(b, name, p.Perf(), benchThreads)
 			})
 		}
 	}
@@ -131,9 +128,9 @@ func BenchmarkFig11a(b *testing.B) {
 // (heap-only, write-only checks) and the compiler at 16 threads.
 func BenchmarkFig11b(b *testing.B) {
 	for _, name := range []string{"vacation-high", "vacation-low", "genome", "intruder", "yada"} {
-		for _, cfg := range harness.Fig11bConfigs() {
-			b.Run(name+"/"+cfg.Name, func(b *testing.B) {
-				runBench(b, name, cfg.Perf(), benchThreads)
+		for _, p := range bench.Fig11bConfigs() {
+			b.Run(name+"/"+p.Name(), func(b *testing.B) {
+				runBench(b, name, p.Perf(), benchThreads)
 			})
 		}
 	}
@@ -141,24 +138,26 @@ func BenchmarkFig11b(b *testing.B) {
 
 // --- Barrier microbenchmarks (cost model of Fig. 2's fast path) ---
 
-func barrierRT(cfg stm.OptConfig) (*stm.Runtime, *stm.Thread, mem.Addr) {
-	rt := stm.New(mem.Config{GlobalWords: 1 << 8, HeapWords: 1 << 16, StackWords: 1 << 10, MaxThreads: 2}, cfg)
+func barrierRT(p tm.Profile) (*tm.Runtime, *tm.Thread, tm.Struct) {
+	rt := tm.Open(append(p.Options(), tm.WithMemory(tm.MemConfig{
+		GlobalWords: 1 << 8, HeapWords: 1 << 16, StackWords: 1 << 10, MaxThreads: 2,
+	}))...)
 	th := rt.Thread(0)
-	g := rt.Space().AllocGlobal(64)
+	g := rt.AllocGlobal(64)
 	return rt, th, g
 }
 
 // batched runs b.N barrier operations in transactions of 512
 // operations each, so per-transaction log sizes stay realistic.
 // prep runs at the start of every transaction and returns the base
-// address the operation loop uses; heap-allocating preps free the
+// block the operation loop uses; heap-allocating preps free the
 // block again before commit so the arena never grows.
-func batched(b *testing.B, th *stm.Thread, prep func(tx *stm.Tx) mem.Addr, op func(tx *stm.Tx, base mem.Addr, i int)) {
+func batched(b *testing.B, th *tm.Thread, prep func(tx *tm.Tx) tm.Struct, op func(tx *tm.Tx, base tm.Struct, i int)) {
 	b.Helper()
 	b.ResetTimer()
 	i := 0
 	for i < b.N {
-		th.Atomic(func(tx *stm.Tx) {
+		th.Atomic(func(tx *tm.Tx) {
 			base := prep(tx)
 			for j := 0; j < 512 && i < b.N; j++ {
 				op(tx, base, i)
@@ -171,11 +170,11 @@ func batched(b *testing.B, th *stm.Thread, prep func(tx *stm.Tx) mem.Addr, op fu
 // BenchmarkBarrierReadFull is the cost of one full (shared) read
 // barrier inside a transaction.
 func BenchmarkBarrierReadFull(b *testing.B) {
-	_, th, g := barrierRT(stm.Baseline())
+	_, th, g := barrierRT(tm.Baseline())
 	var sink uint64
-	batched(b, th, func(tx *stm.Tx) mem.Addr { return g },
-		func(tx *stm.Tx, base mem.Addr, i int) {
-			sink += tx.Load(base+mem.Addr(i&63), stm.AccShared)
+	batched(b, th, func(tx *tm.Tx) tm.Struct { return g },
+		func(tx *tm.Tx, base tm.Struct, i int) {
+			sink += base.Word(i & 63).Load(tx)
 		})
 	_ = sink
 }
@@ -184,56 +183,56 @@ func BenchmarkBarrierReadFull(b *testing.B) {
 // (distinct addresses, so each pays undo logging; the lock acquisition
 // amortizes over the 8 words of a cache line, as in a real workload).
 func BenchmarkBarrierWriteFull(b *testing.B) {
-	cfg := stm.Baseline()
-	cfg.NoWAWFilter = true
-	_, th, g := barrierRT(cfg)
-	batched(b, th, func(tx *stm.Tx) mem.Addr { return g },
-		func(tx *stm.Tx, base mem.Addr, i int) {
-			tx.Store(base+mem.Addr(i&63), uint64(i), stm.AccShared)
+	_, th, g := barrierRT(tm.Baseline().With(tm.WithoutWAWFilter()))
+	batched(b, th, func(tx *tm.Tx) tm.Struct { return g },
+		func(tx *tm.Tx, base tm.Struct, i int) {
+			base.Word(i&63).Store(tx, uint64(i))
 		})
 }
 
 // BenchmarkBarrierReadElided measures reads that hit the runtime
-// capture analysis, per mechanism and log kind.
+// capture analysis, per mechanism and log kind. (The freshly allocated
+// block's provenance is ignored here: the profiles enable only runtime
+// checks, so elision happens dynamically, as in the paper's Fig. 2.)
 func BenchmarkBarrierReadElided(b *testing.B) {
-	for _, k := range []capture.Kind{capture.KindTree, capture.KindArray, capture.KindFilter} {
+	for _, k := range []tm.LogKind{tm.LogTree, tm.LogArray, tm.LogFilter} {
 		b.Run("heap-"+k.String(), func(b *testing.B) {
-			_, th, _ := barrierRT(stm.RuntimeAll(k))
+			_, th, _ := barrierRT(tm.RuntimeAll(k))
 			var sink uint64
-			var cur mem.Addr
-			batched(b, th, func(tx *stm.Tx) mem.Addr {
-				if cur != mem.Nil {
+			var cur tm.Struct
+			batched(b, th, func(tx *tm.Tx) tm.Struct {
+				if !cur.IsNil() {
 					tx.Free(cur) // recycle the previous tx's block
 				}
 				cur = tx.Alloc(64)
 				return cur
-			}, func(tx *stm.Tx, base mem.Addr, i int) {
-				sink += tx.Load(base+mem.Addr(i&63), stm.AccAuto)
+			}, func(tx *tm.Tx, base tm.Struct, i int) {
+				sink += base.Word(i & 63).Load(tx)
 			})
 			_ = sink
 		})
 	}
 	b.Run("stack", func(b *testing.B) {
-		_, th, _ := barrierRT(stm.RuntimeAll(capture.KindTree))
+		_, th, _ := barrierRT(tm.RuntimeAll(tm.LogTree))
 		var sink uint64
-		batched(b, th, func(tx *stm.Tx) mem.Addr { return tx.StackAlloc(64) },
-			func(tx *stm.Tx, base mem.Addr, i int) {
-				sink += tx.Load(base+mem.Addr(i&63), stm.AccAuto)
+		batched(b, th, func(tx *tm.Tx) tm.Struct { return tx.StackAlloc(64) },
+			func(tx *tm.Tx, base tm.Struct, i int) {
+				sink += base.Word(i & 63).Load(tx)
 			})
 		_ = sink
 	})
 	b.Run("static", func(b *testing.B) {
-		_, th, _ := barrierRT(stm.Compiler())
+		_, th, _ := barrierRT(tm.CompilerElision())
 		var sink uint64
-		var cur mem.Addr
-		batched(b, th, func(tx *stm.Tx) mem.Addr {
-			if cur != mem.Nil {
+		var cur tm.Struct
+		batched(b, th, func(tx *tm.Tx) tm.Struct {
+			if !cur.IsNil() {
 				tx.Free(cur)
 			}
-			cur = tx.Alloc(64)
+			cur = tx.Alloc(64) // fresh provenance: statically elided
 			return cur
-		}, func(tx *stm.Tx, base mem.Addr, i int) {
-			sink += tx.Load(base+mem.Addr(i&63), stm.AccFresh)
+		}, func(tx *tm.Tx, base tm.Struct, i int) {
+			sink += base.Word(i & 63).Load(tx)
 		})
 		_ = sink
 	})
@@ -243,30 +242,30 @@ func BenchmarkBarrierReadElided(b *testing.B) {
 // analysis on reads that are NOT captured (the check is pure overhead,
 // the kmeans case from Fig. 10).
 func BenchmarkBarrierReadMiss(b *testing.B) {
-	for _, k := range []capture.Kind{capture.KindTree, capture.KindArray, capture.KindFilter} {
+	for _, k := range []tm.LogKind{tm.LogTree, tm.LogArray, tm.LogFilter} {
 		b.Run(k.String()+"-empty-log", func(b *testing.B) {
-			_, th, g := barrierRT(stm.RuntimeAll(k))
+			_, th, g := barrierRT(tm.RuntimeAll(k))
 			var sink uint64
-			batched(b, th, func(tx *stm.Tx) mem.Addr { return g },
-				func(tx *stm.Tx, base mem.Addr, i int) {
-					sink += tx.Load(base+mem.Addr(i&63), stm.AccShared)
+			batched(b, th, func(tx *tm.Tx) tm.Struct { return g },
+				func(tx *tm.Tx, base tm.Struct, i int) {
+					sink += base.Word(i & 63).Load(tx)
 				})
 			_ = sink
 		})
 		b.Run(k.String()+"-loaded-log", func(b *testing.B) {
-			_, th, g := barrierRT(stm.RuntimeAll(k))
+			_, th, g := barrierRT(tm.RuntimeAll(k))
 			var sink uint64
-			var scratch [4]mem.Addr
-			batched(b, th, func(tx *stm.Tx) mem.Addr {
+			var scratch [4]tm.Struct
+			batched(b, th, func(tx *tm.Tx) tm.Struct {
 				for j := 0; j < 4; j++ {
-					if scratch[j] != mem.Nil {
+					if !scratch[j].IsNil() {
 						tx.Free(scratch[j])
 					}
 					scratch[j] = tx.Alloc(8)
 				}
 				return g
-			}, func(tx *stm.Tx, base mem.Addr, i int) {
-				sink += tx.Load(base+mem.Addr(i&63), stm.AccShared)
+			}, func(tx *tm.Tx, base tm.Struct, i int) {
+				sink += base.Word(i & 63).Load(tx)
 			})
 			_ = sink
 		})
@@ -276,24 +275,24 @@ func BenchmarkBarrierReadMiss(b *testing.B) {
 // BenchmarkBarrierWriteElided measures captured writes (lock and undo
 // both elided) against the full barrier above.
 func BenchmarkBarrierWriteElided(b *testing.B) {
-	for _, k := range []capture.Kind{capture.KindTree, capture.KindArray, capture.KindFilter} {
+	for _, k := range []tm.LogKind{tm.LogTree, tm.LogArray, tm.LogFilter} {
 		b.Run("heap-"+k.String(), func(b *testing.B) {
-			_, th, _ := barrierRT(stm.RuntimeAll(k))
-			var cur mem.Addr
-			batched(b, th, func(tx *stm.Tx) mem.Addr {
-				if cur != mem.Nil {
+			_, th, _ := barrierRT(tm.RuntimeAll(k))
+			var cur tm.Struct
+			batched(b, th, func(tx *tm.Tx) tm.Struct {
+				if !cur.IsNil() {
 					tx.Free(cur)
 				}
 				cur = tx.Alloc(64)
 				return cur
-			}, func(tx *stm.Tx, base mem.Addr, i int) {
-				tx.Store(base+mem.Addr(i&63), uint64(i), stm.AccAuto)
+			}, func(tx *tm.Tx, base tm.Struct, i int) {
+				base.Word(i&63).Store(tx, uint64(i))
 			})
 		})
 	}
 }
 
-// --- Ablations (design choices from DESIGN.md) ---
+// --- Ablations (engine design choices) ---
 
 // BenchmarkAblationArrayCap sweeps the range-array capacity: the paper
 // observes one cache line (4 ranges) captures almost the full
@@ -301,11 +300,11 @@ func BenchmarkBarrierWriteElided(b *testing.B) {
 // matter (yada exceeds it).
 func BenchmarkAblationArrayCap(b *testing.B) {
 	for _, capN := range []int{1, 2, 4, 8, 16} {
-		cfg := stm.RuntimeAll(capture.KindArray)
-		cfg.ArrayCap = capN
-		cfg.Name = fmt.Sprintf("array-cap%d", capN)
+		p := tm.RuntimeAll(tm.LogArray).
+			With(tm.WithArrayCap(capN)).
+			Named(fmt.Sprintf("array-cap%d", capN))
 		b.Run(fmt.Sprintf("yada/cap%d", capN), func(b *testing.B) {
-			runBench(b, "yada", cfg, 1)
+			runBench(b, "yada", p, 1)
 		})
 	}
 }
@@ -314,11 +313,11 @@ func BenchmarkAblationArrayCap(b *testing.B) {
 // filters collide more, producing false negatives (lower elision).
 func BenchmarkAblationFilterSize(b *testing.B) {
 	for _, bits := range []int{4, 6, 8, 10, 12} {
-		cfg := stm.RuntimeAll(capture.KindFilter)
-		cfg.FilterBits = bits
-		cfg.Name = fmt.Sprintf("filter-%dbits", bits)
+		p := tm.RuntimeAll(tm.LogFilter).
+			With(tm.WithFilterBits(bits)).
+			Named(fmt.Sprintf("filter-%dbits", bits))
 		b.Run(fmt.Sprintf("vacation-high/bits%d", bits), func(b *testing.B) {
-			runBench(b, "vacation-high", cfg, 1)
+			runBench(b, "vacation-high", p, 1)
 		})
 	}
 }
@@ -328,11 +327,11 @@ func BenchmarkAblationFilterSize(b *testing.B) {
 // rises as distinct lines alias.
 func BenchmarkAblationOrecs(b *testing.B) {
 	for _, bits := range []int{8, 12, 16, 20} {
-		cfg := stm.Baseline()
-		cfg.OrecBits = bits
-		cfg.Name = fmt.Sprintf("orecs-%dbits", bits)
+		p := tm.Baseline().
+			With(tm.WithOrecBits(bits)).
+			Named(fmt.Sprintf("orecs-%dbits", bits))
 		b.Run(fmt.Sprintf("vacation-high/orecs%d", bits), func(b *testing.B) {
-			runBench(b, "vacation-high", cfg, 8)
+			runBench(b, "vacation-high", p, 8)
 		})
 	}
 }
@@ -343,15 +342,15 @@ func BenchmarkAblationOrecs(b *testing.B) {
 // check overhead that Fig. 10 shows.
 func BenchmarkAblationSkipShared(b *testing.B) {
 	for _, on := range []bool{false, true} {
-		cfg := stm.RuntimeAll(capture.KindTree).Perf()
-		cfg.SkipSharedChecks = on
+		p := tm.RuntimeAll(tm.LogTree).Perf()
 		name := "skip-off"
 		if on {
 			name = "skip-on"
+			p = p.With(tm.WithSkipSharedChecks())
 		}
-		cfg.Name = name
+		p = p.Named(name)
 		b.Run("kmeans-high/"+name, func(b *testing.B) {
-			runBench(b, "kmeans-high", cfg, 1)
+			runBench(b, "kmeans-high", p, 1)
 		})
 	}
 }
@@ -360,15 +359,15 @@ func BenchmarkAblationSkipShared(b *testing.B) {
 // (the feature that explains yada's Fig. 10 behaviour).
 func BenchmarkAblationWAW(b *testing.B) {
 	for _, off := range []bool{false, true} {
-		cfg := stm.Baseline()
-		cfg.NoWAWFilter = off
+		p := tm.Baseline()
 		name := "waw-on"
 		if off {
 			name = "waw-off"
+			p = p.With(tm.WithoutWAWFilter())
 		}
-		cfg.Name = name
+		p = p.Named(name)
 		b.Run("yada/"+name, func(b *testing.B) {
-			runBench(b, "yada", cfg, 1)
+			runBench(b, "yada", p, 1)
 		})
 	}
 }

@@ -16,7 +16,7 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/harness"
+	"repro/tm/bench"
 
 	_ "repro/internal/stamp/all"
 )
@@ -26,40 +26,40 @@ func main() {
 	benchFlag := flag.String("bench", "all", "comma-separated benchmark names or 'all'")
 	flag.Parse()
 
-	benches := harness.Benches()
+	benches := bench.Benches()
 	if *benchFlag != "all" {
 		benches = strings.Split(*benchFlag, ",")
 	}
 
 	switch *fig {
 	case 8:
-		var reads, writes, alls []harness.Breakdown
+		var reads, writes, alls []bench.Breakdown
 		for _, b := range benches {
-			r, w, a, err := harness.MeasureBreakdown(b)
+			r, w, a, err := bench.MeasureBreakdown(b)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "barriers:", err)
 				os.Exit(1)
 			}
 			reads, writes, alls = append(reads, r), append(writes, w), append(alls, a)
 		}
-		harness.WriteFig8(os.Stdout, "reads", reads)
+		bench.WriteFig8(os.Stdout, "reads", reads)
 		fmt.Println()
-		harness.WriteFig8(os.Stdout, "writes", writes)
+		bench.WriteFig8(os.Stdout, "writes", writes)
 		fmt.Println()
-		harness.WriteFig8(os.Stdout, "all accesses", alls)
+		bench.WriteFig8(os.Stdout, "all accesses", alls)
 	case 9:
-		var rows []harness.Removal
+		var rows []bench.Removal
 		for _, b := range benches {
-			r, err := harness.MeasureRemoval(b)
+			r, err := bench.MeasureRemoval(b)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "barriers:", err)
 				os.Exit(1)
 			}
 			rows = append(rows, r)
 		}
-		harness.WriteFig9(os.Stdout, "reads", rows)
+		bench.WriteFig9(os.Stdout, "reads", rows)
 		fmt.Println()
-		harness.WriteFig9(os.Stdout, "writes", rows)
+		bench.WriteFig9(os.Stdout, "writes", rows)
 	default:
 		fmt.Fprintln(os.Stderr, "barriers: -fig must be 8 or 9")
 		os.Exit(1)

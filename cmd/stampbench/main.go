@@ -1,7 +1,10 @@
 // Command stampbench regenerates the performance experiments of the
 // paper's evaluation (Sec. 4): Table 1 (abort-to-commit ratios),
 // Table 2 (run-to-run variation), Fig. 10 (single-thread improvement),
-// and Fig. 11(a)/(b) (16-thread improvement).
+// and Fig. 11(a)/(b) (16-thread improvement). It is written entirely
+// against the public tm / tm/bench API; workloads are resolved through
+// the tm registry, so externally registered scenarios work with the
+// -bench flag too.
 //
 // Usage:
 //
@@ -19,8 +22,8 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/harness"
-	"repro/internal/stm"
+	"repro/tm"
+	"repro/tm/bench"
 
 	_ "repro/internal/stamp/all"
 )
@@ -29,10 +32,10 @@ func main() {
 	exp := flag.String("experiment", "fig10", "table1|table2|fig10|fig11a|fig11b|sweep")
 	threads := flag.Int("threads", 1, "worker threads for the parallel phase")
 	runs := flag.Int("runs", 3, "repetitions per data point")
-	benchFlag := flag.String("bench", "all", "comma-separated benchmark names or 'all'")
+	benchFlag := flag.String("bench", "all", "comma-separated workload names or 'all'")
 	flag.Parse()
 
-	benches := harness.Benches()
+	benches := bench.Benches()
 	if *benchFlag != "all" {
 		benches = strings.Split(*benchFlag, ",")
 	}
@@ -44,13 +47,13 @@ func main() {
 	case "table2":
 		err = tables(benches, *threads, *runs, false)
 	case "fig10":
-		err = improvements(benches, harness.Fig10Configs(), 1, *runs,
+		err = improvements(benches, bench.Fig10Configs(), 1, *runs,
 			"Figure 10: % improvement over baseline at 1 thread")
 	case "fig11a":
-		err = improvements(benches, harness.Fig10Configs(), *threads, *runs,
+		err = improvements(benches, bench.Fig10Configs(), *threads, *runs,
 			fmt.Sprintf("Figure 11(a): %% improvement over baseline at %d threads", *threads))
 	case "fig11b":
-		err = improvements(benches, harness.Fig11bConfigs(), *threads, *runs,
+		err = improvements(benches, bench.Fig11bConfigs(), *threads, *runs,
 			fmt.Sprintf("Figure 11(b): %% improvement over baseline at %d threads", *threads))
 	case "sweep":
 		err = sweep(benches, *runs)
@@ -65,58 +68,58 @@ func main() {
 
 // tables prints Table 1 (ratio=true) or Table 2 (ratio=false).
 func tables(benches []string, threads, runs int, ratio bool) error {
-	cfgs := harness.Table1Configs()
+	profiles := bench.Table1Configs()
 	rows := map[string]map[string]float64{}
 	var names []string
-	for _, c := range cfgs {
-		names = append(names, c.Name)
+	for _, p := range profiles {
+		names = append(names, p.Name())
 	}
 	for _, b := range benches {
 		rows[b] = map[string]float64{}
-		for _, cfg := range cfgs {
-			res, err := harness.Run(b, cfg, threads, runs)
+		for _, p := range profiles {
+			res, err := bench.Run(b, p, threads, runs)
 			if err != nil {
 				return err
 			}
 			if ratio {
-				rows[b][cfg.Name] = res.Stats.AbortRatio()
+				rows[b][p.Name()] = res.Stats.AbortRatio()
 			} else {
-				rows[b][cfg.Name] = res.RelStdDev()
+				rows[b][p.Name()] = res.RelStdDev()
 			}
 		}
 	}
 	if ratio {
-		harness.WriteTable1(os.Stdout, rows, names, threads)
+		bench.WriteTable1(os.Stdout, rows, names, threads)
 	} else {
-		harness.WriteTable2(os.Stdout, rows, names, threads, runs)
+		bench.WriteTable2(os.Stdout, rows, names, threads, runs)
 	}
 	return nil
 }
 
 // improvements prints a Fig. 10/11-style improvement table.
-func improvements(benches []string, cfgs []stm.OptConfig, threads, runs int, title string) error {
+func improvements(benches []string, profiles []tm.Profile, threads, runs int, title string) error {
 	rows := map[string]map[string]float64{}
 	var names []string
-	for _, c := range cfgs {
-		names = append(names, c.Name)
+	for _, p := range profiles {
+		names = append(names, p.Name())
 	}
 	for _, b := range benches {
 		rows[b] = map[string]float64{}
 		// Timing runs use perf mode: no per-access counters, like the
 		// paper's performance builds.
-		perfCfgs := make([]stm.OptConfig, len(cfgs))
-		for i, c := range cfgs {
-			perfCfgs[i] = c.Perf()
+		perf := make([]tm.Profile, len(profiles))
+		for i, p := range profiles {
+			perf[i] = p.Perf()
 		}
-		results, err := harness.RunMatrix(b, perfCfgs, threads, runs)
+		results, err := bench.RunMatrix(b, perf, threads, runs)
 		if err != nil {
 			return err
 		}
-		for i, cfg := range cfgs[1:] {
-			rows[b][cfg.Name] = harness.Improvement(results[0], results[i+1])
+		for i, p := range profiles[1:] {
+			rows[b][p.Name()] = bench.Improvement(results[0], results[i+1])
 		}
 	}
-	harness.WriteImprovements(os.Stdout, title, rows, names)
+	bench.WriteImprovements(os.Stdout, title, rows, names)
 	return nil
 }
 
@@ -125,7 +128,7 @@ func sweep(benches []string, runs int) error {
 	for _, b := range benches {
 		fmt.Printf("%s scaling (baseline):\n", b)
 		for _, th := range []int{1, 2, 4, 8, 16} {
-			res, err := harness.Run(b, stm.Baseline(), th, runs)
+			res, err := bench.Run(b, tm.Baseline(), th, runs)
 			if err != nil {
 				return err
 			}

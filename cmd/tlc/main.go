@@ -17,9 +17,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/capture"
-	"repro/internal/stm"
 	"repro/internal/tlc"
+	"repro/tm"
 )
 
 func main() {
@@ -54,29 +53,30 @@ func main() {
 	if !*run {
 		return
 	}
-	var cfg stm.OptConfig
+	var p tm.Profile
 	switch *opt {
 	case "baseline":
-		cfg = stm.Baseline()
+		p = tm.Baseline()
 	case "compiler":
-		cfg = stm.Compiler()
+		p = tm.CompilerElision()
 	case "tree":
-		cfg = stm.RuntimeAll(capture.KindTree)
+		p = tm.RuntimeAll(tm.LogTree)
 	case "array":
-		cfg = stm.RuntimeAll(capture.KindArray)
+		p = tm.RuntimeAll(tm.LogArray)
 	case "filter":
-		cfg = stm.RuntimeAll(capture.KindFilter)
+		p = tm.RuntimeAll(tm.LogFilter)
 	default:
 		fmt.Fprintf(os.Stderr, "tlc: unknown -opt %q\n", *opt)
 		os.Exit(2)
 	}
 	if *verify {
-		cfg.Counting = true
-		cfg.VerifyElision = true
+		p = p.With(tm.WithVerifyElision())
 	}
-	rt := stm.New(c.DefaultMemConfig(), cfg)
-	in := tlc.NewInterp(c, rt)
-	ret, err := in.Call(rt.Thread(0), "main")
+	rt := tm.Open(append(p.Options(), tm.WithMemory(c.DefaultMemConfig()))...)
+	// The TL interpreter drives the engine directly; Unwrap is the
+	// documented escape hatch for in-tree tooling.
+	in := tlc.NewInterp(c, rt.Unwrap())
+	ret, err := in.Call(rt.Unwrap().Thread(0), "main")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tlc:", err)
 		os.Exit(1)

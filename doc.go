@@ -3,11 +3,13 @@
 // transactional memory runtime with runtime and compiler capture
 // analysis that elides STM barriers for transaction-local memory, the
 // STAMP 0.9.9 benchmark suite it was evaluated on, and the harness
-// that regenerates every table and figure of the paper's evaluation.
+// that regenerates the tables and figures of the paper's evaluation.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and the
-// substitutions made, and EXPERIMENTS.md for paper-vs-measured results.
-// The benchmarks in bench_test.go regenerate the evaluation:
+// Start with package tm — the public API (typed references,
+// functional options, and the workload registry) — and tm/bench, the
+// experiment harness over it. See README.md for the repository layout
+// and a quickstart. The benchmarks in bench_test.go regenerate the
+// evaluation:
 //
 //	go test -bench=. -benchmem
 package repro

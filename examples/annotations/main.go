@@ -1,6 +1,7 @@
 // Annotations: the paper's Fig. 7 user APIs —
 // addPrivateMemoryBlock/removePrivateMemoryBlock — on the bayes-style
-// thread-local query-vector pattern from Fig. 1(b).
+// thread-local query-vector pattern from Fig. 1(b), written against
+// the public tm API.
 //
 //	go run ./examples/annotations
 //
@@ -13,55 +14,49 @@ package main
 
 import (
 	"fmt"
-	"sync"
 
-	"repro/internal/mem"
-	"repro/internal/stm"
+	"repro/tm"
 )
 
 const vecLen = 64
 
-func run(annotate bool) stm.Stats {
-	cfg := stm.Baseline()
-	cfg.Annotations = true // the runtime consults the private log
-	cfg.Name = "annotations-demo"
-	rt := stm.New(mem.Config{
-		GlobalWords: 1 << 8, HeapWords: 1 << 18, StackWords: 1 << 10, MaxThreads: 8,
-	}, cfg)
-	shared := rt.Space().AllocGlobal(1)
+func run(annotate bool) tm.Stats {
+	rt := tm.Open(
+		tm.WithName("annotations-demo"),
+		tm.WithAnnotations(), // the runtime consults the private log
+		tm.WithMemory(tm.MemConfig{
+			GlobalWords: 1 << 8, HeapWords: 1 << 18, StackWords: 1 << 10, MaxThreads: 8,
+		}),
+	)
+	shared := rt.AllocGlobal(1).Word(0)
 
 	const threads, rounds = 4, 500
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			th := rt.Thread(id)
-			// The thread-local query vector of the paper's Fig. 1(b):
-			// allocated once, reused by every transaction.
-			qv := th.Alloc(vecLen)
-			if annotate {
-				th.AddPrivateBlock(qv, vecLen) // Fig. 7 API
-				defer th.RemovePrivateBlock(qv, vecLen)
-			}
-			for r := 0; r < rounds; r++ {
-				th.Atomic(func(tx *stm.Tx) {
-					// Populate and reduce the private vector; a naive
-					// compiler instruments all of these accesses.
-					var sum uint64
-					for i := 0; i < vecLen; i++ {
-						tx.Store(qv+mem.Addr(i), uint64(r+i), stm.AccAuto)
-					}
-					for i := 0; i < vecLen; i++ {
-						sum += tx.Load(qv+mem.Addr(i), stm.AccAuto)
-					}
-					// One genuinely shared update.
-					tx.Store(shared, tx.Load(shared, stm.AccShared)+sum%7, stm.AccShared)
-				})
-			}
-		}(t)
-	}
-	wg.Wait()
+	rt.Parallel(threads, func(th *tm.Thread, tid, _ int) {
+		// The thread-local query vector of the paper's Fig. 1(b):
+		// allocated once, reused by every transaction. Its references
+		// carry unknown provenance — only the programmer knows it is
+		// private, which is what the annotation asserts.
+		qv := th.Alloc(vecLen)
+		if annotate {
+			th.AddPrivateBlock(qv) // Fig. 7 API
+			defer th.RemovePrivateBlock(qv)
+		}
+		for r := 0; r < rounds; r++ {
+			th.Atomic(func(tx *tm.Tx) {
+				// Populate and reduce the private vector; a naive
+				// compiler instruments all of these accesses.
+				var sum uint64
+				for i := 0; i < vecLen; i++ {
+					qv.Word(i).Store(tx, uint64(r+i))
+				}
+				for i := 0; i < vecLen; i++ {
+					sum += qv.Word(i).Load(tx)
+				}
+				// One genuinely shared update.
+				shared.Add(tx, sum%7)
+			})
+		}
+	})
 	return rt.Stats()
 }
 

@@ -1,86 +1,82 @@
-// Quickstart: the STM public API on the classic bank-transfer example.
+// Quickstart: the public tm API on the classic bank-transfer example.
 //
 //	go run ./examples/quickstart
 //
-// It creates a runtime with runtime capture analysis enabled, runs
+// It opens a runtime with runtime capture analysis enabled, runs
 // concurrent transfers between accounts, and prints the barrier
 // statistics — showing the captured (transaction-local) accesses that
-// the paper's optimization elides: each transfer allocates a log
-// record inside its transaction.
+// the paper's optimization elides: each transfer allocates an audit
+// record inside its transaction, and the typed references returned by
+// tx.Alloc carry fresh provenance automatically.
 package main
 
 import (
 	"fmt"
-	"sync"
+	"math/rand"
 
-	"repro/internal/capture"
-	"repro/internal/mem"
-	"repro/internal/prng"
-	"repro/internal/stm"
+	"repro/tm"
 )
 
 func main() {
-	rt := stm.New(mem.Config{
-		GlobalWords: 1 << 10,
-		HeapWords:   1 << 20,
-		StackWords:  1 << 12,
-		MaxThreads:  8,
-	}, stm.RuntimeAll(capture.KindTree))
+	rt := tm.Open(
+		tm.WithName("quickstart"),
+		tm.WithRuntimeCapture(tm.StackAndHeap, tm.StackAndHeap),
+		tm.WithLogKind(tm.LogTree),
+		tm.WithMemory(tm.MemConfig{
+			GlobalWords: 1 << 10,
+			HeapWords:   1 << 20,
+			StackWords:  1 << 12,
+			MaxThreads:  8,
+		}),
+	)
 
-	// Accounts live in the simulated globals region.
+	// Accounts live in the globals region: definitely shared, so their
+	// references carry shared provenance and keep full barriers.
 	const accounts = 32
 	const initial = 1000
-	base := rt.Space().AllocGlobal(accounts)
+	bank := rt.AllocGlobal(accounts)
 	for i := 0; i < accounts; i++ {
-		rt.Space().Store(base+mem.Addr(i), initial)
+		bank.Word(i).Poke(rt, initial)
 	}
-	// A shared audit list head: each transfer prepends a record
+	// A shared audit-list head: each transfer prepends a record
 	// allocated inside the transaction (captured memory!).
-	auditHead := rt.Space().AllocGlobal(1)
+	auditHead := rt.AllocGlobal(1).Ptr(0)
 
 	const threads, transfers = 4, 2000
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			th := rt.Thread(id)
-			r := prng.New(uint64(id + 1))
-			for i := 0; i < transfers; i++ {
-				from := mem.Addr(r.Intn(accounts))
-				to := mem.Addr(r.Intn(accounts))
-				amount := uint64(1 + r.Intn(10))
-				th.Atomic(func(tx *stm.Tx) {
-					f := tx.Load(base+from, stm.AccShared)
-					if f < amount {
-						return // insufficient funds; commit empty
-					}
-					tx.Store(base+from, f-amount, stm.AccShared)
-					t := tx.Load(base+to, stm.AccShared)
-					tx.Store(base+to, t+amount, stm.AccShared)
+	rt.Parallel(threads, func(th *tm.Thread, tid, _ int) {
+		r := rand.New(rand.NewSource(int64(tid + 1)))
+		for i := 0; i < transfers; i++ {
+			from := r.Intn(accounts)
+			to := r.Intn(accounts)
+			amount := uint64(1 + r.Intn(10))
+			th.Atomic(func(tx *tm.Tx) {
+				f := bank.Word(from).Load(tx)
+				if f < amount {
+					return // insufficient funds; commit empty
+				}
+				bank.Word(from).Store(tx, f-amount)
+				bank.Word(to).Add(tx, amount)
 
-					// The audit record is transaction-local until
-					// commit: its initializing stores need no
-					// barriers, and the runtime capture analysis
-					// (or the compiler, via AccFresh) elides them.
-					rec := tx.Alloc(3)
-					tx.Store(rec, uint64(from), stm.AccFresh)
-					tx.Store(rec+1, uint64(to), stm.AccFresh)
-					tx.StoreAddr(rec+2, tx.LoadAddr(auditHead, stm.AccShared), stm.AccFresh)
-					tx.StoreAddr(auditHead, rec, stm.AccShared)
-				})
-			}
-		}(t)
-	}
-	wg.Wait()
+				// The audit record is transaction-local until commit:
+				// its initializing stores need no barriers, and both
+				// the runtime capture analysis and the compiler (via
+				// the record's fresh provenance) elide them.
+				rec := tx.Alloc(3)
+				rec.Word(0).Store(tx, uint64(from))
+				rec.Word(1).Store(tx, uint64(to))
+				rec.Ptr(2).Store(tx, auditHead.Load(tx))
+				auditHead.Store(tx, rec)
+			})
+		}
+	})
 
 	// Verify conservation and count audit records.
 	var total uint64
 	for i := 0; i < accounts; i++ {
-		total += rt.Space().Load(base + mem.Addr(i))
+		total += bank.Word(i).Peek(rt)
 	}
 	records := 0
-	for p := mem.Addr(rt.Space().Load(auditHead)); p != mem.Nil; p = mem.Addr(rt.Space().Load(p + 2)) {
+	for p := auditHead.Peek(rt); !p.IsNil(); p = p.Ptr(2).Peek(rt) {
 		records++
 	}
 	s := rt.Stats()

@@ -8,8 +8,8 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/stm"
 	"repro/internal/tlc"
+	"repro/tm"
 )
 
 const program = `
@@ -82,16 +82,16 @@ func main() {
 		noInline.Analysis.Fresh+noInline.Analysis.Stack,
 		c.Analysis.Fresh+c.Analysis.Stack)
 
-	for _, cfg := range []stm.OptConfig{stm.Baseline(), stm.Compiler()} {
-		rt := stm.New(c.DefaultMemConfig(), cfg)
-		in := tlc.NewInterp(c, rt)
-		ret, err := in.Call(rt.Thread(0), "main")
+	for _, p := range []tm.Profile{tm.Baseline(), tm.CompilerElision()} {
+		rt := tm.Open(append(p.Options(), tm.WithMemory(c.DefaultMemConfig()))...)
+		in := tlc.NewInterp(c, rt.Unwrap())
+		ret, err := in.Call(rt.Unwrap().Thread(0), "main")
 		if err != nil {
 			panic(err)
 		}
 		s := rt.Stats()
 		fmt.Printf("\n[%s] main() = %d; reads: %d (%d elided), writes: %d (%d elided)\n",
-			cfg.Name, ret, s.ReadTotal, s.ReadElided(), s.WriteTotal, s.WriteElided())
+			p.Name(), ret, s.ReadTotal, s.ReadElided(), s.WriteTotal, s.WriteElided())
 	}
 	fmt.Println("\nEvery elided access was proven transaction-local by the")
 	fmt.Println("intraprocedural pointer analysis after inlining; the tests in")

@@ -1,6 +1,7 @@
 // Vacation: run the paper's flagship STAMP workload (a travel
 // reservation system) under every optimization and print the
-// improvement over the baseline — a miniature of the paper's Fig. 11.
+// improvement over the baseline — a miniature of the paper's Fig. 11,
+// driven entirely through the public tm / tm/bench API.
 //
 //	go run ./examples/vacation [-threads N]
 package main
@@ -10,7 +11,7 @@ import (
 	"fmt"
 	"runtime"
 
-	"repro/internal/harness"
+	"repro/tm/bench"
 
 	_ "repro/internal/stamp/all"
 )
@@ -20,23 +21,20 @@ func main() {
 	flag.Parse()
 
 	fmt.Printf("vacation-low on %d threads, 3 runs per configuration\n\n", *threads)
-	cfgs := harness.Table1Configs()
-	results, err := harness.RunMatrix("vacation-low", cfgs, *threads, 3)
+	profiles := bench.Table1Configs()
+	results, err := bench.RunMatrix("vacation-low", profiles, *threads, 3)
 	if err != nil {
 		panic(err)
 	}
 	base := results[0]
 	fmt.Printf("%-28s %12s %14s %10s\n", "configuration", "time", "aborts/commit", "vs baseline")
 	for i, res := range results {
-		imp := harness.Improvement(base, res)
-		mark := ""
-		if i == 0 {
-			mark = "(baseline)"
-		} else {
-			mark = fmt.Sprintf("%+.1f%%", imp)
+		mark := "(baseline)"
+		if i != 0 {
+			mark = fmt.Sprintf("%+.1f%%", bench.Improvement(base, res))
 		}
 		fmt.Printf("%-28s %12v %14.3f %10s\n",
-			cfgs[i].Name, res.Min().Round(100000), res.Stats.AbortRatio(), mark)
+			profiles[i].Name(), res.Min().Round(100000), res.Stats.AbortRatio(), mark)
 	}
 	fmt.Println("\nThe optimizations elide barriers for memory captured by each")
 	fmt.Println("transaction (reservation records allocated inside it), which also")

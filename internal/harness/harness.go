@@ -1,7 +1,8 @@
 // Package harness runs the paper's experiments: it instantiates a
-// benchmark under an optimization configuration, times the parallel
-// phase over repeated runs, validates the result, and formats the
-// tables and figure series of the evaluation section (Sec. 4).
+// workload from the tm registry under an optimization profile, times
+// the parallel phase over repeated runs, validates the result, and
+// formats the tables and figure series of the evaluation section
+// (Sec. 4). The public façade over this package is tm/bench.
 package harness
 
 import (
@@ -12,62 +13,69 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/capture"
-	"repro/internal/stamp"
-	"repro/internal/stm"
+	"repro/tm"
 )
 
-// Result is the outcome of running one benchmark under one
-// configuration at one thread count.
+// Result is the outcome of running one workload under one profile at
+// one thread count.
 type Result struct {
 	Bench   string
 	Config  string
 	Threads int
 	Times   []time.Duration // one per run
-	Stats   stm.Stats       // from the last run
+	Stats   tm.Stats        // from the last run
 }
 
-// Run executes the benchmark `runs` times (fresh instance each run;
+// Run executes the workload `runs` times (fresh instance each run;
 // setup and validation excluded from timing) and returns the result.
-func Run(bench string, cfg stm.OptConfig, threads, runs int) (Result, error) {
-	res := Result{Bench: bench, Config: cfg.Name, Threads: threads}
+// Workloads are resolved through the tm registry, so anything
+// registered with tm.RegisterWorkload — the STAMP ports or an
+// external scenario package — runs identically.
+func Run(bench string, p tm.Profile, threads, runs int) (Result, error) {
+	res := Result{Bench: bench, Config: p.Name(), Threads: threads}
 	for i := 0; i < runs; i++ {
-		b, err := stamp.New(bench)
+		w, err := tm.NewWorkload(bench)
 		if err != nil {
 			return res, err
 		}
-		rt := stm.New(b.MemConfig(), cfg)
-		b.Setup(rt)
+		rt := tm.Open(append(p.Options(), tm.WithMemory(w.MemConfig()))...)
+		w.Setup(rt)
 		rt.ResetStats() // report the timed phase only
-		// Quiesce the Go runtime so the timed region measures the STM,
-		// not the collector: GC now, then hold it off until the run
-		// finishes (the workloads allocate little Go memory).
-		runtime.GC()
-		gcPct := debug.SetGCPercent(-1)
-		start := time.Now()
-		b.Run(rt, threads)
-		res.Times = append(res.Times, time.Since(start))
-		debug.SetGCPercent(gcPct)
-		if err := b.Validate(rt); err != nil {
-			return res, fmt.Errorf("%s [%s, %d threads]: %w", bench, cfg.Name, threads, err)
+		res.Times = append(res.Times, timedRun(w, rt, threads))
+		if err := w.Validate(rt); err != nil {
+			return res, fmt.Errorf("%s [%s, %d threads]: %w", bench, p.Name(), threads, err)
 		}
 		res.Stats = rt.Stats()
 	}
 	return res, nil
 }
 
-// RunMatrix measures bench under every configuration, interleaving
-// the configurations round-robin so slow drift in machine speed
-// (thermal, noisy neighbors) biases no configuration. Results are
-// indexed like cfgs.
-func RunMatrix(bench string, cfgs []stm.OptConfig, threads, runs int) ([]Result, error) {
-	results := make([]Result, len(cfgs))
-	for i, cfg := range cfgs {
-		results[i] = Result{Bench: bench, Config: cfg.Name, Threads: threads}
+// timedRun times the parallel phase with the Go runtime quiesced: GC
+// now, then hold the collector off until the run finishes (the
+// workloads allocate little Go memory), so the timed region measures
+// the STM. The deferred restore keeps GC enabled for the rest of the
+// process even when a workload panics.
+func timedRun(w tm.Workload, rt *tm.Runtime, threads int) time.Duration {
+	runtime.GC()
+	gcPct := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(gcPct)
+	start := time.Now()
+	w.Run(rt, threads)
+	return time.Since(start)
+}
+
+// RunMatrix measures the workload under every profile, interleaving
+// the profiles round-robin so slow drift in machine speed (thermal,
+// noisy neighbors) biases no configuration. Results are indexed like
+// profiles.
+func RunMatrix(bench string, profiles []tm.Profile, threads, runs int) ([]Result, error) {
+	results := make([]Result, len(profiles))
+	for i, p := range profiles {
+		results[i] = Result{Bench: bench, Config: p.Name(), Threads: threads}
 	}
 	for r := 0; r < runs; r++ {
-		for i, cfg := range cfgs {
-			one, err := Run(bench, cfg, threads, 1)
+		for i, p := range profiles {
+			one, err := Run(bench, p, threads, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -131,47 +139,47 @@ func Improvement(base, opt Result) float64 {
 	return 100 * (float64(base.Min()) - float64(opt.Min())) / float64(base.Min())
 }
 
-// --- Configuration sets from the paper's evaluation ---
+// --- Profile sets from the paper's evaluation ---
 
-// Fig10Configs returns the configurations compared in Fig. 10 and
+// Fig10Configs returns the profiles compared in Fig. 10 and
 // Fig. 11(a): the baseline, the three runtime variants (tree log), and
 // the compiler optimization.
-func Fig10Configs() []stm.OptConfig {
-	return []stm.OptConfig{
-		stm.Baseline(),
-		stm.RuntimeAll(capture.KindTree),
-		stm.RuntimeWrite(capture.KindTree),
-		stm.RuntimeHeapWrite(capture.KindTree),
-		stm.Compiler(),
+func Fig10Configs() []tm.Profile {
+	return []tm.Profile{
+		tm.Baseline(),
+		tm.RuntimeAll(tm.LogTree),
+		tm.RuntimeWrite(tm.LogTree),
+		tm.RuntimeHeapWrite(tm.LogTree),
+		tm.CompilerElision(),
 	}
 }
 
-// Fig11bConfigs returns the configurations of Fig. 11(b): heap-only
+// Fig11bConfigs returns the profiles of Fig. 11(b): heap-only
 // write-barrier runtime checks under each log implementation, plus the
 // compiler.
-func Fig11bConfigs() []stm.OptConfig {
-	return []stm.OptConfig{
-		stm.Baseline(),
-		stm.RuntimeHeapWrite(capture.KindTree),
-		stm.RuntimeHeapWrite(capture.KindArray),
-		stm.RuntimeHeapWrite(capture.KindFilter),
-		stm.Compiler(),
+func Fig11bConfigs() []tm.Profile {
+	return []tm.Profile{
+		tm.Baseline(),
+		tm.RuntimeHeapWrite(tm.LogTree),
+		tm.RuntimeHeapWrite(tm.LogArray),
+		tm.RuntimeHeapWrite(tm.LogFilter),
+		tm.CompilerElision(),
 	}
 }
 
-// Table1Configs returns the configurations of Table 1 / Table 2:
-// baseline, the three full runtime variants, and the compiler.
-func Table1Configs() []stm.OptConfig {
-	return []stm.OptConfig{
-		stm.Baseline(),
-		stm.RuntimeAll(capture.KindTree),
-		stm.RuntimeAll(capture.KindArray),
-		stm.RuntimeAll(capture.KindFilter),
-		stm.Compiler(),
+// Table1Configs returns the profiles of Table 1 / Table 2: baseline,
+// the three full runtime variants, and the compiler.
+func Table1Configs() []tm.Profile {
+	return []tm.Profile{
+		tm.Baseline(),
+		tm.RuntimeAll(tm.LogTree),
+		tm.RuntimeAll(tm.LogArray),
+		tm.RuntimeAll(tm.LogFilter),
+		tm.CompilerElision(),
 	}
 }
 
-// Benches returns the benchmark roster in the paper's Table 1 order.
+// Benches returns the STAMP roster in the paper's Table 1 order.
 func Benches() []string {
 	return []string{
 		"bayes", "genome", "intruder", "kmeans-high", "kmeans-low",

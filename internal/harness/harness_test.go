@@ -2,17 +2,18 @@ package harness
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
-	"repro/internal/stm"
+	"repro/tm"
 
 	_ "repro/internal/stamp/all"
 )
 
 func TestRunProducesTimesAndStats(t *testing.T) {
-	res, err := Run("ssca2", stm.Baseline(), 2, 2)
+	res, err := Run("ssca2", tm.Baseline(), 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,8 +29,13 @@ func TestRunProducesTimesAndStats(t *testing.T) {
 }
 
 func TestRunUnknownBenchErrors(t *testing.T) {
-	if _, err := Run("nope", stm.Baseline(), 1, 1); err == nil {
-		t.Error("no error for unknown benchmark")
+	_, err := Run("nope", tm.Baseline(), 1, 1)
+	if err == nil {
+		t.Fatal("no error for unknown benchmark")
+	}
+	// The registry error is the UX for typos: it lists what exists.
+	if !strings.Contains(err.Error(), "vacation-low") {
+		t.Errorf("error does not list registered workloads: %v", err)
 	}
 }
 
@@ -79,9 +85,9 @@ func TestConfigSets(t *testing.T) {
 	if n := len(Table1Configs()); n != 5 {
 		t.Errorf("Table1Configs = %d, want 5", n)
 	}
-	for _, sets := range [][]stm.OptConfig{Fig10Configs(), Fig11bConfigs(), Table1Configs()} {
-		if sets[0].Name != "baseline" {
-			t.Errorf("first config %q, want baseline", sets[0].Name)
+	for _, sets := range [][]tm.Profile{Fig10Configs(), Fig11bConfigs(), Table1Configs()} {
+		if sets[0].Name() != "baseline" {
+			t.Errorf("first profile %q, want baseline", sets[0].Name())
 		}
 	}
 	if len(Benches()) != 10 {
@@ -161,8 +167,8 @@ func TestReportWriters(t *testing.T) {
 }
 
 func TestRunMatrixInterleaves(t *testing.T) {
-	cfgs := []stm.OptConfig{stm.Baseline(), stm.Compiler()}
-	results, err := RunMatrix("ssca2", cfgs, 1, 2)
+	profiles := []tm.Profile{tm.Baseline(), tm.CompilerElision()}
+	results, err := RunMatrix("ssca2", profiles, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,8 +179,84 @@ func TestRunMatrixInterleaves(t *testing.T) {
 		if len(r.Times) != 2 {
 			t.Errorf("config %d: %d times, want 2", i, len(r.Times))
 		}
-		if r.Config != cfgs[i].Name {
+		if r.Config != profiles[i].Name() {
 			t.Errorf("config %d name %q", i, r.Config)
 		}
+	}
+}
+
+// --- An external workload, written purely against the tm package ---
+
+// extCounter is a scenario defined outside internal/stamp: concurrent
+// counter increments plus a per-transaction scratch record, so both
+// full barriers and captured (elidable) accesses occur.
+type extCounter struct {
+	perThread int
+	cell      tm.Word
+	want      uint64
+}
+
+func (c *extCounter) Name() string { return "ext-counter" }
+
+func (c *extCounter) MemConfig() tm.MemConfig {
+	return tm.MemConfig{GlobalWords: 64, HeapWords: 1 << 14, StackWords: 1 << 8, MaxThreads: 8}
+}
+
+func (c *extCounter) Setup(rt *tm.Runtime) {
+	c.cell = rt.AllocGlobal(1).Word(0)
+}
+
+func (c *extCounter) Run(rt *tm.Runtime, nthreads int) {
+	rt.Parallel(nthreads, func(th *tm.Thread, tid, _ int) {
+		for i := 0; i < c.perThread; i++ {
+			th.Atomic(func(tx *tm.Tx) {
+				scratch := tx.Alloc(2) // captured: elidable stores
+				scratch.Word(0).Store(tx, uint64(tid))
+				scratch.Word(1).Store(tx, uint64(i))
+				c.cell.Add(tx, 1)
+				tx.Free(scratch)
+			})
+		}
+	})
+	c.want += uint64(nthreads * c.perThread)
+}
+
+func (c *extCounter) Validate(rt *tm.Runtime) error {
+	if got := c.cell.Peek(rt); got != c.want {
+		return fmt.Errorf("counter = %d, want %d", got, c.want)
+	}
+	return nil
+}
+
+func init() {
+	tm.RegisterWorkload("ext-counter", func() tm.Workload {
+		return &extCounter{perThread: 300}
+	})
+}
+
+// TestExternalWorkloadThroughHarness is the acceptance test for the
+// pluggable registry: a workload registered outside internal/stamp
+// runs through harness.Run and shows up in the report output next to
+// the STAMP roster.
+func TestExternalWorkloadThroughHarness(t *testing.T) {
+	res, err := Run("ext-counter", tm.RuntimeAll(tm.LogTree), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Commits == 0 {
+		t.Error("no commits recorded")
+	}
+	if res.Stats.WriteElided() == 0 {
+		t.Error("runtime capture analysis elided nothing for the scratch records")
+	}
+	rows := map[string]map[string]float64{
+		"vacation-low": {"baseline": 0.1},
+		"ext-counter":  {"baseline": res.Stats.AbortRatio()},
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, rows, []string{"baseline"}, 2)
+	out := buf.String()
+	if !strings.Contains(out, "ext-counter") {
+		t.Errorf("external workload missing from report:\n%s", out)
 	}
 }

@@ -3,11 +3,10 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sort"
 	"text/tabwriter"
 
-	"repro/internal/capture"
-	"repro/internal/stamp"
-	"repro/internal/stm"
+	"repro/tm"
 )
 
 // Breakdown is the paper's Fig. 8 classification of the compiler-
@@ -42,21 +41,30 @@ func breakdown(bench string, total, capHeap, capStack, manual uint64) Breakdown 
 	return b
 }
 
+// measure runs one fresh instance of the workload single-threaded
+// under the profile and returns the statistics of the timed phase.
+func measure(bench string, p tm.Profile) (tm.Stats, error) {
+	w, err := tm.NewWorkload(bench)
+	if err != nil {
+		return tm.Stats{}, err
+	}
+	rt := tm.Open(append(p.Options(), tm.WithMemory(w.MemConfig()))...)
+	w.Setup(rt)
+	rt.ResetStats() // count the timed phase only, as in Sec. 4.1
+	w.Run(rt, 1)
+	if err := w.Validate(rt); err != nil {
+		return tm.Stats{}, err
+	}
+	return rt.Stats(), nil
+}
+
 // MeasureBreakdown runs bench single-threaded in counting mode and
 // returns the read, write, and combined classifications (Fig. 8 a/b/c).
 func MeasureBreakdown(bench string) (read, write, all Breakdown, err error) {
-	b, err := stamp.New(bench)
+	s, err := measure(bench, tm.Counting())
 	if err != nil {
 		return read, write, all, err
 	}
-	rt := stm.New(b.MemConfig(), stm.CountingConfig())
-	b.Setup(rt)
-	rt.ResetStats() // count the timed phase only, as in Sec. 4.1
-	b.Run(rt, 1)
-	if err := b.Validate(rt); err != nil {
-		return read, write, all, err
-	}
-	s := rt.Stats()
 	read = breakdown(bench, s.ReadTotal, s.ReadCapHeap, s.ReadCapStack, s.ReadManual)
 	write = breakdown(bench, s.WriteTotal, s.WriteCapHeap, s.WriteCapStack, s.WriteManual)
 	all = breakdown(bench, s.ReadTotal+s.WriteTotal,
@@ -92,25 +100,17 @@ func Fig9Techniques() []string { return []string{"tree", "array", "filter", "com
 // reports the portion of barriers each one removed.
 func MeasureRemoval(bench string) (Removal, error) {
 	rm := Removal{Bench: bench, Read: map[string]float64{}, Write: map[string]float64{}}
-	cfgs := map[string]stm.OptConfig{
-		"tree":     stm.RuntimeAll(capture.KindTree),
-		"array":    stm.RuntimeAll(capture.KindArray),
-		"filter":   stm.RuntimeAll(capture.KindFilter),
-		"compiler": stm.Compiler(),
+	profiles := map[string]tm.Profile{
+		"tree":     tm.RuntimeAll(tm.LogTree),
+		"array":    tm.RuntimeAll(tm.LogArray),
+		"filter":   tm.RuntimeAll(tm.LogFilter),
+		"compiler": tm.CompilerElision(),
 	}
 	for _, tech := range Fig9Techniques() {
-		b, err := stamp.New(bench)
+		s, err := measure(bench, profiles[tech])
 		if err != nil {
 			return rm, err
 		}
-		rt := stm.New(b.MemConfig(), cfgs[tech])
-		b.Setup(rt)
-		rt.ResetStats()
-		b.Run(rt, 1)
-		if err := b.Validate(rt); err != nil {
-			return rm, err
-		}
-		s := rt.Stats()
 		if s.ReadTotal > 0 {
 			rm.Read[tech] = float64(s.ReadElided()) / float64(s.ReadTotal)
 		}
@@ -144,6 +144,17 @@ func WriteFig9(w io.Writer, class string, rows []Removal) {
 	tw.Flush()
 }
 
+// rowNames returns the benchmark rows of a table in sorted order, so
+// externally registered workloads appear alongside the STAMP roster.
+func rowNames(rows map[string]map[string]float64) []string {
+	names := make([]string, 0, len(rows))
+	for b := range rows {
+		names = append(names, b)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // WriteTable1 prints the abort-to-commit ratios (Table 1).
 func WriteTable1(w io.Writer, rows map[string]map[string]float64, configs []string, threads int) {
 	fmt.Fprintf(w, "Table 1: abort-to-commit ratio at %d threads\n", threads)
@@ -153,7 +164,7 @@ func WriteTable1(w io.Writer, rows map[string]map[string]float64, configs []stri
 		fmt.Fprintf(tw, "\t%s", c)
 	}
 	fmt.Fprintln(tw)
-	for _, b := range Benches() {
+	for _, b := range rowNames(rows) {
 		fmt.Fprintf(tw, "%s", b)
 		for _, c := range configs {
 			fmt.Fprintf(tw, "\t%.2f", rows[b][c])
@@ -172,7 +183,7 @@ func WriteTable2(w io.Writer, rows map[string]map[string]float64, configs []stri
 		fmt.Fprintf(tw, "\t%s", c)
 	}
 	fmt.Fprintln(tw)
-	for _, b := range Benches() {
+	for _, b := range rowNames(rows) {
 		fmt.Fprintf(tw, "%s", b)
 		for _, c := range configs {
 			fmt.Fprintf(tw, "\t%.2f", rows[b][c])
@@ -195,7 +206,7 @@ func WriteImprovements(w io.Writer, title string, rows map[string]map[string]flo
 		fmt.Fprintf(tw, "\t%s", c)
 	}
 	fmt.Fprintln(tw)
-	for _, b := range Benches() {
+	for _, b := range rowNames(rows) {
 		fmt.Fprintf(tw, "%s", b)
 		for _, c := range configs {
 			if c == "baseline" {

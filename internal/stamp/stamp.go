@@ -8,16 +8,23 @@
 // the original hand-instrumented (TM_* vs P_* variants) — because
 // those properties determine the paper's barrier-mix and performance
 // results. Input sizes are scaled to laptop scale; all generators are
-// deterministic. Substitutions are documented per benchmark and in
-// DESIGN.md.
+// deterministic. Substitutions are documented per benchmark.
+//
+// The ports are written against the low-level engine (internal/stm);
+// Register bridges each one into the public tm workload registry, so
+// the harness and bench tools resolve STAMP and external scenarios
+// through the same tm.NewWorkload lookup.
 package stamp
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/mem"
 	"repro/internal/stm"
+	"repro/tm"
 )
 
 // Benchmark is one STAMP application configuration.
@@ -43,8 +50,19 @@ var registry []struct {
 	f    Factory
 }
 
-// Register adds a benchmark factory to the global registry. It is
-// called from the benchmark packages' init functions.
+// tmWorkload adapts a Benchmark to the public tm.Workload interface by
+// unwrapping the engine runtime the port was written against.
+type tmWorkload struct{ b Benchmark }
+
+func (w tmWorkload) Name() string                  { return w.b.Name() }
+func (w tmWorkload) MemConfig() tm.MemConfig       { return w.b.MemConfig() }
+func (w tmWorkload) Setup(rt *tm.Runtime)          { w.b.Setup(rt.Unwrap()) }
+func (w tmWorkload) Run(rt *tm.Runtime, n int)     { w.b.Run(rt.Unwrap(), n) }
+func (w tmWorkload) Validate(rt *tm.Runtime) error { return w.b.Validate(rt.Unwrap()) }
+
+// Register adds a benchmark factory to the registry and bridges it
+// into the public tm workload registry. It is called from the
+// benchmark packages' init functions.
 func Register(name string, f Factory) {
 	for _, e := range registry {
 		if e.name == name {
@@ -55,6 +73,7 @@ func Register(name string, f Factory) {
 		name string
 		f    Factory
 	}{name, f})
+	tm.RegisterWorkload(name, func() tm.Workload { return tmWorkload{f()} })
 }
 
 // Names returns the registered benchmark names in registration order.
@@ -66,14 +85,19 @@ func Names() []string {
 	return out
 }
 
-// New instantiates a registered benchmark.
+// New instantiates a registered benchmark. An unknown name is an
+// error listing every registered name, so a typo in a -bench flag
+// shows what is available.
 func New(name string) (Benchmark, error) {
 	for _, e := range registry {
 		if e.name == name {
 			return e.f(), nil
 		}
 	}
-	return nil, fmt.Errorf("stamp: unknown benchmark %q (have %v)", name, Names())
+	names := Names()
+	sort.Strings(names)
+	return nil, fmt.Errorf("stamp: unknown benchmark %q (registered: %s)",
+		name, strings.Join(names, ", "))
 }
 
 // RunParallel executes worker on nthreads goroutines, each bound to

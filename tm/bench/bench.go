@@ -1,0 +1,99 @@
+// Package bench is the public face of the experiment harness: it runs
+// workloads registered with tm.RegisterWorkload under tm option
+// profiles, repeats and times them, and formats the tables and figure
+// series of the paper's evaluation. External scenario packages get the
+// same matrix, statistics, and reports as the in-tree STAMP ports:
+//
+//	tm.RegisterWorkload("mine", func() tm.Workload { return newMine() })
+//	res, err := bench.Run("mine", tm.RuntimeAll(tm.LogTree), 8, 3)
+//
+// The implementation lives in internal/harness; this package only
+// re-exports the surface external code needs.
+package bench
+
+import (
+	"io"
+
+	"repro/internal/harness"
+	"repro/tm"
+)
+
+// Result is the outcome of running one workload under one profile at
+// one thread count. It carries the per-run times, the statistics of
+// the last run, and the aggregate helpers Mean, Median, Min, and
+// RelStdDev.
+type Result = harness.Result
+
+// Breakdown is a Fig. 8 barrier classification row.
+type Breakdown = harness.Breakdown
+
+// Removal is a Fig. 9 barrier-removal row.
+type Removal = harness.Removal
+
+// Run executes the workload `runs` times under the profile (fresh
+// instance each run; setup and validation excluded from timing).
+func Run(workload string, p tm.Profile, threads, runs int) (Result, error) {
+	return harness.Run(workload, p, threads, runs)
+}
+
+// RunMatrix measures the workload under every profile, interleaved
+// round-robin so machine-speed drift biases no configuration.
+func RunMatrix(workload string, profiles []tm.Profile, threads, runs int) ([]Result, error) {
+	return harness.RunMatrix(workload, profiles, threads, runs)
+}
+
+// Improvement returns the percent performance improvement of opt over
+// base: positive means opt is faster.
+func Improvement(base, opt Result) float64 { return harness.Improvement(base, opt) }
+
+// MeasureBreakdown runs the workload single-threaded in counting mode
+// and returns the read, write, and combined Fig. 8 classifications.
+func MeasureBreakdown(workload string) (read, write, all Breakdown, err error) {
+	return harness.MeasureBreakdown(workload)
+}
+
+// MeasureRemoval runs the workload single-threaded under each capture
+// technique and reports the portion of barriers each one removed.
+func MeasureRemoval(workload string) (Removal, error) {
+	return harness.MeasureRemoval(workload)
+}
+
+// Benches returns the STAMP roster in the paper's Table 1 order.
+func Benches() []string { return harness.Benches() }
+
+// Fig10Configs returns the profiles compared in Fig. 10 / Fig. 11(a).
+func Fig10Configs() []tm.Profile { return harness.Fig10Configs() }
+
+// Fig11bConfigs returns the profiles of Fig. 11(b).
+func Fig11bConfigs() []tm.Profile { return harness.Fig11bConfigs() }
+
+// Table1Configs returns the profiles of Table 1 / Table 2.
+func Table1Configs() []tm.Profile { return harness.Table1Configs() }
+
+// WriteTable1 prints the abort-to-commit ratio table.
+func WriteTable1(w io.Writer, rows map[string]map[string]float64, configs []string, threads int) {
+	harness.WriteTable1(w, rows, configs, threads)
+}
+
+// WriteTable2 prints the run-to-run variation table.
+func WriteTable2(w io.Writer, rows map[string]map[string]float64, configs []string, threads, runs int) {
+	harness.WriteTable2(w, rows, configs, threads, runs)
+}
+
+// WriteImprovements prints a Fig. 10 / Fig. 11 style improvement
+// table.
+func WriteImprovements(w io.Writer, title string, rows map[string]map[string]float64, configs []string) {
+	harness.WriteImprovements(w, title, rows, configs)
+}
+
+// WriteFig8 prints the Fig. 8 barrier-breakdown table for one access
+// class ("reads", "writes" or "all").
+func WriteFig8(w io.Writer, class string, rows []Breakdown) {
+	harness.WriteFig8(w, class, rows)
+}
+
+// WriteFig9 prints the Fig. 9 barrier-removal table for reads or
+// writes.
+func WriteFig9(w io.Writer, class string, rows []Removal) {
+	harness.WriteFig9(w, class, rows)
+}

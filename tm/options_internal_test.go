@@ -1,0 +1,118 @@
+package tm
+
+// White-box tests: the functional options and preset profiles must
+// build exactly the stm.OptConfig values the engine's own constructors
+// produce, so results stay comparable with the paper's configuration
+// names.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+func buildCfg(t *testing.T, opts ...Option) stm.OptConfig {
+	t.Helper()
+	_, cfg := build(opts)
+	return cfg
+}
+
+func TestPresetProfilesMatchEngineConstructors(t *testing.T) {
+	cases := []struct {
+		profile Profile
+		want    stm.OptConfig
+	}{
+		{Baseline(), stm.Baseline()},
+		{Counting(), stm.CountingConfig()},
+		{RuntimeAll(LogTree), stm.RuntimeAll(capture.KindTree)},
+		{RuntimeAll(LogArray), stm.RuntimeAll(capture.KindArray)},
+		{RuntimeAll(LogFilter), stm.RuntimeAll(capture.KindFilter)},
+		{RuntimeWrite(LogTree), stm.RuntimeWrite(capture.KindTree)},
+		{RuntimeHeapWrite(LogFilter), stm.RuntimeHeapWrite(capture.KindFilter)},
+		{CompilerElision(), stm.Compiler()},
+		{RuntimeAll(LogTree).Perf(), stm.RuntimeAll(capture.KindTree).Perf()},
+	}
+	for _, c := range cases {
+		got := buildCfg(t, c.profile.Options()...)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("profile %q built %+v, want %+v", c.profile.Name(), got, c.want)
+		}
+	}
+}
+
+func TestOptionFieldMapping(t *testing.T) {
+	cfg := buildCfg(t,
+		WithName("x"),
+		WithRuntimeCapture(Checks{Stack: true}, Checks{Heap: true}),
+		WithLogKind(LogArray),
+		WithArrayCap(7),
+		WithFilterBits(9),
+		WithOrecBits(12),
+		WithAnnotations(),
+		WithCounting(),
+		WithPerfMode(),
+		WithSkipSharedChecks(),
+		WithoutWAWFilter(),
+	)
+	want := stm.OptConfig{
+		Name:             "x",
+		Read:             stm.BarrierOpt{Stack: true},
+		Write:            stm.BarrierOpt{Heap: true},
+		LogKind:          capture.KindArray,
+		ArrayCap:         7,
+		FilterBits:       9,
+		OrecBits:         12,
+		Annotations:      true,
+		Counting:         true,
+		PerfMode:         true,
+		SkipSharedChecks: true,
+		NoWAWFilter:      true,
+	}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Errorf("built %+v, want %+v", cfg, want)
+	}
+	if cfg := buildCfg(t, WithCompilerElision()); !cfg.Compiler {
+		t.Error("WithCompilerElision did not set Compiler")
+	}
+	// VerifyElision needs the precise log; the option must imply
+	// Counting or the engine panics at first transaction.
+	cfg = buildCfg(t, WithVerifyElision())
+	if !cfg.VerifyElision || !cfg.Counting {
+		t.Errorf("WithVerifyElision built %+v, want VerifyElision+Counting", cfg)
+	}
+}
+
+func TestMemoryAndDefaults(t *testing.T) {
+	mc, cfg := build(nil)
+	if mc != mem.DefaultConfig() {
+		t.Errorf("default memory = %+v", mc)
+	}
+	if cfg.Name != "custom" {
+		t.Errorf("default name = %q", cfg.Name)
+	}
+	custom := MemConfig{GlobalWords: 8, HeapWords: 16, StackWords: 4, MaxThreads: 2}
+	mc, _ = build([]Option{WithMemory(custom)})
+	if mc != custom {
+		t.Errorf("WithMemory = %+v, want %+v", mc, custom)
+	}
+}
+
+func TestProfileWithDoesNotAliasBase(t *testing.T) {
+	base := NewProfile("base", WithCounting())
+	a := base.With(WithPerfMode())
+	b := base.With(WithOrecBits(8))
+	acfg := buildCfg(t, a.Options()...)
+	bcfg := buildCfg(t, b.Options()...)
+	if acfg.OrecBits != 0 || !acfg.PerfMode {
+		t.Errorf("profile a contaminated: %+v", acfg)
+	}
+	if bcfg.PerfMode || bcfg.OrecBits != 8 {
+		t.Errorf("profile b contaminated: %+v", bcfg)
+	}
+	if a.Name() != "base" || b.Named("renamed").Name() != "renamed" {
+		t.Error("profile naming broken")
+	}
+}

@@ -1,0 +1,192 @@
+package tm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Prov is the static provenance a typed reference carries: what an
+// intraprocedural capture analysis could prove about the location it
+// addresses. It decides whether WithCompilerElision may skip the
+// barrier and whether WithSkipSharedChecks may skip the runtime
+// capture checks.
+type Prov = stm.Prov
+
+// Provenance values (see the paper's Sec. 3.2 and the definitely-
+// shared extension).
+const (
+	// ProvUnknown: nothing is proved; the barrier is kept.
+	ProvUnknown = stm.ProvUnknown
+	// ProvFresh: the referent was allocated in the current transaction.
+	ProvFresh = stm.ProvFresh
+	// ProvLocal: proved transaction-local after inlining.
+	ProvLocal = stm.ProvLocal
+	// ProvStack: a transaction-local stack location.
+	ProvStack = stm.ProvStack
+	// ProvShared: proved definitely shared; runtime capture checks on
+	// it are pure overhead.
+	ProvShared = stm.ProvShared
+)
+
+// accFor maps a provenance claim to the engine's access descriptor.
+// Shared claims are marked manual: asserting shared-ness is what the
+// STAMP TM_SHARED_* hand instrumentation did.
+func accFor(p Prov) stm.Acc {
+	switch p {
+	case ProvFresh:
+		return stm.AccFresh
+	case ProvLocal:
+		return stm.AccLocal
+	case ProvStack:
+		return stm.AccStack
+	case ProvShared:
+		return stm.AccShared
+	default:
+		return stm.AccAuto
+	}
+}
+
+// ref is the common core of the typed references: one word of the
+// simulated space plus the provenance of the access site.
+type ref struct {
+	addr mem.Addr
+	acc  stm.Acc
+}
+
+// Word is a typed reference to one integer word.
+type Word struct{ ref }
+
+// Load reads the word transactionally.
+func (w Word) Load(tx *Tx) uint64 { return tx.tx.Load(w.addr, w.acc) }
+
+// Store writes the word transactionally.
+func (w Word) Store(tx *Tx, v uint64) { tx.tx.Store(w.addr, v, w.acc) }
+
+// Add adds delta to the word transactionally and returns the new
+// value (read-modify-write inside the transaction, not atomic on its
+// own).
+func (w Word) Add(tx *Tx, delta uint64) uint64 {
+	v := tx.tx.Load(w.addr, w.acc) + delta
+	tx.tx.Store(w.addr, v, w.acc)
+	return v
+}
+
+// Peek reads the word non-transactionally (setup/validation phases).
+func (w Word) Peek(rt *Runtime) uint64 { return rt.rt.Space().Load(w.addr) }
+
+// Poke writes the word non-transactionally (setup/validation phases).
+func (w Word) Poke(rt *Runtime, v uint64) { rt.rt.Space().Store(w.addr, v) }
+
+// Float is a typed reference to one float64 word.
+type Float struct{ ref }
+
+// Load reads the float transactionally.
+func (f Float) Load(tx *Tx) float64 { return tx.tx.LoadFloat(f.addr, f.acc) }
+
+// Store writes the float transactionally.
+func (f Float) Store(tx *Tx, v float64) { tx.tx.StoreFloat(f.addr, v, f.acc) }
+
+// Peek reads the float non-transactionally.
+func (f Float) Peek(rt *Runtime) float64 { return rt.rt.Space().LoadFloat(f.addr) }
+
+// Poke writes the float non-transactionally.
+func (f Float) Poke(rt *Runtime, v float64) { rt.rt.Space().StoreFloat(f.addr, v) }
+
+// Ptr is a typed reference to one pointer word: a word holding the
+// address of another block.
+type Ptr struct{ ref }
+
+// Load reads the pointer transactionally. The returned view carries
+// unknown provenance — an address loaded from memory is exactly what
+// a capture analysis cannot prove transaction-local — and unknown
+// size. Use Struct.WithProv to assert a stronger claim.
+func (p Ptr) Load(tx *Tx) Struct {
+	return Struct{base: mem.Addr(tx.tx.Load(p.addr, p.acc)), acc: stm.AccAuto}
+}
+
+// Store writes the pointer transactionally.
+func (p Ptr) Store(tx *Tx, s Struct) { tx.tx.Store(p.addr, uint64(s.base), p.acc) }
+
+// Peek reads the pointer non-transactionally.
+func (p Ptr) Peek(rt *Runtime) Struct {
+	return Struct{base: mem.Addr(rt.rt.Space().Load(p.addr)), acc: stm.AccAuto}
+}
+
+// Poke writes the pointer non-transactionally.
+func (p Ptr) Poke(rt *Runtime, s Struct) { rt.rt.Space().Store(p.addr, uint64(s.base)) }
+
+// Struct is a view of a block of words — a simulated struct or array.
+// Field accessors mint typed references at word offsets; every
+// reference inherits the view's provenance. The zero Struct is the
+// nil reference.
+type Struct struct {
+	base mem.Addr
+	size int // words, 0 when unknown (e.g. loaded through a Ptr)
+	acc  stm.Acc
+}
+
+// IsNil reports whether the view is the nil reference.
+func (s Struct) IsNil() bool { return s.base == mem.Nil }
+
+// Addr returns the raw simulated address of the block (validation and
+// debugging; e.g. as a map key when checking invariants).
+func (s Struct) Addr() Addr { return s.base }
+
+// Len returns the block size in words, or 0 when unknown.
+func (s Struct) Len() int { return s.size }
+
+// Prov returns the provenance the view's references carry.
+func (s Struct) Prov() Prov { return s.acc.Prov }
+
+// WithProv returns a copy of the view whose references carry the
+// given provenance claim. Claiming ProvFresh/ProvLocal/ProvStack for
+// memory that is not transaction-local breaks isolation exactly like
+// a wrong annotation in the paper; WithVerifyElision checks such
+// claims dynamically.
+func (s Struct) WithProv(p Prov) Struct {
+	s.acc = accFor(p)
+	return s
+}
+
+// slot bounds-checks a field offset and returns its address.
+func (s Struct) slot(i int) mem.Addr {
+	if s.base == mem.Nil {
+		panic("tm: dereference through nil reference")
+	}
+	if i < 0 || (s.size > 0 && i >= s.size) {
+		panic(fmt.Sprintf("tm: offset %d out of range [0,%d)", i, s.size))
+	}
+	return s.base + mem.Addr(i)
+}
+
+// mustLen returns the block size, panicking if the view does not know
+// it (op names the API that needed it).
+func (s Struct) mustLen(op string) int {
+	if s.size <= 0 {
+		panic("tm: " + op + " needs a sized reference (from Alloc or AllocGlobal)")
+	}
+	return s.size
+}
+
+// Word returns a reference to the integer field at word offset i.
+func (s Struct) Word(i int) Word { return Word{ref{s.slot(i), s.acc}} }
+
+// Float returns a reference to the float field at word offset i.
+func (s Struct) Float(i int) Float { return Float{ref{s.slot(i), s.acc}} }
+
+// Ptr returns a reference to the pointer field at word offset i.
+func (s Struct) Ptr(i int) Ptr { return Ptr{ref{s.slot(i), s.acc}} }
+
+// At returns a sub-view starting at word offset off (e.g. one record
+// of an array of records); it inherits the provenance and the
+// remaining size.
+func (s Struct) At(off int) Struct {
+	a := s.slot(off)
+	rest := 0
+	if s.size > 0 {
+		rest = s.size - off
+	}
+	return Struct{base: a, size: rest, acc: s.acc}
+}

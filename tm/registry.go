@@ -1,0 +1,76 @@
+package tm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Workload is one benchmark scenario the harness can run: it sizes its
+// own address space, populates initial data, executes a timed parallel
+// phase, and checks post-run invariants. Instances are single use
+// (Setup/Run/Validate once each); the factory creates a fresh one per
+// run.
+type Workload interface {
+	// Name is the workload's registry/report name.
+	Name() string
+	// MemConfig sizes the simulated address space for this workload.
+	MemConfig() MemConfig
+	// Setup populates initial data single-threadedly on thread 0.
+	Setup(rt *Runtime)
+	// Run executes the timed parallel phase on nthreads workers.
+	Run(rt *Runtime, nthreads int)
+	// Validate checks post-run invariants (called after Run returns).
+	Validate(rt *Runtime) error
+}
+
+// WorkloadFactory creates a fresh workload instance.
+type WorkloadFactory func() Workload
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]WorkloadFactory)
+)
+
+// RegisterWorkload adds a workload factory under name. The in-tree
+// STAMP ports self-register via internal/stamp; external scenario
+// packages call it from init to plug into the same harness, reports,
+// and bench matrix. It panics on an empty name or a duplicate
+// registration, like database/sql.Register.
+func RegisterWorkload(name string, f WorkloadFactory) {
+	if name == "" || f == nil {
+		panic("tm: RegisterWorkload with empty name or nil factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("tm: duplicate workload " + name)
+	}
+	registry[name] = f
+}
+
+// Workloads returns the registered workload names, sorted.
+func Workloads() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewWorkload instantiates a registered workload. An unknown name is
+// an error that lists what is registered.
+func NewWorkload(name string) (Workload, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("tm: unknown workload %q (registered: %s)",
+			name, strings.Join(Workloads(), ", "))
+	}
+	return f(), nil
+}

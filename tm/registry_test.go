@@ -1,0 +1,102 @@
+package tm_test
+
+// Registry behaviour: register/resolve, the unknown-name error UX,
+// and duplicate/invalid registrations.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/tm"
+)
+
+// regWorkload is a minimal tm.Workload for registry tests.
+type regWorkload struct{ name string }
+
+func (w regWorkload) Name() string { return w.name }
+func (w regWorkload) MemConfig() tm.MemConfig {
+	return tm.MemConfig{GlobalWords: 8, HeapWords: 64, StackWords: 32, MaxThreads: 2}
+}
+func (w regWorkload) Setup(rt *tm.Runtime)          {}
+func (w regWorkload) Run(rt *tm.Runtime, n int)     {}
+func (w regWorkload) Validate(rt *tm.Runtime) error { return nil }
+
+func TestRegisterResolve(t *testing.T) {
+	tm.RegisterWorkload("registry-test-a", func() tm.Workload { return regWorkload{"registry-test-a"} })
+	tm.RegisterWorkload("registry-test-b", func() tm.Workload { return regWorkload{"registry-test-b"} })
+
+	w, err := tm.NewWorkload("registry-test-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "registry-test-a" {
+		t.Errorf("resolved %q", w.Name())
+	}
+
+	names := tm.Workloads()
+	ia, ib := -1, -1
+	for i, n := range names {
+		switch n {
+		case "registry-test-a":
+			ia = i
+		case "registry-test-b":
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 {
+		t.Fatalf("Workloads() missing registrations: %v", names)
+	}
+	if ia > ib {
+		t.Errorf("Workloads() not sorted: %v", names)
+	}
+}
+
+func TestUnknownWorkloadErrorListsNames(t *testing.T) {
+	tm.RegisterWorkload("registry-test-list", func() tm.Workload { return regWorkload{"registry-test-list"} })
+	_, err := tm.NewWorkload("registry-test-nope")
+	if err == nil {
+		t.Fatal("no error for unknown workload")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "registry-test-nope") || !strings.Contains(msg, "registry-test-list") {
+		t.Errorf("error does not name the miss and the registered set: %v", msg)
+	}
+}
+
+func TestDuplicateAndInvalidRegistrationPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	tm.RegisterWorkload("registry-test-dup", func() tm.Workload { return regWorkload{"registry-test-dup"} })
+	expectPanic("duplicate", func() {
+		tm.RegisterWorkload("registry-test-dup", func() tm.Workload { return regWorkload{"registry-test-dup"} })
+	})
+	expectPanic("empty name", func() {
+		tm.RegisterWorkload("", func() tm.Workload { return regWorkload{""} })
+	})
+	expectPanic("nil factory", func() {
+		tm.RegisterWorkload("registry-test-nilf", nil)
+	})
+}
+
+// TestFactoryReturnsFreshInstances: NewWorkload must hand out a new
+// instance per call (workload instances are single use).
+func TestFactoryReturnsFreshInstances(t *testing.T) {
+	calls := 0
+	tm.RegisterWorkload("registry-test-fresh", func() tm.Workload {
+		calls++
+		return regWorkload{fmt.Sprintf("registry-test-fresh-%d", calls)}
+	})
+	a, _ := tm.NewWorkload("registry-test-fresh")
+	b, _ := tm.NewWorkload("registry-test-fresh")
+	if a.Name() == b.Name() {
+		t.Errorf("factory reused an instance: %q / %q", a.Name(), b.Name())
+	}
+}
