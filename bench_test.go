@@ -14,6 +14,7 @@ import (
 	"repro/tm"
 	"repro/tm/bench"
 
+	_ "repro/internal/scenarios/tmkv"
 	_ "repro/internal/stamp/all"
 )
 
@@ -129,6 +130,42 @@ func BenchmarkFig11a(b *testing.B) {
 func BenchmarkFig11b(b *testing.B) {
 	for _, name := range []string{"vacation-high", "vacation-low", "genome", "intruder", "yada"} {
 		for _, p := range bench.Fig11bConfigs() {
+			b.Run(name+"/"+p.Name(), func(b *testing.B) {
+				runBench(b, name, p.Perf(), benchThreads)
+			})
+		}
+	}
+}
+
+// --- tmkv scenario pack (beyond the STAMP roster) ---
+
+// tmkvVariants are the registered key-value/object-store mixes.
+var tmkvVariants = []string{"tmkv", "tmkv-read", "tmkv-write"}
+
+// BenchmarkTMKV measures the KV/object-store scenario single-threaded
+// under the Fig. 10 configurations: the allocate-build-publish write
+// paths make it the allocation-heaviest workload in the matrix, so the
+// capture techniques shift its numbers more than most STAMP ports.
+func BenchmarkTMKV(b *testing.B) {
+	for _, name := range tmkvVariants {
+		for _, p := range bench.Fig10Configs() {
+			b.Run(name+"/"+p.Name(), func(b *testing.B) {
+				runBench(b, name, p.Perf(), 1)
+			})
+		}
+	}
+}
+
+// BenchmarkTMKVParallel measures the mixes contended at 16 threads
+// under the baseline and the strongest runtime and compiler profiles.
+func BenchmarkTMKVParallel(b *testing.B) {
+	profiles := []tm.Profile{
+		tm.Baseline(),
+		tm.RuntimeAll(tm.LogTree),
+		tm.CompilerElision(),
+	}
+	for _, name := range tmkvVariants {
+		for _, p := range profiles {
 			b.Run(name+"/"+p.Name(), func(b *testing.B) {
 				runBench(b, name, p.Perf(), benchThreads)
 			})

@@ -6,13 +6,19 @@
 // the tm registry, so externally registered scenarios work with the
 // -bench flag too.
 //
+// The matrix covers every workload registered in the tm registry: the
+// STAMP roster plus the in-tree scenario packs (tmkv) and anything an
+// external package registers.
+//
 // Usage:
 //
+//	stampbench -experiment list             # registered workloads
 //	stampbench -experiment fig10            # 1-thread improvements
 //	stampbench -experiment fig11a -threads 16
 //	stampbench -experiment fig11b -threads 16
 //	stampbench -experiment table1 -threads 16
 //	stampbench -experiment table2 -threads 16 -runs 5
+//	stampbench -experiment capture -bench tmkv   # per-mechanism elision counts
 //	stampbench -experiment sweep -bench vacation-low   # scaling curve
 package main
 
@@ -25,23 +31,30 @@ import (
 	"repro/tm"
 	"repro/tm/bench"
 
+	_ "repro/internal/scenarios/tmkv"
 	_ "repro/internal/stamp/all"
 )
 
 func main() {
-	exp := flag.String("experiment", "fig10", "table1|table2|fig10|fig11a|fig11b|sweep")
+	exp := flag.String("experiment", "fig10", "list|table1|table2|fig10|fig11a|fig11b|capture|sweep")
 	threads := flag.Int("threads", 1, "worker threads for the parallel phase")
 	runs := flag.Int("runs", 3, "repetitions per data point")
 	benchFlag := flag.String("bench", "all", "comma-separated workload names or 'all'")
 	flag.Parse()
 
-	benches := bench.Benches()
+	benches := bench.AllWorkloads()
 	if *benchFlag != "all" {
 		benches = strings.Split(*benchFlag, ",")
 	}
 
 	var err error
 	switch *exp {
+	case "list":
+		for _, b := range benches {
+			fmt.Println(b)
+		}
+	case "capture":
+		err = capture(benches)
 	case "table1":
 		err = tables(benches, *threads, *runs, true)
 	case "table2":
@@ -64,6 +77,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stampbench:", err)
 		os.Exit(1)
 	}
+}
+
+// capture prints the per-mechanism capture/elision table for each
+// workload: which barriers the runtime checks, the compiler, and the
+// definitely-shared extension removed.
+func capture(benches []string) error {
+	for _, b := range benches {
+		rows, err := bench.MeasureCaptureStats(b, bench.CaptureConfigs())
+		if err != nil {
+			return err
+		}
+		bench.WriteCaptureStats(os.Stdout, rows)
+		fmt.Println()
+	}
+	return nil
 }
 
 // tables prints Table 1 (ratio=true) or Table 2 (ratio=false).

@@ -69,6 +69,9 @@ func (f *Filter) Remove(start, end mem.Addr) {
 }
 
 // Contains reports whether every word of [addr, addr+size) is marked.
+// The filter is word-granular, so unlike the tree and array it also
+// answers true for an access spanning *adjacent* recorded ranges —
+// every such word is still captured memory, so elision stays safe.
 func (f *Filter) Contains(addr mem.Addr, size int) bool {
 	for i := 0; i < size; i++ {
 		a := addr + mem.Addr(i)

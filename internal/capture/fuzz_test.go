@@ -1,0 +1,200 @@
+package capture
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// The fuzz harness drives a Log with the operation mix the STM
+// produces — disjoint range inserts (allocations), exact removes
+// (frees), containment probes, and clears (transaction end) — decoded
+// from the fuzz input, against a range-set oracle. The contract under
+// test is the paper's conservativeness requirement: Contains may
+// under-report captured memory but must never over-report it, and the
+// precise tree must not under-report either.
+
+// oracleRange is one live range in the reference model.
+type oracleRange struct{ start, end mem.Addr }
+
+// oracle is the exact reference model: the sorted set of live ranges.
+type oracle struct{ ranges []oracleRange }
+
+func (o *oracle) overlaps(start, end mem.Addr) bool {
+	for _, r := range o.ranges {
+		if start < r.end && r.start < end {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *oracle) insert(start, end mem.Addr) { o.ranges = append(o.ranges, oracleRange{start, end}) }
+
+func (o *oracle) remove(i int) {
+	o.ranges[i] = o.ranges[len(o.ranges)-1]
+	o.ranges = o.ranges[:len(o.ranges)-1]
+}
+
+// contains reports whether [addr, addr+size) lies inside one live range.
+func (o *oracle) contains(addr mem.Addr, size int) bool {
+	for _, r := range o.ranges {
+		if addr >= r.start && addr+mem.Addr(size) <= r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// wordsLive reports whether every word of [addr, addr+size) lies in
+// some live range. This is the safety property elision rests on: a
+// true Contains is only ever dangerous if it covers an unrecorded
+// word. The word-granular filter legitimately answers true for an
+// access spanning two adjacent recorded ranges, which contains (the
+// single-range reading, matched exactly by the tree) rejects.
+func (o *oracle) wordsLive(addr mem.Addr, size int) bool {
+	for i := 0; i < size; i++ {
+		if !o.contains(addr+mem.Addr(i), 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// fuzzLog interprets data as an op sequence over a fresh log of the
+// given kind. precise asserts the no-false-negative direction too
+// (only the tree guarantees it).
+func fuzzLog(t *testing.T, k Kind, data []byte, precise bool) {
+	t.Helper()
+	l := New(k)
+	var o oracle
+	// Small address universe and sizes force collisions (filter),
+	// overflow (array), and rebalancing (tree).
+	const universe = 512
+	next := func(i int) uint64 {
+		if i >= len(data) {
+			return 0
+		}
+		return uint64(data[i])
+	}
+	for i := 0; i+2 < len(data); i += 3 {
+		op := next(i) % 8
+		addr := mem.Addr(next(i+1) * 2 % universe)
+		size := int(next(i+2)%48) + 1
+		switch {
+		case op <= 2: // insert a fresh disjoint range
+			if o.overlaps(addr, addr+mem.Addr(size)) {
+				continue // allocator never produces overlapping blocks
+			}
+			l.Insert(addr, addr+mem.Addr(size))
+			o.insert(addr, addr+mem.Addr(size))
+		case op == 3: // remove a live range, chosen by the input
+			if len(o.ranges) == 0 {
+				continue
+			}
+			j := int(next(i+1)) % len(o.ranges)
+			r := o.ranges[j]
+			l.Remove(r.start, r.end)
+			o.remove(j)
+		case op == 4: // remove an absent range: must be a no-op
+			if o.overlaps(addr, addr+mem.Addr(size)) {
+				continue
+			}
+			l.Remove(addr, addr+mem.Addr(size))
+		case op == 5 && next(i+1)%16 == 0: // transaction end
+			l.Clear()
+			o.ranges = o.ranges[:0]
+		default: // containment probe
+			got := l.Contains(addr, size)
+			if got && !o.wordsLive(addr, size) {
+				t.Fatalf("%v: Contains(%d,%d) = true for unrecorded memory (live %v)",
+					k, addr, size, o.sorted())
+			}
+			if precise {
+				if want := o.contains(addr, size); got != want {
+					t.Fatalf("%v: Contains(%d,%d) = %v, oracle says %v (live %v)",
+						k, addr, size, got, want, o.sorted())
+				}
+			}
+		}
+	}
+	// Epilogue: sweep the whole universe at the final state — every
+	// positive answer must cover only live words (all kinds), and the
+	// precise tree must also still find each live range.
+	for a := mem.Addr(0); a < universe; a += 5 {
+		for _, size := range []int{1, 3} {
+			if l.Contains(a, size) && !o.wordsLive(a, size) {
+				t.Fatalf("%v: epilogue Contains(%d,%d) = true for unrecorded memory (live %v)",
+					k, a, size, o.sorted())
+			}
+		}
+	}
+	for _, r := range o.ranges {
+		if precise && !l.Contains(r.start, int(r.end-r.start)) {
+			t.Fatalf("%v: epilogue false negative on [%d,%d)", k, r.start, r.end)
+		}
+	}
+	if precise {
+		if want := len(o.ranges); l.Len() != want {
+			t.Fatalf("%v: Len = %d, oracle has %d ranges", k, l.Len(), want)
+		}
+	}
+	// Clear must empty the log: no probe may hit afterwards.
+	l.Clear()
+	for a := mem.Addr(0); a < universe; a += 7 {
+		if l.Contains(a, 1) {
+			t.Fatalf("%v: Contains(%d,1) = true after Clear", k, a)
+		}
+	}
+}
+
+func (o *oracle) sorted() []oracleRange {
+	rs := append([]oracleRange(nil), o.ranges...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].start < rs[j].start })
+	return rs
+}
+
+// seedCorpus feeds each target inputs that reach every op: dense
+// inserts, remove/probe interleavings, clears, and empty/short inputs.
+func seedCorpus(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 5})
+	f.Add([]byte{0, 10, 5, 7, 10, 5, 3, 0, 0})
+	f.Add([]byte{0, 1, 8, 1, 40, 8, 2, 80, 8, 7, 1, 8, 3, 1, 0, 7, 1, 8})
+	f.Add([]byte{0, 0, 48, 0, 60, 48, 0, 120, 48, 0, 180, 48, 0, 240, 48, 7, 60, 24})
+	f.Add([]byte{5, 0, 1, 0, 9, 9, 5, 16, 2, 7, 9, 9})
+	f.Add([]byte{4, 33, 12, 7, 33, 12, 0, 33, 12, 7, 33, 12})
+	longer := make([]byte, 240)
+	for i := range longer {
+		longer[i] = byte(i*37 + 11)
+	}
+	f.Add(longer)
+}
+
+// FuzzTree fuzzes the precise balanced-tree log; the tree must agree
+// with the oracle exactly, and its internal invariants must hold.
+func FuzzTree(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzLog(t, KindTree, data, true)
+	})
+}
+
+// FuzzArray fuzzes the bounded range array: conservative only (drops
+// on overflow), so just the no-false-positive direction holds.
+func FuzzArray(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzLog(t, KindArray, data, false)
+	})
+}
+
+// FuzzFilter fuzzes the hash-table address filter: collisions produce
+// false negatives, never false positives.
+func FuzzFilter(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzLog(t, KindFilter, data, false)
+	})
+}

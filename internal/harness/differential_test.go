@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/tm"
+
+	_ "repro/internal/scenarios/tmkv"
+	_ "repro/internal/stamp/all"
+)
+
+// namedProfiles is the cross-profile grid: every preset the package
+// exports plus the two documented combinations. The optimizations may
+// change which barriers run, never what the program computes, so every
+// profile must drive a deterministic workload to the same final state.
+func namedProfiles() []tm.Profile {
+	return []tm.Profile{
+		tm.Baseline(),
+		tm.Counting(),
+		tm.RuntimeAll(tm.LogTree),
+		tm.RuntimeAll(tm.LogArray),
+		tm.RuntimeAll(tm.LogFilter),
+		tm.RuntimeWrite(tm.LogTree),
+		tm.RuntimeHeapWrite(tm.LogTree),
+		tm.CompilerElision(),
+		tm.CompilerElision().With(
+			tm.WithRuntimeCapture(tm.StackAndHeap, tm.StackAndHeap)).Named("compiler+runtime"),
+		tm.RuntimeAll(tm.LogTree).With(tm.WithSkipSharedChecks()).Named("runtime+skipshared"),
+	}
+}
+
+// runChecksum drives one full workload lifecycle and returns the
+// final-state fingerprint of the simulated address space. It fails the
+// test on a validation error or a leaked orec lock.
+func runChecksum(t *testing.T, bench string, p tm.Profile, threads int) uint64 {
+	t.Helper()
+	w, err := tm.NewWorkload(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := tm.Open(append(p.Options(), tm.WithMemory(w.MemConfig()))...)
+	w.Setup(rt)
+	w.Run(rt, threads)
+	if err := w.Validate(rt); err != nil {
+		t.Fatalf("%s [%s, %d threads]: %v", bench, p.Name(), threads, err)
+	}
+	rt.Validate() // no orec may stay locked after the threads joined
+	return rt.Unwrap().Space().Checksum()
+}
+
+// TestDifferentialProfiles runs every registered workload (the STAMP
+// ports, the tmkv scenario pack, and anything test files registered)
+// under each named profile at one thread and asserts all profiles
+// reach the identical final state. A mismatch means an elision decided
+// wrongly — precisely the bug class the paper's conservative capture
+// analysis must exclude.
+func TestDifferentialProfiles(t *testing.T) {
+	profiles := namedProfiles()
+	benches := AllWorkloads()
+	if testing.Short() {
+		profiles = []tm.Profile{tm.Baseline(), tm.RuntimeAll(tm.LogTree), tm.CompilerElision()}
+		benches = []string{"ssca2", "labyrinth", "tmkv"}
+	}
+	for _, bench := range benches {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			base := runChecksum(t, bench, profiles[0], 1)
+			for _, p := range profiles[1:] {
+				if got := runChecksum(t, bench, p, 1); got != base {
+					t.Errorf("%s under %s: final state %#x, want %#x (differs from %s)",
+						bench, p.Name(), got, base, profiles[0].Name())
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialParallelNoLeaks repeats a contended slice of the
+// grid at several threads: final states are scheduling-dependent, but
+// validation must pass and no orec lock may leak.
+func TestDifferentialParallelNoLeaks(t *testing.T) {
+	profiles := []tm.Profile{tm.Baseline(), tm.RuntimeAll(tm.LogTree)}
+	benches := AllWorkloads()
+	if testing.Short() {
+		benches = []string{"ssca2", "tmkv"}
+	}
+	for _, bench := range benches {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			for _, p := range profiles {
+				runChecksum(t, bench, p, 4)
+			}
+		})
+	}
+}

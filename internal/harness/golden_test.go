@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scenarios/tmkv"
+	"repro/tm"
+)
+
+// update regenerates the golden report: go test ./internal/harness -update
+var update = flag.Bool("update", false, "rewrite golden report files")
+
+func init() {
+	// A fast fixed-seed tmkv configuration for the golden matrix; the
+	// full-size variants register themselves from the scenario package.
+	tm.RegisterWorkload("tmkv-small", func() tm.Workload { return tmkv.New(tmkv.Small()) })
+}
+
+// renderGoldenReport runs the small fixed-seed matrix single-threaded
+// and renders every deterministic report: barrier counts never depend
+// on scheduling at one thread, so the exact table text is reproducible
+// (timing-based tables, which are not, stay out).
+func renderGoldenReport() (string, error) {
+	const bench = "tmkv-small"
+	var buf bytes.Buffer
+
+	rows, err := MeasureCaptureStats(bench, CaptureConfigs())
+	if err != nil {
+		return "", err
+	}
+	WriteCaptureStats(&buf, rows)
+	fmt.Fprintln(&buf)
+
+	read, write, all, err := MeasureBreakdown(bench)
+	if err != nil {
+		return "", err
+	}
+	WriteFig8(&buf, "reads", []Breakdown{read})
+	WriteFig8(&buf, "writes", []Breakdown{write})
+	WriteFig8(&buf, "all", []Breakdown{all})
+	fmt.Fprintln(&buf)
+
+	rm, err := MeasureRemoval(bench)
+	if err != nil {
+		return "", err
+	}
+	WriteFig9(&buf, "reads", []Removal{rm})
+	WriteFig9(&buf, "writes", []Removal{rm})
+	fmt.Fprintln(&buf)
+
+	res, err := Run(bench, tm.Baseline(), 1, 1)
+	if err != nil {
+		return "", err
+	}
+	WriteTable1(&buf, map[string]map[string]float64{
+		bench: {"baseline": res.Stats.AbortRatio()},
+	}, []string{"baseline"}, 1)
+
+	return buf.String(), nil
+}
+
+// TestGoldenReport locks the rendered report text — layout and
+// counter values — against testdata/report.golden. A legitimate change
+// to barriers, allocator, scenario, or table formatting regenerates it
+// with -update; an accidental one fails here.
+func TestGoldenReport(t *testing.T) {
+	got, err := renderGoldenReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/harness -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("report drifted from %s (re-run with -update if intended)\n--- got ---\n%s--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestGoldenReportStable re-renders the report and asserts it is
+// byte-identical run to run — the determinism the golden file relies
+// on, checked independently of the checked-in bytes.
+func TestGoldenReportStable(t *testing.T) {
+	a, err := renderGoldenReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := renderGoldenReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("two renders differ:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}

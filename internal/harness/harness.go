@@ -186,3 +186,30 @@ func Benches() []string {
 		"labyrinth", "ssca2", "vacation-high", "vacation-low", "yada",
 	}
 }
+
+// AllWorkloads returns every workload registered in this process: the
+// STAMP roster first, in the paper's order, then any other registered
+// scenarios sorted by name. The bench matrix and report tables iterate
+// this, so external scenario packages show up with zero special-casing.
+func AllWorkloads() []string {
+	stampSet := make(map[string]bool)
+	names := make([]string, 0, len(tm.Workloads()))
+	for _, b := range Benches() {
+		stampSet[b] = true
+	}
+	registered := make(map[string]bool)
+	for _, b := range tm.Workloads() {
+		registered[b] = true
+	}
+	for _, b := range Benches() {
+		if registered[b] {
+			names = append(names, b)
+		}
+	}
+	for _, b := range tm.Workloads() { // already sorted
+		if !stampSet[b] {
+			names = append(names, b)
+		}
+	}
+	return names
+}

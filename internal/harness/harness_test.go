@@ -199,7 +199,9 @@ type extCounter struct {
 func (c *extCounter) Name() string { return "ext-counter" }
 
 func (c *extCounter) MemConfig() tm.MemConfig {
-	return tm.MemConfig{GlobalWords: 64, HeapWords: 1 << 14, StackWords: 1 << 8, MaxThreads: 8}
+	// Each thread's allocation cache grabs 8192-word spans from the
+	// central heap, so size for MaxThreads spans plus slack.
+	return tm.MemConfig{GlobalWords: 64, HeapWords: 1 << 17, StackWords: 1 << 8, MaxThreads: 8}
 }
 
 func (c *extCounter) Setup(rt *tm.Runtime) {

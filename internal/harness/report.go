@@ -43,6 +43,8 @@ func breakdown(bench string, total, capHeap, capStack, manual uint64) Breakdown 
 
 // measure runs one fresh instance of the workload single-threaded
 // under the profile and returns the statistics of the timed phase.
+// The snapshot is taken before Validate, whose own transactional
+// walking would otherwise pollute the counts.
 func measure(bench string, p tm.Profile) (tm.Stats, error) {
 	w, err := tm.NewWorkload(bench)
 	if err != nil {
@@ -52,10 +54,11 @@ func measure(bench string, p tm.Profile) (tm.Stats, error) {
 	w.Setup(rt)
 	rt.ResetStats() // count the timed phase only, as in Sec. 4.1
 	w.Run(rt, 1)
+	s := rt.Stats()
 	if err := w.Validate(rt); err != nil {
-		return tm.Stats{}, err
+		return tm.Stats{}, fmt.Errorf("%s [%s]: %w", bench, p.Name(), err)
 	}
-	return rt.Stats(), nil
+	return s, nil
 }
 
 // MeasureBreakdown runs bench single-threaded in counting mode and
@@ -140,6 +143,72 @@ func WriteFig9(w io.Writer, class string, rows []Removal) {
 			fmt.Fprintf(tw, "\t%.1f%%", 100*m[t])
 		}
 		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// CaptureStat is one row of the capture/elision report: the barrier
+// counters of a single-threaded run of one workload under one profile,
+// read before validation so the row covers the timed phase only.
+type CaptureStat struct {
+	Bench, Config         string
+	Commits               uint64
+	ReadTotal, WriteTotal uint64
+	ElStatic              uint64 // statically elided (compiler)
+	ElStack, ElHeap       uint64 // runtime-captured, by mechanism
+	ElPriv                uint64 // annotated thread-private
+	SkipShared            uint64 // definitely-shared check bypasses
+	Full                  uint64 // full barriers executed
+}
+
+// CaptureConfigs returns the profile set of the capture report: each
+// elision mechanism alone, both combined, and the definitely-shared
+// extension on top of the runtime checks.
+func CaptureConfigs() []tm.Profile {
+	return []tm.Profile{
+		tm.Baseline(),
+		tm.RuntimeAll(tm.LogTree),
+		tm.CompilerElision(),
+		tm.CompilerElision().With(
+			tm.WithRuntimeCapture(tm.StackAndHeap, tm.StackAndHeap)).Named("compiler+runtime"),
+		tm.RuntimeAll(tm.LogTree).With(tm.WithSkipSharedChecks()).Named("runtime+skipshared"),
+	}
+}
+
+// MeasureCaptureStats runs the workload single-threaded under each
+// profile and returns one CaptureStat row per profile.
+func MeasureCaptureStats(bench string, profiles []tm.Profile) ([]CaptureStat, error) {
+	rows := make([]CaptureStat, 0, len(profiles))
+	for _, p := range profiles {
+		s, err := measure(bench, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CaptureStat{
+			Bench: bench, Config: p.Name(),
+			Commits:   s.Commits,
+			ReadTotal: s.ReadTotal, WriteTotal: s.WriteTotal,
+			ElStatic:   s.ReadElStatic + s.WriteElStatic,
+			ElStack:    s.ReadElStack + s.WriteElStack,
+			ElHeap:     s.ReadElHeap + s.WriteElHeap,
+			ElPriv:     s.ReadElPriv + s.WriteElPriv,
+			SkipShared: s.ReadSkipShared + s.WriteSkipShared,
+			Full:       s.ReadFull + s.WriteFull,
+		})
+	}
+	return rows, nil
+}
+
+// WriteCaptureStats prints the per-profile capture/elision table of
+// one or more workloads.
+func WriteCaptureStats(w io.Writer, rows []CaptureStat) {
+	fmt.Fprintln(w, "Capture/elision breakdown (single-threaded; barrier counts per mechanism)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tconfig\tcommits\tbarriers\tstatic\tstack\theap\tpriv\tskip-shared\tfull")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.Bench, r.Config, r.Commits, r.ReadTotal+r.WriteTotal,
+			r.ElStatic, r.ElStack, r.ElHeap, r.ElPriv, r.SkipShared, r.Full)
 	}
 	tw.Flush()
 }

@@ -101,6 +101,20 @@ func NewSpace(cfg Config) *Space {
 // Size returns the total number of words in the space.
 func (s *Space) Size() int { return len(s.words) }
 
+// Checksum returns an FNV-1a hash over every word of the space. Two
+// single-threaded runs of the same deterministic workload must leave
+// identical spaces whatever optimization profile was active — barriers
+// and elisions change how values are written, never which values — so
+// the checksum is the final-state fingerprint the differential tests
+// compare across profiles. Call it only after worker threads joined.
+func (s *Space) Checksum() uint64 {
+	h := uint64(14695981039346656037)
+	for i := range s.words {
+		h = (h ^ atomic.LoadUint64(&s.words[i])) * 1099511628211
+	}
+	return h
+}
+
 // Load atomically reads the word at a.
 func (s *Space) Load(a Addr) uint64 {
 	return atomic.LoadUint64(&s.words[a])

@@ -1,0 +1,282 @@
+// Package tmkv is a transactional key-value/object store scenario: the
+// first workload outside the STAMP roster, built to exercise the
+// paper's captured-memory optimizations in OLTP-shaped code.
+//
+// The store keeps a chained hashtable as the key index (key words →
+// key record), a sorted list per key as the version chain (version
+// number → object), and assembles every value from fixed-size content
+// blocks that are deduplicated through a content-hash map in the style
+// of Plan 9's venti: a block is stored once and reference counted, and
+// writers that produce an identical block share it.
+//
+// Every write path follows the allocate-build-publish pattern the
+// paper optimizes: a transaction allocates a staging buffer and the
+// object skeleton with Tx.Alloc (captured memory), fills them with
+// plain-provenance and fresh-provenance stores, and only then links
+// the object into the shared index. Probe keys and content hashes are
+// built in transaction-local stack slots, so all three capture
+// mechanisms (stack range check, allocation log, static elision) and
+// the definitely-shared extension light up on non-STAMP code.
+package tmkv
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+	"repro/internal/txlib"
+)
+
+// BlockWords is the content-block granule. Values span several blocks,
+// so building one value is a multi-block tx-local assembly.
+const BlockWords = 32
+
+// Key record layout (one per live key, owned by the index).
+const (
+	krVersions = 0 // version chain: txlib list, version → object
+	krLatest   = 1 // newest version number
+	krSize     = 2
+)
+
+// Object layout (one per stored version).
+const (
+	objWords = 0 // value length in words
+	objSum   = 1 // content checksum over all value words
+	objVec   = 2 // txlib vector of block-record addresses
+	objSize  = 3
+)
+
+// Block record layout (one per unique content block, owned by the
+// dedup map).
+const (
+	brBlock = 0 // content block address (BlockWords words)
+	brRef   = 1 // reference count across all objects
+	brHash  = 2 // content hash (the dedup key)
+	brSize  = 3
+)
+
+// Store holds the root addresses of the shared structures. The roots
+// are fixed after setup; all mutation happens transactionally inside
+// the referenced structures.
+type Store struct {
+	index mem.Addr // hashtable: key words → key record
+	dedup mem.Addr // hashtable: content hash (1 word) → block record
+}
+
+// NewStore allocates the index and dedup map inside the transaction.
+func NewStore(tx *stm.Tx, indexBuckets, dedupBuckets int) Store {
+	return Store{
+		index: txlib.NewHashtable(tx, indexBuckets),
+		dedup: txlib.NewHashtable(tx, dedupBuckets),
+	}
+}
+
+// Size returns the number of live keys.
+func (s Store) Size(tx *stm.Tx) int { return txlib.HTSize(tx, s.index, txlib.TM) }
+
+// contentHash mirrors txlib.HashWords over a Go slice; the driver uses
+// it to predict block hashes and Validate uses it to recompute them.
+func contentHash(words []uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, w := range words {
+		h = (h ^ w) * 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// hashSlot writes a content hash into a transaction-local stack slot
+// so it can serve as a one-word hashtable key (captured-stack traffic,
+// like STAMP's iterator words).
+func hashSlot(tx *stm.Tx, hash uint64) mem.Addr {
+	hs := tx.StackAlloc(1)
+	tx.Store(hs, hash, stm.AccStack)
+	return hs
+}
+
+// internBlock stores one staged content block through the dedup map
+// and returns the block record the object should reference. An
+// identical block already interned is shared (its refcount rises); a
+// new block is copied out of the staging buffer into a fresh block.
+// Staging reads carry plain provenance — the compiler cannot prove the
+// buffer local across the call boundary, but the runtime allocation
+// log can, which is exactly the paper's runtime-vs-static gap.
+func (s Store) internBlock(tx *stm.Tx, stage mem.Addr) mem.Addr {
+	hash := txlib.HashWords(tx, stage, BlockWords, txlib.P)
+	hs := hashSlot(tx, hash)
+	if data, ok := txlib.HTGet(tx, s.dedup, hs, 1, txlib.TM, stm.AccStack); ok {
+		br := mem.Addr(data)
+		tx.Store(br+brRef, tx.Load(br+brRef, txlib.TM)+1, txlib.TM)
+		return br
+	}
+	block := tx.Alloc(BlockWords)
+	for i := 0; i < BlockWords; i++ {
+		tx.Store(block+mem.Addr(i), tx.Load(stage+mem.Addr(i), txlib.P), stm.AccFresh)
+	}
+	br := tx.Alloc(brSize)
+	tx.StoreAddr(br+brBlock, block, stm.AccFresh)
+	tx.Store(br+brRef, 1, stm.AccFresh)
+	tx.Store(br+brHash, hash, stm.AccFresh)
+	txlib.HTInsertIfAbsent(tx, s.dedup, hs, 1, uint64(br), txlib.TM, stm.AccStack)
+	return br
+}
+
+// derefBlock drops one reference to a block record, removing it from
+// the dedup map and freeing the content block once unreferenced.
+func (s Store) derefBlock(tx *stm.Tx, br mem.Addr) {
+	refs := tx.Load(br+brRef, txlib.TM)
+	if refs > 1 {
+		tx.Store(br+brRef, refs-1, txlib.TM)
+		return
+	}
+	hs := hashSlot(tx, tx.Load(br+brHash, txlib.TM))
+	txlib.HTRemove(tx, s.dedup, hs, 1, txlib.TM, stm.AccStack)
+	tx.Free(tx.LoadAddr(br+brBlock, txlib.TM))
+	tx.Free(br)
+}
+
+// buildObject assembles an object from a staged value: the staging
+// buffer is split into BlockWords-sized blocks, each block is interned
+// through the dedup map, and the block references are collected in a
+// freshly allocated vector. words must be a multiple of BlockWords.
+func (s Store) buildObject(tx *stm.Tx, stage mem.Addr, words int) mem.Addr {
+	nblocks := words / BlockWords
+	vec := txlib.NewVector(tx, nblocks)
+	sum := txlib.HashWords(tx, stage, words, txlib.P)
+	for i := 0; i < nblocks; i++ {
+		br := s.internBlock(tx, stage+mem.Addr(i*BlockWords))
+		// The vector was allocated by this transaction, so these
+		// plain-provenance container ops are runtime-capturable.
+		txlib.VecPushBack(tx, vec, uint64(br), txlib.P)
+	}
+	obj := tx.Alloc(objSize)
+	tx.Store(obj+objWords, uint64(words), stm.AccFresh)
+	tx.Store(obj+objSum, sum, stm.AccFresh)
+	tx.StoreAddr(obj+objVec, vec, stm.AccFresh)
+	return obj
+}
+
+// dropObject releases an object: every referenced block is dereffed,
+// then the vector and the object itself are freed.
+func (s Store) dropObject(tx *stm.Tx, obj mem.Addr) {
+	vec := tx.LoadAddr(obj+objVec, txlib.TM)
+	n := txlib.VecSize(tx, vec, txlib.TM)
+	for i := 0; i < n; i++ {
+		s.derefBlock(tx, mem.Addr(txlib.VecGet(tx, vec, i, txlib.TM)))
+	}
+	txlib.VecFree(tx, vec, txlib.TM)
+	tx.Free(obj)
+}
+
+// readObject walks an object's blocks, recomputes the content
+// checksum, and reports whether it matches the stored one.
+func (s Store) readObject(tx *stm.Tx, obj mem.Addr) (words int, ok bool) {
+	words = int(tx.Load(obj+objWords, txlib.TM))
+	vec := tx.LoadAddr(obj+objVec, txlib.TM)
+	n := txlib.VecSize(tx, vec, txlib.TM)
+	h := uint64(1469598103934665603)
+	for i := 0; i < n; i++ {
+		br := mem.Addr(txlib.VecGet(tx, vec, i, txlib.TM))
+		block := tx.LoadAddr(br+brBlock, txlib.TM)
+		for j := 0; j < BlockWords; j++ {
+			h = (h ^ tx.Load(block+mem.Addr(j), txlib.TM)) * 1099511628211
+		}
+	}
+	if h == 0 {
+		h = 1
+	}
+	return words, h == tx.Load(obj+objSum, txlib.TM)
+}
+
+// lookup returns the key record stored under the probe key, if any.
+func (s Store) lookup(tx *stm.Tx, key mem.Addr, keyWords int) (mem.Addr, bool) {
+	data, ok := txlib.HTGet(tx, s.index, key, keyWords, txlib.TM, stm.AccStack)
+	return mem.Addr(data), ok
+}
+
+// insert creates a key record with the staged value as version 1. It
+// returns false (and builds nothing) when the key is already present.
+func (s Store) insert(tx *stm.Tx, key mem.Addr, keyWords int, stage mem.Addr, words int) bool {
+	if txlib.HTContains(tx, s.index, key, keyWords, txlib.TM, stm.AccStack) {
+		return false
+	}
+	obj := s.buildObject(tx, stage, words)
+	kr := tx.Alloc(krSize)
+	versions := txlib.NewList(tx)
+	txlib.ListInsert(tx, versions, 1, uint64(obj), txlib.P)
+	tx.StoreAddr(kr+krVersions, versions, stm.AccFresh)
+	tx.Store(kr+krLatest, 1, stm.AccFresh)
+	txlib.HTInsertIfAbsent(tx, s.index, key, keyWords, uint64(kr), txlib.TM, stm.AccStack)
+	return true
+}
+
+// update appends the staged value as a new version of an existing key
+// record, trimming the oldest version beyond maxVersions.
+func (s Store) update(tx *stm.Tx, kr mem.Addr, stage mem.Addr, words, maxVersions int) {
+	obj := s.buildObject(tx, stage, words)
+	version := tx.Load(kr+krLatest, txlib.TM) + 1
+	versions := tx.LoadAddr(kr+krVersions, txlib.TM)
+	txlib.ListInsert(tx, versions, version, uint64(obj), txlib.TM)
+	tx.Store(kr+krLatest, version, txlib.TM)
+	if txlib.ListSize(tx, versions, txlib.TM) > maxVersions {
+		if _, old, ok := txlib.ListRemoveHead(tx, versions, txlib.TM); ok {
+			s.dropObject(tx, mem.Addr(old))
+		}
+	}
+}
+
+// readLatest checks the newest version of a key record against its
+// stored checksum.
+func (s Store) readLatest(tx *stm.Tx, kr mem.Addr) (words int, ok bool) {
+	latest := tx.Load(kr+krLatest, txlib.TM)
+	versions := tx.LoadAddr(kr+krVersions, txlib.TM)
+	data, found := txlib.ListFind(tx, versions, latest, txlib.TM)
+	if !found {
+		return 0, false
+	}
+	return s.readObject(tx, mem.Addr(data))
+}
+
+// remove deletes a key: every version's object is dropped, the version
+// chain and key record are freed, and the index entry is removed.
+func (s Store) remove(tx *stm.Tx, key mem.Addr, keyWords int) bool {
+	data, ok := txlib.HTRemove(tx, s.index, key, keyWords, txlib.TM, stm.AccStack)
+	if !ok {
+		return false
+	}
+	kr := mem.Addr(data)
+	versions := tx.LoadAddr(kr+krVersions, txlib.TM)
+	for {
+		_, obj, ok := txlib.ListRemoveHead(tx, versions, txlib.TM)
+		if !ok {
+			break
+		}
+		s.dropObject(tx, mem.Addr(obj))
+	}
+	txlib.ListFree(tx, versions, txlib.TM)
+	tx.Free(kr)
+	return true
+}
+
+// scan visits up to limit keys in index order, touching each key
+// record's newest version number. Visited records are collected in a
+// scratch vector the compiler can prove transaction-local (txlib.L),
+// mirroring the paper's Fig. 1(b) thread-local query pattern.
+func (s Store) scan(tx *stm.Tx, limit int) int {
+	scratch := txlib.NewVector(tx, limit)
+	seen := 0
+	txlib.HTForEach(tx, s.index, txlib.TM, func(_ mem.Addr, _ int, data uint64) bool {
+		kr := mem.Addr(data)
+		txlib.VecPushBack(tx, scratch, tx.Load(kr+krLatest, txlib.TM), txlib.L)
+		seen++
+		return seen < limit
+	})
+	// Reduce over the local copy, then discard it.
+	var acc uint64
+	for i := 0; i < txlib.VecSize(tx, scratch, txlib.L); i++ {
+		acc += txlib.VecGet(tx, scratch, i, txlib.L)
+	}
+	_ = acc
+	txlib.VecFree(tx, scratch, txlib.L)
+	return seen
+}

@@ -1,0 +1,266 @@
+package txlib
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prng"
+	"repro/internal/stm"
+)
+
+// Concurrency property tests for the shared containers: N goroutines
+// of random operations against a mutex-guarded Go reference model.
+//
+// Two phases with different strengths:
+//
+//   - serialized phase: the model mutex spans each transaction, so the
+//     reference applies operations in exactly the STM's commit order
+//     and the final states must match key for key;
+//   - contended phase: no model, full STM concurrency. Then the
+//     committed per-thread effects must reconcile with the final state
+//     (every successful insert/remove toggles presence exactly once),
+//     and the structural invariants (size fields, sort order) must
+//     hold. Under `go test -race` this doubles as the multi-goroutine
+//     stress run of the engine's barrier paths.
+
+const (
+	ccThreads = 4
+	ccOps     = 1500
+	ccKeys    = 64 // small key range: heavy contention
+)
+
+func ccRuntime(t testing.TB, cfg stm.OptConfig) *stm.Runtime {
+	t.Helper()
+	return stm.New(mem.Config{
+		GlobalWords: 1 << 8, HeapWords: 1 << 20, StackWords: 1 << 10, MaxThreads: ccThreads + 1,
+	}, cfg)
+}
+
+// --- Phase 1: serialized against the reference model ---
+
+func TestHashtableMatchesModelSerialized(t *testing.T) {
+	rt := ccRuntime(t, stm.OptConfig{})
+	var ht mem.Addr
+	rt.Thread(ccThreads).Atomic(func(tx *stm.Tx) { ht = NewHashtable(tx, 16) })
+
+	var mu sync.Mutex
+	model := make(map[uint64]uint64)
+	var wg sync.WaitGroup
+	for tid := 0; tid < ccThreads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			th := rt.Thread(tid)
+			r := prng.New(uint64(tid)*977 + 13)
+			for i := 0; i < ccOps; i++ {
+				key := uint64(r.Intn(ccKeys))
+				data := r.Next()
+				op := r.Intn(3)
+				var diverged string
+				mu.Lock() // model order == commit order
+				th.Atomic(func(tx *stm.Tx) {
+					diverged = "" // judge only the committed attempt
+					kb := tx.StackAlloc(1)
+					tx.Store(kb, key, stm.AccStack)
+					switch op {
+					case 0:
+						ok := HTInsertIfAbsent(tx, ht, kb, 1, data, TM, stm.AccStack)
+						if _, dup := model[key]; ok == dup {
+							diverged = "insert"
+						}
+					case 1:
+						_, ok := HTRemove(tx, ht, kb, 1, TM, stm.AccStack)
+						if _, had := model[key]; ok != had {
+							diverged = "remove"
+						}
+					default:
+						got, ok := HTGet(tx, ht, kb, 1, TM, stm.AccStack)
+						want, had := model[key]
+						if ok != had || (ok && got != want) {
+							diverged = "get"
+						}
+					}
+				})
+				// Apply to the model only after the commit succeeded.
+				switch op {
+				case 0:
+					if _, dup := model[key]; !dup {
+						model[key] = data
+					}
+				case 1:
+					delete(model, key)
+				}
+				mu.Unlock()
+				if diverged != "" {
+					t.Errorf("thread %d: %s on key %d disagreed with the model", tid, diverged, key)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	rt.Validate()
+
+	th := rt.Thread(ccThreads)
+	th.Atomic(func(tx *stm.Tx) {
+		if got := HTSize(tx, ht, TM); got != len(model) {
+			t.Errorf("final size %d, model has %d", got, len(model))
+		}
+		seen := 0
+		HTForEach(tx, ht, TM, func(kp mem.Addr, kw int, data uint64) bool {
+			seen++
+			key := tx.Load(kp, TM)
+			want, ok := model[key]
+			if !ok {
+				t.Errorf("table holds key %d the model lacks", key)
+			} else if data != want {
+				t.Errorf("key %d = %d, model says %d", key, data, want)
+			}
+			return true
+		})
+		if seen != len(model) {
+			t.Errorf("walked %d entries, model has %d", seen, len(model))
+		}
+		for key := range model {
+			kb := tx.StackAlloc(1)
+			tx.Store(kb, key, stm.AccStack)
+			if !HTContains(tx, ht, kb, 1, TM, stm.AccStack) {
+				t.Errorf("model key %d missing from table", key)
+			}
+		}
+	})
+}
+
+// --- Phase 2: contended, reconciled by committed effects ---
+
+// effect is one thread's committed-op tally for a single key.
+type effect struct{ ins, del int }
+
+func TestHashtableAndListContended(t *testing.T) {
+	for _, cfg := range []stm.OptConfig{
+		{Name: "baseline"},
+		{Name: "runtime-tree", Read: stm.BarrierOpt{Stack: true, Heap: true},
+			Write: stm.BarrierOpt{Stack: true, Heap: true}},
+		{Name: "compiler", Compiler: true},
+	} {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			rt := ccRuntime(t, cfg)
+			var ht, list mem.Addr
+			rt.Thread(ccThreads).Atomic(func(tx *stm.Tx) {
+				ht = NewHashtable(tx, 16)
+				list = NewList(tx)
+			})
+
+			perTh := make([]map[uint64]*effect, ccThreads)
+			var wg sync.WaitGroup
+			for tid := 0; tid < ccThreads; tid++ {
+				perTh[tid] = make(map[uint64]*effect)
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					th := rt.Thread(tid)
+					r := prng.New(uint64(tid)*31337 + 7)
+					eff := perTh[tid]
+					tally := func(key uint64) *effect {
+						e := eff[key]
+						if e == nil {
+							e = &effect{}
+							eff[key] = e
+						}
+						return e
+					}
+					for i := 0; i < ccOps; i++ {
+						key := uint64(r.Intn(ccKeys))
+						var htOK, liOK bool
+						op := r.Intn(4)
+						th.Atomic(func(tx *stm.Tx) {
+							kb := tx.StackAlloc(1)
+							tx.Store(kb, key, stm.AccStack)
+							switch op {
+							case 0:
+								// Insert into both structures in one
+								// transaction: all-or-nothing.
+								htOK = HTInsertIfAbsent(tx, ht, kb, 1, key*3, TM, stm.AccStack)
+								liOK = ListInsert(tx, list, key, key*3, TM)
+							case 1:
+								_, htOK = HTRemove(tx, ht, kb, 1, TM, stm.AccStack)
+								_, liOK = ListRemove(tx, list, key, TM)
+							case 2:
+								_, htOK = HTGet(tx, ht, kb, 1, TM, stm.AccStack)
+								_, liOK = ListFind(tx, list, key, TM)
+								if htOK != liOK {
+									// The two structures are updated
+									// atomically together, so a reader
+									// may never see them disagree.
+									panic("hashtable and list diverged inside a transaction")
+								}
+								htOK, liOK = false, false
+							default:
+								it := ListIterNew(tx)
+								ListIterReset(tx, it, list, TM)
+								prev := uint64(0)
+								for n := 0; ListIterHasNext(tx, it) && n < 16; n++ {
+									k, _ := ListIterNext(tx, it, TM)
+									if k < prev {
+										panic("list iteration out of order")
+									}
+									prev = k
+								}
+							}
+						})
+						if op <= 1 && htOK != liOK {
+							t.Errorf("op %d on key %d: hashtable ok=%v but list ok=%v", op, key, htOK, liOK)
+							return
+						}
+						if op == 0 && htOK {
+							tally(key).ins++
+						}
+						if op == 1 && htOK {
+							tally(key).del++
+						}
+					}
+				}(tid)
+			}
+			wg.Wait()
+			rt.Validate()
+
+			// Reconcile: presence(key) == net committed toggles. Every
+			// successful insert flips absent→present and every
+			// successful remove present→absent, independent of order.
+			net := make(map[uint64]int)
+			for _, eff := range perTh {
+				for key, e := range eff {
+					net[key] += e.ins - e.del
+				}
+			}
+			th := rt.Thread(ccThreads)
+			th.Atomic(func(tx *stm.Tx) {
+				total := 0
+				for key := uint64(0); key < ccKeys; key++ {
+					if n := net[key]; n < 0 || n > 1 {
+						t.Errorf("key %d: impossible net effect %d", key, n)
+					}
+					kb := tx.StackAlloc(1)
+					tx.Store(kb, key, stm.AccStack)
+					present := HTContains(tx, ht, kb, 1, TM, stm.AccStack)
+					_, inList := ListFind(tx, list, key, TM)
+					if present != (net[key] == 1) || inList != present {
+						t.Errorf("key %d: present=%v inList=%v, net effects say %v",
+							key, present, inList, net[key] == 1)
+					}
+					if present {
+						total++
+					}
+				}
+				if got := HTSize(tx, ht, TM); got != total {
+					t.Errorf("hashtable size field %d, %d keys present", got, total)
+				}
+				if got := ListSize(tx, list, TM); got != total {
+					t.Errorf("list size field %d, %d keys present", got, total)
+				}
+			})
+		})
+	}
+}

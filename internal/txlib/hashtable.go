@@ -100,6 +100,26 @@ func HTInsertIfAbsent(tx *stm.Tx, ht mem.Addr, key mem.Addr, words int, data uin
 	return true
 }
 
+// HTRemove unlinks the entry with an equal key, frees the entry and
+// its owned key copy, and returns the data word that was stored.
+func HTRemove(tx *stm.Tx, ht mem.Addr, key mem.Addr, words int, mode, keyMode stm.Acc) (uint64, bool) {
+	hash := HashWords(tx, key, words, keyMode)
+	slot := htBucket(tx, ht, hash, mode)
+	prevSlot := slot
+	for e := tx.LoadAddr(prevSlot, mode); e != mem.Nil; e = tx.LoadAddr(prevSlot, mode) {
+		if tx.Load(e+heHash, mode) == hash && keyEqual(tx, e, key, words, mode, keyMode) {
+			data := tx.Load(e+heData, mode)
+			tx.StoreAddr(prevSlot, tx.LoadAddr(e+heNext, mode), mode)
+			tx.Free(tx.LoadAddr(e+heKeyPtr, mode))
+			tx.Free(e)
+			tx.Store(ht+htSize, tx.Load(ht+htSize, mode)-1, mode)
+			return data, true
+		}
+		prevSlot = e + heNext
+	}
+	return 0, false
+}
+
 // HTGet returns the data stored under key.
 func HTGet(tx *stm.Tx, ht mem.Addr, key mem.Addr, words int, mode, keyMode stm.Acc) (uint64, bool) {
 	hash := HashWords(tx, key, words, keyMode)

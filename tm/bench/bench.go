@@ -61,6 +61,29 @@ func MeasureRemoval(workload string) (Removal, error) {
 // Benches returns the STAMP roster in the paper's Table 1 order.
 func Benches() []string { return harness.Benches() }
 
+// AllWorkloads returns every workload registered in this process: the
+// STAMP roster first, then other scenarios sorted by name.
+func AllWorkloads() []string { return harness.AllWorkloads() }
+
+// CaptureStat is one row of the capture/elision report.
+type CaptureStat = harness.CaptureStat
+
+// CaptureConfigs returns the profile set of the capture report: each
+// elision mechanism alone, both combined, and the definitely-shared
+// extension.
+func CaptureConfigs() []tm.Profile { return harness.CaptureConfigs() }
+
+// MeasureCaptureStats runs the workload single-threaded under each
+// profile and returns one capture/elision row per profile.
+func MeasureCaptureStats(workload string, profiles []tm.Profile) ([]CaptureStat, error) {
+	return harness.MeasureCaptureStats(workload, profiles)
+}
+
+// WriteCaptureStats prints the capture/elision table.
+func WriteCaptureStats(w io.Writer, rows []CaptureStat) {
+	harness.WriteCaptureStats(w, rows)
+}
+
 // Fig10Configs returns the profiles compared in Fig. 10 / Fig. 11(a).
 func Fig10Configs() []tm.Profile { return harness.Fig10Configs() }
 
