@@ -173,6 +173,30 @@ func BenchmarkTMKVParallel(b *testing.B) {
 	}
 }
 
+// --- Barrier engine (profile-compiled fast paths vs reference chain) ---
+
+// BenchmarkEngineVsGeneric compares each specialized perf engine with
+// the forced generic reference chain on the same profile: the delta is
+// the cost of re-interpreting the optimization profile on every access,
+// which the engine compilation removes.
+func BenchmarkEngineVsGeneric(b *testing.B) {
+	profiles := []tm.Profile{
+		tm.Baseline().Perf(),
+		tm.RuntimeAll(tm.LogTree).Perf(),
+		tm.CompilerElision().Perf(),
+	}
+	for _, name := range []string{"tmkv", "vacation-low", "kmeans-high"} {
+		for _, p := range profiles {
+			b.Run(name+"/"+p.Name()+"/engine", func(b *testing.B) {
+				runBench(b, name, p, 1)
+			})
+			b.Run(name+"/"+p.Name()+"/generic", func(b *testing.B) {
+				runBench(b, name, p.With(tm.WithEngine(tm.EngineGeneric)), 1)
+			})
+		}
+	}
+}
+
 // --- Barrier microbenchmarks (cost model of Fig. 2's fast path) ---
 
 func barrierRT(p tm.Profile) (*tm.Runtime, *tm.Thread, tm.Struct) {

@@ -19,13 +19,20 @@
 //	stampbench -experiment table1 -threads 16
 //	stampbench -experiment table2 -threads 16 -runs 5
 //	stampbench -experiment capture -bench tmkv   # per-mechanism elision counts
-//	stampbench -experiment sweep -bench vacation-low   # scaling curve
+//	stampbench -experiment sweep -bench vacation-low   # machine-sized scaling curves
+//	stampbench -experiment sweep -format json -o BENCH_sweep.json
+//
+// The sweep and capture experiments accept -format json, producing the
+// diffable report of tm/bench.WriteJSON; -o writes it to a file
+// (BENCH_*.json in CI) instead of stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/tm"
@@ -40,6 +47,9 @@ func main() {
 	threads := flag.Int("threads", 1, "worker threads for the parallel phase")
 	runs := flag.Int("runs", 3, "repetitions per data point")
 	benchFlag := flag.String("bench", "all", "comma-separated workload names or 'all'")
+	format := flag.String("format", "text", "output format: text|json (json: sweep and capture only)")
+	out := flag.String("o", "", "write output to this file instead of stdout")
+	threadList := flag.String("threadlist", "", "comma-separated thread counts for -experiment sweep (default: machine-sized)")
 	flag.Parse()
 
 	benches := bench.AllWorkloads()
@@ -47,31 +57,61 @@ func main() {
 		benches = strings.Split(*benchFlag, ",")
 	}
 
+	w := io.Writer(os.Stdout)
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stampbench:", err)
+			os.Exit(1)
+		}
+		outFile = f
+		w = f
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "stampbench: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+	if *format == "json" && *exp != "sweep" && *exp != "capture" {
+		fmt.Fprintf(os.Stderr, "stampbench: -format json supports the sweep and capture experiments, not %q\n", *exp)
+		os.Exit(1)
+	}
+
 	var err error
 	switch *exp {
 	case "list":
 		for _, b := range benches {
-			fmt.Println(b)
+			fmt.Fprintln(w, b)
 		}
 	case "capture":
-		err = capture(benches)
+		err = capture(w, benches, *format == "json")
 	case "table1":
-		err = tables(benches, *threads, *runs, true)
+		err = tables(w, benches, *threads, *runs, true)
 	case "table2":
-		err = tables(benches, *threads, *runs, false)
+		err = tables(w, benches, *threads, *runs, false)
 	case "fig10":
-		err = improvements(benches, bench.Fig10Configs(), 1, *runs,
+		err = improvements(w, benches, bench.Fig10Configs(), 1, *runs,
 			"Figure 10: % improvement over baseline at 1 thread")
 	case "fig11a":
-		err = improvements(benches, bench.Fig10Configs(), *threads, *runs,
+		err = improvements(w, benches, bench.Fig10Configs(), *threads, *runs,
 			fmt.Sprintf("Figure 11(a): %% improvement over baseline at %d threads", *threads))
 	case "fig11b":
-		err = improvements(benches, bench.Fig11bConfigs(), *threads, *runs,
+		err = improvements(w, benches, bench.Fig11bConfigs(), *threads, *runs,
 			fmt.Sprintf("Figure 11(b): %% improvement over baseline at %d threads", *threads))
 	case "sweep":
-		err = sweep(benches, *runs)
+		var counts []int
+		if counts, err = parseThreadList(*threadList); err == nil {
+			err = sweep(w, benches, counts, *runs, *format == "json")
+		}
 	default:
 		err = fmt.Errorf("unknown experiment %q", *exp)
+	}
+	// A failed flush at close must fail the run: CI diffs the written
+	// report, and a silently truncated artifact would pass as baseline.
+	if outFile != nil {
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stampbench:", err)
@@ -79,23 +119,48 @@ func main() {
 	}
 }
 
+func parseThreadList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil // machine-sized default
+	}
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -threadlist entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
 // capture prints the per-mechanism capture/elision table for each
 // workload: which barriers the runtime checks, the compiler, and the
 // definitely-shared extension removed.
-func capture(benches []string) error {
+func capture(w io.Writer, benches []string, asJSON bool) error {
+	var all []bench.CaptureStat
 	for _, b := range benches {
 		rows, err := bench.MeasureCaptureStats(b, bench.CaptureConfigs())
 		if err != nil {
 			return err
 		}
-		bench.WriteCaptureStats(os.Stdout, rows)
-		fmt.Println()
+		if asJSON {
+			all = append(all, rows...)
+			continue
+		}
+		bench.WriteCaptureStats(w, rows)
+		fmt.Fprintln(w)
+	}
+	if asJSON {
+		rep := bench.NewReport(nil)
+		rep.Capture = all
+		return bench.WriteJSON(w, rep)
 	}
 	return nil
 }
 
 // tables prints Table 1 (ratio=true) or Table 2 (ratio=false).
-func tables(benches []string, threads, runs int, ratio bool) error {
+func tables(w io.Writer, benches []string, threads, runs int, ratio bool) error {
 	profiles := bench.Table1Configs()
 	rows := map[string]map[string]float64{}
 	var names []string
@@ -117,15 +182,15 @@ func tables(benches []string, threads, runs int, ratio bool) error {
 		}
 	}
 	if ratio {
-		bench.WriteTable1(os.Stdout, rows, names, threads)
+		bench.WriteTable1(w, rows, names, threads)
 	} else {
-		bench.WriteTable2(os.Stdout, rows, names, threads, runs)
+		bench.WriteTable2(w, rows, names, threads, runs)
 	}
 	return nil
 }
 
 // improvements prints a Fig. 10/11-style improvement table.
-func improvements(benches []string, profiles []tm.Profile, threads, runs int, title string) error {
+func improvements(w io.Writer, benches []string, profiles []tm.Profile, threads, runs int, title string) error {
 	rows := map[string]map[string]float64{}
 	var names []string
 	for _, p := range profiles {
@@ -147,22 +212,35 @@ func improvements(benches []string, profiles []tm.Profile, threads, runs int, ti
 			rows[b][p.Name()] = bench.Improvement(results[0], results[i+1])
 		}
 	}
-	bench.WriteImprovements(os.Stdout, title, rows, names)
+	bench.WriteImprovements(w, title, rows, names)
 	return nil
 }
 
-// sweep prints raw times across thread counts for scaling curves.
-func sweep(benches []string, runs int) error {
-	for _, b := range benches {
-		fmt.Printf("%s scaling (baseline):\n", b)
-		for _, th := range []int{1, 2, 4, 8, 16} {
-			res, err := bench.Run(b, tm.Baseline(), th, runs)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  %2d threads: %v (aborts/commit %.2f)\n",
-				th, res.Median().Round(1000), res.Stats.AbortRatio())
-		}
+// sweepProfiles are the scaling-curve configurations: the baseline and
+// the two headline optimizations, in perf mode like the paper's timing
+// builds, so the specialized engines are what gets measured.
+func sweepProfiles() []tm.Profile {
+	return []tm.Profile{
+		tm.Baseline().Perf(),
+		tm.RuntimeAll(tm.LogTree).Perf(),
+		tm.CompilerElision().Perf(),
 	}
+}
+
+// sweep measures scaling curves over machine-sized thread counts (or
+// -threadlist) and writes them as a table or a diffable JSON report.
+func sweep(w io.Writer, benches []string, counts []int, runs int, asJSON bool) error {
+	var all []bench.Result
+	for _, b := range benches {
+		results, err := bench.SweepMatrix(b, sweepProfiles(), counts, runs)
+		if err != nil {
+			return err
+		}
+		all = append(all, results...)
+	}
+	if asJSON {
+		return bench.WriteJSON(w, bench.NewReport(all))
+	}
+	bench.WriteSweep(w, all)
 	return nil
 }

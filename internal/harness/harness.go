@@ -21,6 +21,7 @@ import (
 type Result struct {
 	Bench   string
 	Config  string
+	Engine  string // barrier engine the profile compiled to
 	Threads int
 	Times   []time.Duration // one per run
 	Stats   tm.Stats        // from the last run
@@ -39,6 +40,7 @@ func Run(bench string, p tm.Profile, threads, runs int) (Result, error) {
 			return res, err
 		}
 		rt := tm.Open(append(p.Options(), tm.WithMemory(w.MemConfig()))...)
+		res.Engine = rt.Engine()
 		w.Setup(rt)
 		rt.ResetStats() // report the timed phase only
 		res.Times = append(res.Times, timedRun(w, rt, threads))
@@ -79,11 +81,56 @@ func RunMatrix(bench string, profiles []tm.Profile, threads, runs int) ([]Result
 			if err != nil {
 				return nil, err
 			}
+			results[i].Engine = one.Engine
 			results[i].Times = append(results[i].Times, one.Times[0])
 			results[i].Stats = one.Stats
 		}
 	}
 	return results, nil
+}
+
+// DefaultThreadCounts returns a machine-sized sweep: every power of two
+// below the CPU count, then the CPU count itself — e.g. 1,2,4,8 on an
+// 8-way machine, 1,2,4,6 on a 6-way one.
+func DefaultThreadCounts() []int {
+	n := runtime.NumCPU()
+	var ts []int
+	for t := 1; t < n; t *= 2 {
+		ts = append(ts, t)
+	}
+	return append(ts, n)
+}
+
+// Sweep measures the workload under the profile at each thread count —
+// one scaling curve, ready for WriteJSON so curves can be diffed across
+// machines and PRs. A nil threadCounts uses DefaultThreadCounts.
+func Sweep(bench string, p tm.Profile, threadCounts []int, runs int) ([]Result, error) {
+	if len(threadCounts) == 0 {
+		threadCounts = DefaultThreadCounts()
+	}
+	results := make([]Result, 0, len(threadCounts))
+	for _, th := range threadCounts {
+		res, err := Run(bench, p, th, runs)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// SweepMatrix runs Sweep for every profile and concatenates the
+// results: the full bench × profile × threads grid of one workload.
+func SweepMatrix(bench string, profiles []tm.Profile, threadCounts []int, runs int) ([]Result, error) {
+	var all []Result
+	for _, p := range profiles {
+		results, err := Sweep(bench, p, threadCounts, runs)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, results...)
+	}
+	return all, nil
 }
 
 // Mean returns the mean run time.

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"repro/tm"
+)
+
+// ReportSchema versions the JSON report layout. Bump it when a field
+// changes meaning; additions are backward compatible.
+const ReportSchema = "repro/bench-report/v1"
+
+// Machine describes where a report was produced, so cross-PR diffs can
+// tell a code change from a machine change.
+type Machine struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// ResultJSON is one Result flattened for machine consumption: raw
+// per-run times plus the aggregates and the counters of the last run.
+type ResultJSON struct {
+	Bench      string   `json:"bench"`
+	Config     string   `json:"config"`
+	Engine     string   `json:"engine,omitempty"`
+	Threads    int      `json:"threads"`
+	TimesNs    []int64  `json:"times_ns"`
+	MinNs      int64    `json:"min_ns"`
+	MedianNs   int64    `json:"median_ns"`
+	MeanNs     int64    `json:"mean_ns"`
+	RelStdDev  float64  `json:"rel_std_dev_pct"`
+	AbortRatio float64  `json:"abort_ratio"`
+	Stats      tm.Stats `json:"stats"`
+}
+
+// Report is the diffable artifact of a benchmark run: results and/or
+// capture rows, tagged with the schema and the producing machine.
+// Everything in it marshals deterministically (structs and slices, no
+// maps), so two reports from identical runs are byte-identical modulo
+// the measured times.
+type Report struct {
+	Schema  string        `json:"schema"`
+	Machine Machine       `json:"machine"`
+	Results []ResultJSON  `json:"results,omitempty"`
+	Capture []CaptureStat `json:"capture,omitempty"`
+}
+
+// NewReport wraps results into a Report stamped with this machine.
+func NewReport(results []Result) Report {
+	rep := Report{
+		Schema: ReportSchema,
+		Machine: Machine{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+	}
+	for _, r := range results {
+		rep.Results = append(rep.Results, resultJSON(r))
+	}
+	return rep
+}
+
+func resultJSON(r Result) ResultJSON {
+	out := ResultJSON{
+		Bench:      r.Bench,
+		Config:     r.Config,
+		Engine:     r.Engine,
+		Threads:    r.Threads,
+		AbortRatio: r.Stats.AbortRatio(),
+		Stats:      r.Stats,
+	}
+	for _, t := range r.Times {
+		out.TimesNs = append(out.TimesNs, t.Nanoseconds())
+	}
+	if len(r.Times) > 0 {
+		out.MinNs = r.Min().Nanoseconds()
+		out.MedianNs = r.Median().Nanoseconds()
+		out.MeanNs = r.Mean().Nanoseconds()
+		out.RelStdDev = r.RelStdDev()
+	}
+	return out
+}
+
+// WriteJSON writes the report as indented JSON with a trailing newline.
+func WriteJSON(w io.Writer, rep Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadJSON parses a report written by WriteJSON (for diff tooling and
+// round-trip tests).
+func ReadJSON(r io.Reader) (Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("harness: parsing report: %w", err)
+	}
+	return rep, nil
+}
+
+// WriteSweep prints a scaling-curve table for human consumption (the
+// JSON form of the same data is NewReport + WriteJSON).
+func WriteSweep(w io.Writer, results []Result) {
+	fmt.Fprintln(w, "Thread sweep (median of runs)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tconfig\tengine\tthreads\tmedian\tmin\taborts/commit")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%v\t%v\t%.2f\n",
+			r.Bench, r.Config, r.Engine, r.Threads,
+			r.Median().Round(time.Microsecond), r.Min().Round(time.Microsecond),
+			r.Stats.AbortRatio())
+	}
+	tw.Flush()
+}

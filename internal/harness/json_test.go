@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/tm"
+
+	_ "repro/internal/stamp/all"
+)
+
+func fixtureResults() []Result {
+	return []Result{
+		{
+			Bench: "tmkv", Config: "baseline", Engine: "perf-noinstr", Threads: 2,
+			Times: []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond},
+			Stats: tm.Stats{Commits: 100, Aborts: 4, ReadTotal: 1000, WriteTotal: 500},
+		},
+		{
+			Bench: "tmkv", Config: "compiler", Engine: "perf-compiler", Threads: 2,
+			Times: []time.Duration{15 * time.Millisecond},
+			Stats: tm.Stats{Commits: 100},
+		},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := NewReport(fixtureResults())
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Machine.NumCPU != runtime.NumCPU() || rep.Machine.GoVersion == "" {
+		t.Errorf("machine = %+v", rep.Machine)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rep) {
+		t.Errorf("round trip drifted:\n got %+v\nwant %+v", back, rep)
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	rep := NewReport(fixtureResults())
+	r := rep.Results[0]
+	if r.MinNs != int64(10*time.Millisecond) || r.MedianNs != int64(20*time.Millisecond) ||
+		r.MeanNs != int64(20*time.Millisecond) {
+		t.Errorf("aggregates min=%d median=%d mean=%d", r.MinNs, r.MedianNs, r.MeanNs)
+	}
+	if r.AbortRatio != 0.04 {
+		t.Errorf("abort ratio = %v", r.AbortRatio)
+	}
+	if len(r.TimesNs) != 3 || r.TimesNs[0] != int64(30*time.Millisecond) {
+		t.Errorf("times = %v", r.TimesNs)
+	}
+	if r.Engine != "perf-noinstr" {
+		t.Errorf("engine = %q", r.Engine)
+	}
+}
+
+// TestReportDeterministic: two marshals of the same report must be
+// byte-identical — the property cross-PR diffing relies on.
+func TestReportDeterministic(t *testing.T) {
+	rep := NewReport(fixtureResults())
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, rep); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two marshals differ")
+	}
+	if !strings.HasSuffix(a.String(), "\n") {
+		t.Error("report does not end in newline")
+	}
+	// Field names are part of the diffable contract.
+	for _, key := range []string{`"schema"`, `"machine"`, `"bench"`, `"engine"`, `"times_ns"`, `"min_ns"`, `"abort_ratio"`} {
+		if !strings.Contains(a.String(), key) {
+			t.Errorf("report missing %s:\n%s", key, a.String())
+		}
+	}
+}
+
+func TestCaptureReportJSON(t *testing.T) {
+	rep := NewReport(nil)
+	rep.Capture = []CaptureStat{{Bench: "tmkv", Config: "baseline", Commits: 10, Full: 20}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["capture"]; !ok {
+		t.Errorf("capture rows missing: %s", buf.String())
+	}
+	if _, ok := raw["results"]; ok {
+		t.Error("empty results should be omitted")
+	}
+}
+
+func TestDefaultThreadCounts(t *testing.T) {
+	counts := DefaultThreadCounts()
+	if len(counts) == 0 || counts[0] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	n := runtime.NumCPU()
+	if counts[len(counts)-1] != n {
+		t.Errorf("last count = %d, want NumCPU %d", counts[len(counts)-1], n)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] <= counts[i-1] {
+			t.Errorf("counts not strictly increasing: %v", counts)
+		}
+	}
+}
+
+func TestSweepProducesCurve(t *testing.T) {
+	results, err := Sweep("ssca2", tm.Baseline().Perf(), []int{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, want := range []int{1, 2} {
+		if results[i].Threads != want {
+			t.Errorf("result %d threads = %d, want %d", i, results[i].Threads, want)
+		}
+		if results[i].Engine != "perf-noinstr" {
+			t.Errorf("result %d engine = %q", i, results[i].Engine)
+		}
+		if len(results[i].Times) != 1 {
+			t.Errorf("result %d times = %v", i, results[i].Times)
+		}
+	}
+	var buf bytes.Buffer
+	WriteSweep(&buf, results)
+	if !strings.Contains(buf.String(), "perf-noinstr") || !strings.Contains(buf.String(), "ssca2") {
+		t.Errorf("sweep table:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,326 @@
+package stm
+
+import (
+	"math"
+
+	"repro/internal/mem"
+)
+
+// This file is the barrier layer: the Load/Store entry points that
+// dispatch into the engine compiled for the Runtime's profile
+// (engine.go), the two instrumented reference chains (generic and
+// counting), and the full-barrier slow paths every engine bottoms out
+// in. The fast paths of the performance engines live in engine.go.
+
+// Load performs a transactional read of the word at a. ac carries the
+// access-site metadata (provenance for compiler elision; whether the
+// original program hand-instrumented the access). The real work happens
+// in the engine function selected once per Runtime, so the hot path
+// re-tests no configuration state.
+func (tx *Tx) Load(a mem.Addr, ac Acc) uint64 {
+	return tx.load(tx, a, ac)
+}
+
+// Store performs a transactional write of the word at a.
+func (tx *Tx) Store(a mem.Addr, val uint64, ac Acc) {
+	tx.store(tx, a, val, ac)
+}
+
+// --- The generic reference chain ---
+//
+// loadGeneric/storeGeneric interpret the whole optimization profile at
+// runtime: every cached configuration boolean is re-tested per access.
+// This is the original barrier implementation, kept verbatim as the
+// reference engine — differential tests force it with WithEngine and
+// compare the specialized engines against it bit for bit.
+
+func (tx *Tx) loadGeneric(a mem.Addr, ac Acc) uint64 {
+	th := tx.th
+	if tx.keepStats {
+		st := &th.stats
+		st.ReadTotal++
+		if ac.Manual {
+			st.ReadManual++
+		}
+		if tx.counting {
+			if tx.onTxStack(a) {
+				st.ReadCapStack++
+			} else if tx.clog.Contains(a, 1) {
+				st.ReadCapHeap++
+			}
+		}
+	}
+	if tx.compiler && StaticElide(ac.Prov) {
+		if tx.verify {
+			tx.verifyCaptured(a)
+		}
+		th.stats.ReadElStatic += tx.statInc()
+		return th.rt.space.Load(a)
+	}
+	if tx.skipShared && ac.Prov == ProvShared {
+		th.stats.ReadSkipShared += tx.statInc()
+		th.stats.ReadFull += tx.statInc()
+		return tx.readFull(a)
+	}
+	if tx.readStack && tx.onTxStack(a) {
+		th.stats.ReadElStack += tx.statInc()
+		return th.rt.space.Load(a)
+	}
+	if tx.readHeap && tx.alogContains(a) {
+		th.stats.ReadElHeap += tx.statInc()
+		return th.rt.space.Load(a)
+	}
+	if tx.annotations && th.priv.Contains(a, 1) {
+		th.stats.ReadElPriv += tx.statInc()
+		return th.rt.space.Load(a)
+	}
+	th.stats.ReadFull += tx.statInc()
+	return tx.readFull(a)
+}
+
+func (tx *Tx) storeGeneric(a mem.Addr, val uint64, ac Acc) {
+	th := tx.th
+	if tx.keepStats {
+		st := &th.stats
+		st.WriteTotal++
+		if ac.Manual {
+			st.WriteManual++
+		}
+		if tx.counting {
+			if tx.onTxStack(a) {
+				st.WriteCapStack++
+			} else if tx.clog.Contains(a, 1) {
+				st.WriteCapHeap++
+			}
+		}
+	}
+	if tx.compiler && StaticElide(ac.Prov) {
+		if tx.verify {
+			tx.verifyCaptured(a)
+		}
+		th.stats.WriteElStatic += tx.statInc()
+		tx.storeCaptured(a, val)
+		return
+	}
+	if tx.skipShared && ac.Prov == ProvShared {
+		th.stats.WriteSkipShared += tx.statInc()
+		th.stats.WriteFull += tx.statInc()
+		tx.writeFull(a, val)
+		return
+	}
+	if tx.writeStack && tx.onTxStack(a) {
+		th.stats.WriteElStack += tx.statInc()
+		tx.storeCaptured(a, val)
+		return
+	}
+	if tx.writeHeap && tx.alogContains(a) {
+		th.stats.WriteElHeap += tx.statInc()
+		tx.storeCaptured(a, val)
+		return
+	}
+	if tx.annotations && th.priv.Contains(a, 1) {
+		// Annotated thread-local data can hold live-in values, so it
+		// keeps undo logging but skips locking (Sec. 2.2.2).
+		th.stats.WriteElPriv += tx.statInc()
+		tx.logUndo(a)
+		th.rt.space.Store(a, val)
+		return
+	}
+	th.stats.WriteFull += tx.statInc()
+	tx.writeFull(a, val)
+}
+
+// --- The counting (instrumented) chain ---
+//
+// loadCounting/storeCounting carry the full statistics accounting:
+// barrier totals, the Fig. 8 classification, and per-mechanism elision
+// counters. The engine selector picks this chain for every profile that
+// keeps statistics (i.e. whenever PerfMode is off), so the accounting
+// lives here and nowhere near the performance fast paths.
+
+func (tx *Tx) loadCounting(a mem.Addr, ac Acc) uint64 {
+	th := tx.th
+	st := &th.stats
+	st.ReadTotal++
+	if ac.Manual {
+		st.ReadManual++
+	}
+	if tx.counting {
+		if tx.onTxStack(a) {
+			st.ReadCapStack++
+		} else if tx.clog.Contains(a, 1) {
+			st.ReadCapHeap++
+		}
+	}
+	if tx.compiler && StaticElide(ac.Prov) {
+		if tx.verify {
+			tx.verifyCaptured(a)
+		}
+		st.ReadElStatic++
+		return th.rt.space.Load(a)
+	}
+	if tx.skipShared && ac.Prov == ProvShared {
+		st.ReadSkipShared++
+		st.ReadFull++
+		return tx.readFull(a)
+	}
+	if tx.readStack && tx.onTxStack(a) {
+		st.ReadElStack++
+		return th.rt.space.Load(a)
+	}
+	if tx.readHeap && tx.alogContains(a) {
+		st.ReadElHeap++
+		return th.rt.space.Load(a)
+	}
+	if tx.annotations && th.priv.Contains(a, 1) {
+		st.ReadElPriv++
+		return th.rt.space.Load(a)
+	}
+	st.ReadFull++
+	return tx.readFull(a)
+}
+
+func (tx *Tx) storeCounting(a mem.Addr, val uint64, ac Acc) {
+	th := tx.th
+	st := &th.stats
+	st.WriteTotal++
+	if ac.Manual {
+		st.WriteManual++
+	}
+	if tx.counting {
+		if tx.onTxStack(a) {
+			st.WriteCapStack++
+		} else if tx.clog.Contains(a, 1) {
+			st.WriteCapHeap++
+		}
+	}
+	if tx.compiler && StaticElide(ac.Prov) {
+		if tx.verify {
+			tx.verifyCaptured(a)
+		}
+		st.WriteElStatic++
+		tx.storeCaptured(a, val)
+		return
+	}
+	if tx.skipShared && ac.Prov == ProvShared {
+		st.WriteSkipShared++
+		st.WriteFull++
+		tx.writeFull(a, val)
+		return
+	}
+	if tx.writeStack && tx.onTxStack(a) {
+		st.WriteElStack++
+		tx.storeCaptured(a, val)
+		return
+	}
+	if tx.writeHeap && tx.alogContains(a) {
+		st.WriteElHeap++
+		tx.storeCaptured(a, val)
+		return
+	}
+	if tx.annotations && th.priv.Contains(a, 1) {
+		// Annotated thread-local data can hold live-in values, so it
+		// keeps undo logging but skips locking (Sec. 2.2.2).
+		st.WriteElPriv++
+		tx.logUndo(a)
+		th.rt.space.Store(a, val)
+		return
+	}
+	st.WriteFull++
+	tx.writeFull(a, val)
+}
+
+// statInc returns 1 when statistics are kept, else 0, letting the
+// generic reference chain stay branch-light under PerfMode.
+func (tx *Tx) statInc() uint64 {
+	if tx.keepStats {
+		return 1
+	}
+	return 0
+}
+
+// --- Full-barrier slow paths (shared by every engine) ---
+
+func (tx *Tx) readFull(a mem.Addr) uint64 {
+	rt := tx.th.rt
+	oi := rt.orecIndex(a)
+	for {
+		v1 := rt.orecs[oi].Load()
+		if orecLocked(v1) {
+			if orecOwner(v1) == tx.th.id {
+				return rt.space.Load(a) // read-after-write, in place
+			}
+			tx.conflict()
+		}
+		if orecVersion(v1) > tx.rv {
+			tx.extend()
+			continue
+		}
+		val := rt.space.Load(a)
+		if rt.orecs[oi].Load() != v1 {
+			tx.conflict()
+		}
+		tx.readset = append(tx.readset, readEntry{oi, v1})
+		return val
+	}
+}
+
+// storeCaptured writes captured memory directly. At nesting depth > 1
+// the location may be live-in for the nested transaction even though
+// it is transaction-local to the outer one, so partial abort requires
+// an undo entry (Sec. 2.2.1); at top level captured memory is dead on
+// abort and skips undo logging entirely.
+func (tx *Tx) storeCaptured(a mem.Addr, val uint64) {
+	if tx.depth > 1 {
+		tx.logUndo(a)
+	}
+	tx.th.rt.space.Store(a, val)
+}
+
+func (tx *Tx) writeFull(a mem.Addr, val uint64) {
+	rt := tx.th.rt
+	oi := rt.orecIndex(a)
+	for {
+		v := rt.orecs[oi].Load()
+		if orecLocked(v) {
+			if orecOwner(v) == tx.th.id {
+				break
+			}
+			tx.conflict()
+		}
+		if orecVersion(v) > tx.rv {
+			tx.extend()
+			continue
+		}
+		if rt.orecs[oi].CompareAndSwap(v, orecLockWord(tx.th.id)) {
+			tx.writes = append(tx.writes, writeEntry{oi})
+			tx.lockedPrev[oi] = v
+			break
+		}
+		tx.conflict()
+	}
+	tx.logUndo(a)
+	rt.space.Store(a, val)
+}
+
+// --- Typed convenience accessors ---
+
+// LoadFloat reads a float64 transactionally.
+func (tx *Tx) LoadFloat(a mem.Addr, ac Acc) float64 {
+	return math.Float64frombits(tx.Load(a, ac))
+}
+
+// StoreFloat writes a float64 transactionally.
+func (tx *Tx) StoreFloat(a mem.Addr, f float64, ac Acc) {
+	tx.Store(a, math.Float64bits(f), ac)
+}
+
+// LoadAddr reads a simulated pointer transactionally.
+func (tx *Tx) LoadAddr(a mem.Addr, ac Acc) mem.Addr {
+	return mem.Addr(tx.Load(a, ac))
+}
+
+// StoreAddr writes a simulated pointer transactionally.
+func (tx *Tx) StoreAddr(a mem.Addr, p mem.Addr, ac Acc) {
+	tx.Store(a, uint64(p), ac)
+}

@@ -155,6 +155,12 @@ type OptConfig struct {
 	// bypass the runtime capture checks and go straight to the full
 	// barrier, removing check overhead where elision cannot happen.
 	SkipSharedChecks bool
+
+	// ForceGeneric forces the generic reference barrier engine instead
+	// of the specialized engine the profile would compile to. It is a
+	// debug/differential-testing knob (tm.WithEngine): the specialized
+	// engines must be observationally identical to the generic chain.
+	ForceGeneric bool
 }
 
 // Perf returns a copy of the configuration with PerfMode enabled.

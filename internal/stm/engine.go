@@ -1,0 +1,404 @@
+package stm
+
+import (
+	"strings"
+
+	"repro/internal/capture"
+	"repro/internal/mem"
+)
+
+// This file is the barrier engine: the per-profile "compiled" Load and
+// Store implementations the paper's Sec. 3.2 compiler would emit. The
+// generic chain (barrier.go) interprets the optimization profile by
+// re-testing eight cached configuration booleans on every access; the
+// engine selector runs that decision procedure ONCE per Runtime and
+// hands every Tx a pair of function pointers whose bodies contain only
+// the checks the profile enables. The performance engines carry zero
+// statistics code and probe the allocation log through its concrete
+// type for the configured capture.Kind — no capture.Log interface
+// dispatch and no stats branches on the fast path.
+
+// loadFn and storeFn are the barrier entry points an engine provides.
+// They receive the Tx explicitly so engines can be plain functions
+// (method expressions and closures both fit).
+type loadFn func(tx *Tx, a mem.Addr, ac Acc) uint64
+type storeFn func(tx *Tx, a mem.Addr, val uint64, ac Acc)
+
+// engine is one compiled barrier implementation, selected per Runtime.
+type engine struct {
+	name  string
+	load  loadFn
+	store storeFn
+}
+
+// genericEngine is the reference chain: the original interpreting
+// barrier, forced via OptConfig.ForceGeneric (tm.WithEngine) for
+// differential testing and selected automatically for debug
+// configurations the specialized engines do not model.
+func genericEngine() *engine {
+	return &engine{name: "generic", load: (*Tx).loadGeneric, store: (*Tx).storeGeneric}
+}
+
+// newEngine compiles the optimization profile into a barrier engine:
+//
+//   - "generic"   — the reference chain (forced, or rare debug combos)
+//   - "counting"  — full instrumentation, for every profile that keeps
+//     statistics (PerfMode off)
+//   - "perf-*"    — specialized fast paths with no statistics code and
+//     the capture probe inlined for the configured log kind
+func newEngine(cfg OptConfig) *engine {
+	if cfg.ForceGeneric {
+		return genericEngine()
+	}
+	if !cfg.PerfMode {
+		// Statistics are on: the instrumented chain carries all the
+		// accounting, so the perf engines never need a stats branch.
+		return &engine{name: "counting", load: (*Tx).loadCounting, store: (*Tx).storeCounting}
+	}
+	if cfg.Counting || cfg.VerifyElision {
+		// PerfMode combined with the counting/verification oracles is a
+		// debug configuration; the reference chain models it exactly.
+		return genericEngine()
+	}
+	return newPerfEngine(cfg)
+}
+
+// newPerfEngine builds the specialized performance engine for cfg. The
+// common profile shapes (the paper's evaluated configurations) map to
+// flat hand-specialized functions; annotations and other long-tail
+// combinations fall back to a stats-free closure chain.
+func newPerfEngine(cfg OptConfig) *engine {
+	if cfg.Annotations {
+		// The private-log probe sits between the capture checks and the
+		// full barrier, so it cannot be a wrapper around the flat fast
+		// paths; use the stats-free interpreting chain.
+		return &engine{name: "perf-mixed", load: perfLoadChain(cfg), store: perfStoreChain(cfg)}
+	}
+
+	load := perfLoadCore(cfg.Read, cfg.LogKind)
+	store := perfStoreCore(cfg.Write, cfg.LogKind)
+	name := perfName(cfg)
+
+	// The definitely-shared extension bypasses the capture checks for
+	// ProvShared accesses; the compiler optimization statically elides
+	// provably-captured ones. Both compose as prologues to the core.
+	if cfg.SkipSharedChecks {
+		load, store = withSkipShared(load, store)
+	}
+	if cfg.Compiler {
+		load, store = withStaticElide(load, store)
+	}
+	return &engine{name: name, load: load, store: store}
+}
+
+// perfName derives the engine label from the profile shape.
+func perfName(cfg OptConfig) string {
+	var parts []string
+	if cfg.Compiler {
+		parts = append(parts, "compiler")
+	}
+	r, w := checksDesc(cfg.Read), checksDesc(cfg.Write)
+	kind := "-" + cfg.LogKind.String()
+	switch {
+	case r == "" && w == "":
+	case r == w:
+		parts = append(parts, "rw-"+r+kindSuffix(cfg.Read, cfg.Write, kind))
+	case r == "":
+		parts = append(parts, "w-"+w+kindSuffix(BarrierOpt{}, cfg.Write, kind))
+	case w == "":
+		parts = append(parts, "r-"+r+kindSuffix(cfg.Read, BarrierOpt{}, kind))
+	default:
+		parts = append(parts, "r-"+r+"+w-"+w+kindSuffix(cfg.Read, cfg.Write, kind))
+	}
+	if cfg.SkipSharedChecks {
+		parts = append(parts, "skipshared")
+	}
+	if len(parts) == 0 {
+		return "perf-noinstr"
+	}
+	return "perf-" + strings.Join(parts, "+")
+}
+
+func checksDesc(b BarrierOpt) string {
+	switch {
+	case b.Stack && b.Heap:
+		return "stack-heap"
+	case b.Stack:
+		return "stack"
+	case b.Heap:
+		return "heap"
+	}
+	return ""
+}
+
+// kindSuffix appends the log-kind name only when a heap probe exists.
+func kindSuffix(r, w BarrierOpt, kind string) string {
+	if r.Heap || w.Heap {
+		return kind
+	}
+	return ""
+}
+
+// --- Flat load fast paths ---
+
+func perfLoadFull(tx *Tx, a mem.Addr, _ Acc) uint64 { return tx.readFull(a) }
+
+func perfLoadStack(tx *Tx, a mem.Addr, _ Acc) uint64 {
+	if tx.onTxStack(a) {
+		return tx.th.rt.space.Load(a)
+	}
+	return tx.readFull(a)
+}
+
+func perfLoadStackHeapTree(tx *Tx, a mem.Addr, _ Acc) uint64 {
+	if tx.onTxStack(a) || (tx.allocLive > 0 && tx.alogTree.Contains(a, 1)) {
+		return tx.th.rt.space.Load(a)
+	}
+	return tx.readFull(a)
+}
+
+func perfLoadStackHeapArray(tx *Tx, a mem.Addr, _ Acc) uint64 {
+	if tx.onTxStack(a) || (tx.allocLive > 0 && tx.alogArr.Contains(a, 1)) {
+		return tx.th.rt.space.Load(a)
+	}
+	return tx.readFull(a)
+}
+
+func perfLoadStackHeapFilter(tx *Tx, a mem.Addr, _ Acc) uint64 {
+	if tx.onTxStack(a) || (tx.allocLive > 0 && tx.alogFil.Contains(a, 1)) {
+		return tx.th.rt.space.Load(a)
+	}
+	return tx.readFull(a)
+}
+
+func perfLoadHeapTree(tx *Tx, a mem.Addr, _ Acc) uint64 {
+	if tx.allocLive > 0 && tx.alogTree.Contains(a, 1) {
+		return tx.th.rt.space.Load(a)
+	}
+	return tx.readFull(a)
+}
+
+func perfLoadHeapArray(tx *Tx, a mem.Addr, _ Acc) uint64 {
+	if tx.allocLive > 0 && tx.alogArr.Contains(a, 1) {
+		return tx.th.rt.space.Load(a)
+	}
+	return tx.readFull(a)
+}
+
+func perfLoadHeapFilter(tx *Tx, a mem.Addr, _ Acc) uint64 {
+	if tx.allocLive > 0 && tx.alogFil.Contains(a, 1) {
+		return tx.th.rt.space.Load(a)
+	}
+	return tx.readFull(a)
+}
+
+func perfLoadCore(b BarrierOpt, k capture.Kind) loadFn {
+	switch {
+	case b.Stack && b.Heap:
+		switch k {
+		case capture.KindArray:
+			return perfLoadStackHeapArray
+		case capture.KindFilter:
+			return perfLoadStackHeapFilter
+		default:
+			return perfLoadStackHeapTree
+		}
+	case b.Heap:
+		switch k {
+		case capture.KindArray:
+			return perfLoadHeapArray
+		case capture.KindFilter:
+			return perfLoadHeapFilter
+		default:
+			return perfLoadHeapTree
+		}
+	case b.Stack:
+		return perfLoadStack
+	}
+	return perfLoadFull
+}
+
+// --- Flat store fast paths ---
+
+func perfStoreFull(tx *Tx, a mem.Addr, val uint64, _ Acc) { tx.writeFull(a, val) }
+
+func perfStoreStack(tx *Tx, a mem.Addr, val uint64, _ Acc) {
+	if tx.onTxStack(a) {
+		tx.storeCaptured(a, val)
+		return
+	}
+	tx.writeFull(a, val)
+}
+
+func perfStoreStackHeapTree(tx *Tx, a mem.Addr, val uint64, _ Acc) {
+	if tx.onTxStack(a) || (tx.allocLive > 0 && tx.alogTree.Contains(a, 1)) {
+		tx.storeCaptured(a, val)
+		return
+	}
+	tx.writeFull(a, val)
+}
+
+func perfStoreStackHeapArray(tx *Tx, a mem.Addr, val uint64, _ Acc) {
+	if tx.onTxStack(a) || (tx.allocLive > 0 && tx.alogArr.Contains(a, 1)) {
+		tx.storeCaptured(a, val)
+		return
+	}
+	tx.writeFull(a, val)
+}
+
+func perfStoreStackHeapFilter(tx *Tx, a mem.Addr, val uint64, _ Acc) {
+	if tx.onTxStack(a) || (tx.allocLive > 0 && tx.alogFil.Contains(a, 1)) {
+		tx.storeCaptured(a, val)
+		return
+	}
+	tx.writeFull(a, val)
+}
+
+func perfStoreHeapTree(tx *Tx, a mem.Addr, val uint64, _ Acc) {
+	if tx.allocLive > 0 && tx.alogTree.Contains(a, 1) {
+		tx.storeCaptured(a, val)
+		return
+	}
+	tx.writeFull(a, val)
+}
+
+func perfStoreHeapArray(tx *Tx, a mem.Addr, val uint64, _ Acc) {
+	if tx.allocLive > 0 && tx.alogArr.Contains(a, 1) {
+		tx.storeCaptured(a, val)
+		return
+	}
+	tx.writeFull(a, val)
+}
+
+func perfStoreHeapFilter(tx *Tx, a mem.Addr, val uint64, _ Acc) {
+	if tx.allocLive > 0 && tx.alogFil.Contains(a, 1) {
+		tx.storeCaptured(a, val)
+		return
+	}
+	tx.writeFull(a, val)
+}
+
+func perfStoreCore(b BarrierOpt, k capture.Kind) storeFn {
+	switch {
+	case b.Stack && b.Heap:
+		switch k {
+		case capture.KindArray:
+			return perfStoreStackHeapArray
+		case capture.KindFilter:
+			return perfStoreStackHeapFilter
+		default:
+			return perfStoreStackHeapTree
+		}
+	case b.Heap:
+		switch k {
+		case capture.KindArray:
+			return perfStoreHeapArray
+		case capture.KindFilter:
+			return perfStoreHeapFilter
+		default:
+			return perfStoreHeapTree
+		}
+	case b.Stack:
+		return perfStoreStack
+	}
+	return perfStoreFull
+}
+
+// --- Composable prologues ---
+
+// withStaticElide prepends the compiler optimization (Sec. 3.2): an
+// access whose provenance proves capture is a plain memory access.
+func withStaticElide(load loadFn, store storeFn) (loadFn, storeFn) {
+	return func(tx *Tx, a mem.Addr, ac Acc) uint64 {
+			if StaticElide(ac.Prov) {
+				return tx.th.rt.space.Load(a)
+			}
+			return load(tx, a, ac)
+		}, func(tx *Tx, a mem.Addr, val uint64, ac Acc) {
+			if StaticElide(ac.Prov) {
+				tx.storeCaptured(a, val)
+				return
+			}
+			store(tx, a, val, ac)
+		}
+}
+
+// withSkipShared prepends the definitely-shared extension: a ProvShared
+// access goes straight to the full barrier, skipping capture checks
+// that cannot succeed.
+func withSkipShared(load loadFn, store storeFn) (loadFn, storeFn) {
+	return func(tx *Tx, a mem.Addr, ac Acc) uint64 {
+			if ac.Prov == ProvShared {
+				return tx.readFull(a)
+			}
+			return load(tx, a, ac)
+		}, func(tx *Tx, a mem.Addr, val uint64, ac Acc) {
+			if ac.Prov == ProvShared {
+				tx.writeFull(a, val)
+				return
+			}
+			store(tx, a, val, ac)
+		}
+}
+
+// --- Stats-free interpreting chain (long-tail combinations) ---
+
+// perfLoadChain and perfStoreChain bake the configuration into a
+// closure: the same decision order as the generic chain, with every
+// statistics update removed. Used for profiles (annotations, unusual
+// check mixes) that have no flat specialization.
+func perfLoadChain(cfg OptConfig) loadFn {
+	compiler, skipShared := cfg.Compiler, cfg.SkipSharedChecks
+	readStack, readHeap := cfg.Read.Stack, cfg.Read.Heap
+	annotations := cfg.Annotations
+	return func(tx *Tx, a mem.Addr, ac Acc) uint64 {
+		if compiler && StaticElide(ac.Prov) {
+			return tx.th.rt.space.Load(a)
+		}
+		if skipShared && ac.Prov == ProvShared {
+			return tx.readFull(a)
+		}
+		if readStack && tx.onTxStack(a) {
+			return tx.th.rt.space.Load(a)
+		}
+		if readHeap && tx.alogContains(a) {
+			return tx.th.rt.space.Load(a)
+		}
+		if annotations && tx.th.priv.Contains(a, 1) {
+			return tx.th.rt.space.Load(a)
+		}
+		return tx.readFull(a)
+	}
+}
+
+func perfStoreChain(cfg OptConfig) storeFn {
+	compiler, skipShared := cfg.Compiler, cfg.SkipSharedChecks
+	writeStack, writeHeap := cfg.Write.Stack, cfg.Write.Heap
+	annotations := cfg.Annotations
+	return func(tx *Tx, a mem.Addr, val uint64, ac Acc) {
+		if compiler && StaticElide(ac.Prov) {
+			tx.storeCaptured(a, val)
+			return
+		}
+		if skipShared && ac.Prov == ProvShared {
+			tx.writeFull(a, val)
+			return
+		}
+		if writeStack && tx.onTxStack(a) {
+			tx.storeCaptured(a, val)
+			return
+		}
+		if writeHeap && tx.alogContains(a) {
+			tx.storeCaptured(a, val)
+			return
+		}
+		if annotations && tx.th.priv.Contains(a, 1) {
+			// Annotated thread-local data can hold live-in values, so it
+			// keeps undo logging but skips locking (Sec. 2.2.2).
+			tx.logUndo(a)
+			tx.th.rt.space.Store(a, val)
+			return
+		}
+		tx.writeFull(a, val)
+	}
+}

@@ -1,0 +1,339 @@
+package stm
+
+import (
+	"fmt"
+
+	"repro/internal/capture"
+	"repro/internal/mem"
+)
+
+// This file is the transaction lifecycle layer: the Tx descriptor, top-
+// level begin/commit/abort, closed nesting with partial abort, and
+// timestamp extension. The barrier hot paths live in barrier.go and
+// engine.go; the logs they maintain live in logs.go.
+
+// Tx is a transaction descriptor. It is owned by its Thread and reused
+// across transactions; user code receives it from Thread.Atomic.
+type Tx struct {
+	th     *Thread
+	active bool
+
+	rv       uint64   // read version (global clock snapshot)
+	startSP  mem.Addr // stack pointer at transaction begin (Fig. 3)
+	depth    int32
+	epoch    uint64 // distinguishes attempts in the WAW filter
+	attempts int
+
+	readset []readEntry
+	writes  []writeEntry
+	undo    []undoEntry
+
+	// lockedPrev maps an orec index we own to the orec word our lock
+	// replaced, populated at lock time so validate never rescans the
+	// write log (see prevOrecWord in logs.go).
+	lockedPrev map[uint64]uint64
+
+	allocs []allocRec
+	frees  []mem.Addr // deferred frees of pre-existing blocks
+
+	alog capture.Log   // runtime capture allocation log (per OptConfig)
+	clog *capture.Tree // precise log for Counting mode
+
+	// load and store are the barrier entry points, compiled once per
+	// Runtime from the optimization profile (engine.go). Tx.Load and
+	// Tx.Store dispatch through them, so the hot path never re-tests
+	// the configuration booleans below.
+	load  loadFn
+	store storeFn
+
+	// Devirtualized views of alog for the hot containment check, plus
+	// a live-range counter so the overwhelmingly common "transaction
+	// has allocated nothing" case costs a single predictable branch —
+	// the property that keeps the paper's runtime checks cheap on
+	// allocation-free benchmarks like kmeans and ssca2.
+	alogKind  capture.Kind
+	alogTree  *capture.Tree
+	alogArr   *capture.Array
+	alogFil   *capture.Filter
+	allocLive int
+
+	waw [wawSlots]wawEntry
+
+	saves []savepoint
+
+	// cached config decisions for the instrumented (generic, counting)
+	// engines; the specialized perf engines bake them into code.
+	trackAlog   bool
+	useWAW      bool
+	keepStats   bool
+	counting    bool
+	compiler    bool
+	annotations bool
+	readStack   bool
+	readHeap    bool
+	writeStack  bool
+	writeHeap   bool
+
+	verify     bool // VerifyElision oracle enabled
+	skipShared bool // definitely-shared extension enabled
+
+	// curSP mirrors the thread's stack pointer so the Fig. 4 range
+	// check touches only the (cache-hot) descriptor.
+	curSP mem.Addr
+}
+
+func (tx *Tx) init(th *Thread) {
+	tx.th = th
+	cfg := &th.rt.cfg
+	tx.load = th.rt.eng.load
+	tx.store = th.rt.eng.store
+	tx.trackAlog = cfg.Read.Heap || cfg.Write.Heap
+	tx.useWAW = !cfg.NoWAWFilter
+	tx.keepStats = !cfg.PerfMode
+	tx.counting = cfg.Counting
+	tx.compiler = cfg.Compiler
+	tx.annotations = cfg.Annotations
+	tx.readStack = cfg.Read.Stack
+	tx.readHeap = cfg.Read.Heap
+	tx.writeStack = cfg.Write.Stack
+	tx.writeHeap = cfg.Write.Heap
+	tx.verify = cfg.VerifyElision
+	if tx.verify && !cfg.Counting {
+		panic("stm: VerifyElision requires Counting")
+	}
+	tx.skipShared = cfg.SkipSharedChecks
+	tx.lockedPrev = make(map[uint64]uint64)
+	if tx.trackAlog {
+		tx.alogKind = cfg.LogKind
+		switch cfg.LogKind {
+		case capture.KindTree:
+			tx.alogTree = capture.NewTree()
+			tx.alog = tx.alogTree
+		case capture.KindArray:
+			c := cfg.ArrayCap
+			if c == 0 {
+				c = capture.DefaultArrayCap
+			}
+			tx.alogArr = capture.NewArray(c)
+			tx.alog = tx.alogArr
+		case capture.KindFilter:
+			b := cfg.FilterBits
+			if b == 0 {
+				b = capture.DefaultFilterBits
+			}
+			tx.alogFil = capture.NewFilter(b)
+			tx.alog = tx.alogFil
+		}
+	}
+	if cfg.Counting {
+		tx.clog = capture.NewTree()
+	}
+}
+
+// Thread returns the owning thread.
+func (tx *Tx) Thread() *Thread { return tx.th }
+
+// Depth returns the current nesting depth (1 = top level).
+func (tx *Tx) Depth() int { return int(tx.depth) }
+
+// Attempt returns the 1-based attempt number of the current top-level
+// transaction (>1 after conflicts).
+func (tx *Tx) Attempt() int { return tx.attempts }
+
+func (tx *Tx) beginTop() {
+	tx.active = true
+	tx.attempts++
+	tx.epoch++
+	tx.depth = 1
+	tx.th.rt.seqs[tx.th.id].Add(1) // now odd: in transaction
+	tx.rv = tx.th.rt.clock.Load()
+	tx.startSP = tx.th.stack.SP()
+	tx.curSP = tx.startSP
+}
+
+// conflict abandons the current attempt.
+func (tx *Tx) conflict() {
+	panic(retrySignal{})
+}
+
+// UserAbort rolls back the innermost transaction; Atomic returns
+// false. This is the paper's user abort (Sec. 2.2.1).
+func (tx *Tx) UserAbort() {
+	panic(userAbort{})
+}
+
+// Restart abandons the attempt and retries the top-level transaction
+// from scratch (STAMP's TM_RESTART).
+func (tx *Tx) Restart() {
+	tx.conflict()
+}
+
+// verifyCaptured is the soundness oracle behind OptConfig.VerifyElision:
+// a statically elided access must target memory the precise dynamic
+// analysis confirms captured.
+func (tx *Tx) verifyCaptured(a mem.Addr) {
+	if tx.onTxStack(a) || tx.clog.Contains(a, 1) {
+		return
+	}
+	panic(fmt.Sprintf("stm: compiler elided a non-captured access to %d", a))
+}
+
+// --- Commit / abort ---
+
+func (tx *Tx) commitTop() {
+	rt := tx.th.rt
+	if len(tx.writes) > 0 {
+		wv := rt.clock.Add(1)
+		if wv != tx.rv+1 && !tx.validate(rt) {
+			tx.conflict() // unwinds into abortTop
+		}
+		rel := wv << 1
+		for i := range tx.writes {
+			rt.orecs[tx.writes[i].oi].Store(rel)
+		}
+	}
+	// Deferred frees become effective now that the transaction is
+	// durable, but the blocks are recycled only after every in-flight
+	// transaction has finished (zombie readers may still dereference
+	// into them), via the per-thread limbo list.
+	if len(tx.frees) > 0 {
+		tx.th.enqueueLimbo(tx.frees)
+	}
+	tx.th.stack.Pop(tx.startSP)
+	tx.th.stats.Commits++
+	tx.finish()
+	tx.th.rt.seqs[tx.th.id].Add(1) // now even: quiescent
+	tx.th.drainLimbo()
+}
+
+// abortTop rolls the whole transaction back. retried distinguishes
+// conflict aborts (counted in Stats.Aborts, the paper's Table 1
+// numerator) from user aborts that will not be retried.
+func (tx *Tx) abortTop(retried bool) {
+	rt := tx.th.rt
+	// Roll back in-place updates in reverse order.
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		rt.space.Store(tx.undo[i].addr, tx.undo[i].val)
+	}
+	// Release ownership with a fresh version so concurrent optimistic
+	// readers of our speculative values cannot validate (ABA safety).
+	if len(tx.writes) > 0 {
+		rel := rt.clock.Add(1) << 1
+		for i := range tx.writes {
+			rt.orecs[tx.writes[i].oi].Store(rel)
+		}
+	}
+	// Speculative allocations die with the transaction.
+	for i := len(tx.allocs) - 1; i >= 0; i-- {
+		if !tx.allocs[i].dead {
+			tx.th.alloc.Free(tx.allocs[i].addr)
+		}
+	}
+	// Deferred frees are dropped: the blocks were never freed.
+	tx.th.stack.Pop(tx.startSP)
+	if retried {
+		tx.th.stats.Aborts++
+	} else {
+		tx.th.stats.UserAborts++
+	}
+	tx.finish()
+	tx.th.rt.seqs[tx.th.id].Add(1) // now even: quiescent
+}
+
+func (tx *Tx) finish() {
+	tx.active = false
+	tx.depth = 0
+	tx.readset = tx.readset[:0]
+	tx.writes = tx.writes[:0]
+	tx.undo = tx.undo[:0]
+	tx.allocs = tx.allocs[:0]
+	tx.frees = tx.frees[:0]
+	tx.saves = tx.saves[:0]
+	clear(tx.lockedPrev)
+	if tx.alog != nil {
+		tx.alog.Clear()
+		tx.allocLive = 0
+	}
+	if tx.clog != nil {
+		tx.clog.Clear()
+	}
+}
+
+// extend revalidates the read set against the current clock, raising
+// rv (TL2-style timestamp extension).
+func (tx *Tx) extend() {
+	rt := tx.th.rt
+	newRv := rt.clock.Load()
+	if !tx.validate(rt) {
+		tx.conflict()
+	}
+	tx.rv = newRv
+}
+
+// --- Nesting (closed, with partial abort) ---
+
+func (tx *Tx) beginNested() {
+	tx.saves = append(tx.saves, savepoint{
+		read:  len(tx.readset),
+		write: len(tx.writes),
+		undo:  len(tx.undo),
+		alloc: len(tx.allocs),
+		free:  len(tx.frees),
+		sp:    tx.th.stack.SP(),
+	})
+	tx.depth++
+}
+
+func (tx *Tx) commitNested() {
+	// Closed nesting: merge into the parent by dropping the savepoint.
+	tx.saves = tx.saves[:len(tx.saves)-1]
+	tx.depth--
+}
+
+// abortNested rolls the transaction back to the innermost savepoint:
+// partial abort (Sec. 2.2.1).
+func (tx *Tx) abortNested() {
+	rt := tx.th.rt
+	sp := tx.saves[len(tx.saves)-1]
+	for i := len(tx.undo) - 1; i >= sp.undo; i-- {
+		rt.space.Store(tx.undo[i].addr, tx.undo[i].val)
+	}
+	if len(tx.writes) > sp.write {
+		rel := rt.clock.Add(1) << 1
+		for i := sp.write; i < len(tx.writes); i++ {
+			rt.orecs[tx.writes[i].oi].Store(rel)
+			delete(tx.lockedPrev, tx.writes[i].oi)
+		}
+		// The version bump protects concurrent optimistic readers from
+		// the speculative values (ABA), but it must not invalidate the
+		// *enclosing* transaction's own reads: the undo replay above
+		// restored the exact values, so the outer read set stays
+		// semantically valid. Repair its entries for the released
+		// records to the new version — otherwise the outer transaction
+		// livelocks re-validating against versions it bumped itself.
+		for j := range tx.readset {
+			re := &tx.readset[j]
+			for i := sp.write; i < len(tx.writes); i++ {
+				if re.oi == tx.writes[i].oi {
+					re.v = rel
+					break
+				}
+			}
+		}
+	}
+	for i := len(tx.allocs) - 1; i >= sp.alloc; i-- {
+		a := &tx.allocs[i]
+		if !a.dead {
+			tx.removeFromLogs(a.addr, a.size)
+			tx.th.alloc.Free(a.addr)
+		}
+	}
+	tx.readset = tx.readset[:sp.read]
+	tx.writes = tx.writes[:sp.write]
+	tx.undo = tx.undo[:sp.undo]
+	tx.allocs = tx.allocs[:sp.alloc]
+	tx.frees = tx.frees[:sp.free]
+	tx.th.stack.Pop(sp.sp)
+	tx.saves = tx.saves[:len(tx.saves)-1]
+	tx.depth--
+}

@@ -1,0 +1,210 @@
+package stm
+
+import (
+	"repro/internal/capture"
+	"repro/internal/mem"
+)
+
+// This file is the log layer of the transaction: the read set, the
+// write (lock) set, the undo log with its write-after-write filter, the
+// allocation/free logs, and the capture-log maintenance behind the
+// paper's is_captured() probe. barrier.go and engine.go call into these
+// from the hot paths; lifecycle.go replays and truncates them.
+
+type readEntry struct {
+	oi uint64 // orec index
+	v  uint64 // orec word observed at read time
+}
+
+// writeEntry records one acquired orec, in acquisition order so aborts
+// can release exactly the locks a savepoint scope took. The orec word
+// each lock replaced lives in Tx.lockedPrev, keyed by orec index.
+type writeEntry struct {
+	oi uint64 // orec index
+}
+
+type undoEntry struct {
+	addr mem.Addr
+	val  uint64
+}
+
+type allocRec struct {
+	addr  mem.Addr
+	size  int
+	depth int32
+	dead  bool // freed again within the same transaction
+}
+
+type savepoint struct {
+	read, write, undo int
+	alloc, free       int
+	sp                mem.Addr
+}
+
+const wawSlots = 256 // power of two
+
+// wawEntry remembers where in the undo log an address was last logged
+// (undoIdx), so the skip test can verify the entry is still live and
+// would actually be replayed by any abort affecting the new write.
+type wawEntry struct {
+	addr    mem.Addr
+	epoch   uint64
+	undoIdx int
+}
+
+// validate checks every read-set entry: the orec must be unchanged, or
+// locked by us with its pre-acquisition version matching what we read.
+func (tx *Tx) validate(rt *Runtime) bool {
+	for i := range tx.readset {
+		re := &tx.readset[i]
+		cur := rt.orecs[re.oi].Load()
+		if cur == re.v {
+			continue
+		}
+		if orecLocked(cur) && orecOwner(cur) == tx.th.id {
+			if tx.prevOrecWord(re.oi) == re.v {
+				continue
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// prevOrecWord returns the orec word we replaced when locking oi. The
+// lookup is populated at lock time (writeFull) and trimmed by partial
+// aborts, so conflict-heavy commits validate in O(reads) instead of the
+// former O(reads×writes) write-log rescans.
+func (tx *Tx) prevOrecWord(oi uint64) uint64 {
+	if v, ok := tx.lockedPrev[oi]; ok {
+		return v
+	}
+	return ^uint64(0)
+}
+
+// --- Transactional allocation (Sec. 3.1.2's extended allocator) ---
+
+// Alloc allocates n words inside the transaction and records the block
+// in the allocation log. The memory is captured: until commit it is
+// invisible to every other transaction.
+func (tx *Tx) Alloc(n int) mem.Addr {
+	p := tx.th.alloc.Alloc(n)
+	size := tx.th.alloc.BlockSize(p)
+	tx.allocs = append(tx.allocs, allocRec{addr: p, size: size, depth: tx.depth})
+	tx.insertIntoLogs(p, size)
+	tx.th.stats.TxAllocs++
+	return p
+}
+
+// Free frees a block inside the transaction. A block allocated by this
+// transaction at the current nesting depth is reclaimed immediately
+// (it never escaped and cannot be resurrected by a partial abort); a
+// block allocated at an outer depth or before the transaction is freed
+// only when the transaction commits, so aborts can undo the free.
+func (tx *Tx) Free(p mem.Addr) {
+	if p == mem.Nil {
+		return
+	}
+	tx.th.stats.TxFrees++
+	for i := len(tx.allocs) - 1; i >= 0; i-- {
+		a := &tx.allocs[i]
+		if a.addr == p && !a.dead {
+			if a.depth == tx.depth {
+				a.dead = true
+				tx.removeFromLogs(p, a.size)
+				tx.th.alloc.Free(p)
+				return
+			}
+			break // allocated at an outer depth: defer
+		}
+	}
+	tx.frees = append(tx.frees, p)
+}
+
+func (tx *Tx) insertIntoLogs(p mem.Addr, size int) {
+	if tx.alog != nil {
+		tx.alog.Insert(p, p+mem.Addr(size))
+		tx.allocLive++
+	}
+	if tx.clog != nil {
+		tx.clog.Insert(p, p+mem.Addr(size))
+	}
+}
+
+func (tx *Tx) removeFromLogs(p mem.Addr, size int) {
+	if tx.alog != nil {
+		tx.alog.Remove(p, p+mem.Addr(size))
+		tx.allocLive--
+	}
+	if tx.clog != nil {
+		tx.clog.Remove(p, p+mem.Addr(size))
+	}
+}
+
+// alogContains is the is_captured() heap probe of the paper's Fig. 2,
+// devirtualized for the instrumented barrier chains. The specialized
+// perf engines inline the kind-specific probe instead (engine.go).
+func (tx *Tx) alogContains(a mem.Addr) bool {
+	if tx.allocLive == 0 {
+		return false
+	}
+	switch tx.alogKind {
+	case capture.KindTree:
+		return tx.alogTree.Contains(a, 1)
+	case capture.KindArray:
+		return tx.alogArr.Contains(a, 1)
+	default:
+		return tx.alogFil.Contains(a, 1)
+	}
+}
+
+// StackAlloc allocates an n-word frame on the transaction-local stack.
+// The frame lives until the enclosing top-level transaction ends and
+// is reclaimed automatically (Fig. 3: the region between start_sp and
+// the current stack pointer).
+func (tx *Tx) StackAlloc(n int) mem.Addr {
+	f := tx.th.stack.Push(n)
+	tx.curSP = f
+	return f
+}
+
+// onTxStack is the paper's Fig. 4 range check: the address lies in the
+// stack region grown since transaction begin.
+func (tx *Tx) onTxStack(a mem.Addr) bool {
+	return a >= tx.curSP && a < tx.startSP
+}
+
+// logUndo records the old value of a, unless the write-after-write
+// filter shows a live undo entry already covers it — the baseline's
+// cheap WAW check that the paper credits for yada.
+//
+// "Covers" is subtle under closed nesting with partial abort: the
+// prior entry must (a) still be in the log (not truncated by a partial
+// abort and not overwritten after truncation), and (b) lie at or after
+// the innermost savepoint, so every abort that could undo the new
+// write replays it. Entries from an outer scope fail (b): a partial
+// abort of the current nested transaction would not replay them.
+func (tx *Tx) logUndo(a mem.Addr) {
+	if tx.useWAW {
+		s := &tx.waw[(uint64(a)*0x9E3779B97F4A7C15>>33)&(wawSlots-1)]
+		if s.addr == a && s.epoch == tx.epoch &&
+			s.undoIdx < len(tx.undo) && tx.undo[s.undoIdx].addr == a &&
+			s.undoIdx >= tx.undoScopeBase() {
+			tx.th.stats.WriteWAWSkips += tx.statInc()
+			return
+		}
+		s.addr = a
+		s.epoch = tx.epoch
+		s.undoIdx = len(tx.undo)
+	}
+	tx.undo = append(tx.undo, undoEntry{a, tx.th.rt.space.Load(a)})
+}
+
+// undoScopeBase returns the undo-log position of the innermost
+// savepoint (0 at top level).
+func (tx *Tx) undoScopeBase() int {
+	if len(tx.saves) == 0 {
+		return 0
+	}
+	return tx.saves[len(tx.saves)-1].undo
+}

@@ -13,6 +13,18 @@
 // elided and a plain memory access is performed. The compiler
 // optimization (Sec. 3.2) is modeled by the provenance carried in
 // each access descriptor (see Prov) and elides statically.
+//
+// The package is layered (each file only calls downward):
+//
+//	lifecycle.go  begin/commit/abort, closed nesting, quiescence
+//	engine.go     barrier engine: the profile compiled into Load/Store
+//	barrier.go    generic/counting chains + full-barrier slow paths
+//	logs.go       read/write/undo/WAW/alloc logs and capture probes
+//
+// The barrier engine is selected once per Runtime from OptConfig
+// (newEngine): instrumented profiles run the counting chain, PerfMode
+// profiles a specialized stats-free fast path, and ForceGeneric pins
+// the reference chain for differential testing.
 package stm
 
 import (
@@ -38,6 +50,7 @@ type Runtime struct {
 	orecShift uint
 	clock     atomic.Uint64
 	cfg       OptConfig
+	eng       *engine // barrier engine compiled once from cfg (engine.go)
 
 	// seqs[i] is thread i's quiescence counter: odd while inside a
 	// transaction, even otherwise. It drives the epoch-based deferred
@@ -65,10 +78,15 @@ func New(mcfg mem.Config, cfg OptConfig) *Runtime {
 		orecs:     make([]atomic.Uint64, 1<<bits),
 		orecShift: 64 - uint(bits),
 		cfg:       cfg,
+		eng:       newEngine(cfg),
 		seqs:      make([]atomic.Uint64, mcfg.MaxThreads),
 		threads:   make(map[int]*Thread),
 	}
 }
+
+// Engine names the barrier engine compiled for this runtime's
+// configuration ("generic", "counting", or a "perf-*" specialization).
+func (rt *Runtime) Engine() string { return rt.eng.name }
 
 // Space returns the simulated address space (for non-transactional
 // setup and validation code).
@@ -112,37 +130,51 @@ type Thread struct {
 }
 
 // limboBatch holds blocks freed by one committed transaction plus the
-// quiescence snapshot taken at commit.
+// quiescence snapshot taken at commit: only the threads observed inside
+// a transaction (odd sequence) matter, so the snapshot records just
+// those (id, seq) pairs instead of a full per-thread vector per batch.
 type limboBatch struct {
 	blocks []mem.Addr
-	snap   []uint64
+	ids    []int32  // threads odd at enqueue time
+	seqs   []uint64 // their sequence values, parallel to ids
 }
 
 // enqueueLimbo defers the reuse of blocks until quiescence.
 func (th *Thread) enqueueLimbo(blocks []mem.Addr) {
-	b := limboBatch{
-		blocks: append([]mem.Addr(nil), blocks...),
-		snap:   make([]uint64, len(th.rt.seqs)),
-	}
+	b := limboBatch{blocks: append([]mem.Addr(nil), blocks...)}
 	for i := range th.rt.seqs {
-		b.snap[i] = th.rt.seqs[i].Load()
+		if s := th.rt.seqs[i].Load(); s%2 == 1 {
+			b.ids = append(b.ids, int32(i))
+			b.seqs = append(b.seqs, s)
+		}
 	}
 	th.limbo = append(th.limbo, b)
 }
 
-// drainLimbo recycles every batch whose snapshot has quiesced.
+// drainLimbo recycles every batch whose snapshot has quiesced. Drained
+// batches are compacted off the front with copy+truncate so the slice
+// never pins the backing array's head (limbo[1:] would keep every
+// drained batch reachable until the whole slice is reallocated).
 func (th *Thread) drainLimbo() {
-	for len(th.limbo) > 0 {
-		b := th.limbo[0]
-		for i, s := range b.snap {
-			if s%2 == 1 && th.rt.seqs[i].Load() == s {
-				return // that thread is still inside the same transaction
+	drained := 0
+drain:
+	for ; drained < len(th.limbo); drained++ {
+		b := &th.limbo[drained]
+		for i, id := range b.ids {
+			if th.rt.seqs[id].Load() == b.seqs[i] {
+				break drain // that thread is still inside the same transaction
 			}
 		}
 		for _, p := range b.blocks {
 			th.alloc.Free(p)
 		}
-		th.limbo = th.limbo[1:]
+	}
+	if drained > 0 {
+		n := copy(th.limbo, th.limbo[drained:])
+		for i := n; i < len(th.limbo); i++ {
+			th.limbo[i] = limboBatch{} // release for GC
+		}
+		th.limbo = th.limbo[:n]
 	}
 }
 

@@ -42,6 +42,42 @@ func RunMatrix(workload string, profiles []tm.Profile, threads, runs int) ([]Res
 	return harness.RunMatrix(workload, profiles, threads, runs)
 }
 
+// DefaultThreadCounts returns the machine-sized sweep grid: powers of
+// two below the CPU count, then the CPU count itself.
+func DefaultThreadCounts() []int { return harness.DefaultThreadCounts() }
+
+// Sweep measures the workload under the profile at each thread count
+// (nil = DefaultThreadCounts): one scaling curve.
+func Sweep(workload string, p tm.Profile, threadCounts []int, runs int) ([]Result, error) {
+	return harness.Sweep(workload, p, threadCounts, runs)
+}
+
+// SweepMatrix sweeps every profile and concatenates the curves.
+func SweepMatrix(workload string, profiles []tm.Profile, threadCounts []int, runs int) ([]Result, error) {
+	return harness.SweepMatrix(workload, profiles, threadCounts, runs)
+}
+
+// Report is the diffable JSON artifact of a benchmark run.
+type Report = harness.Report
+
+// Machine describes the host a report was produced on.
+type Machine = harness.Machine
+
+// ResultJSON is one flattened result row of a Report.
+type ResultJSON = harness.ResultJSON
+
+// NewReport wraps results into a Report stamped with this machine.
+func NewReport(results []Result) Report { return harness.NewReport(results) }
+
+// WriteJSON writes the report as indented JSON.
+func WriteJSON(w io.Writer, rep Report) error { return harness.WriteJSON(w, rep) }
+
+// ReadJSON parses a report written by WriteJSON.
+func ReadJSON(r io.Reader) (Report, error) { return harness.ReadJSON(r) }
+
+// WriteSweep prints the human-readable scaling-curve table.
+func WriteSweep(w io.Writer, results []Result) { harness.WriteSweep(w, results) }
+
 // Improvement returns the percent performance improvement of opt over
 // base: positive means opt is faster.
 func Improvement(base, opt Result) float64 { return harness.Improvement(base, opt) }

@@ -162,6 +162,29 @@ func WithoutWAWFilter() Option {
 	return func(s *settings) { s.cfg.NoWAWFilter = true }
 }
 
+// Engine selects the barrier-engine family a Runtime compiles its
+// Load/Store hot paths into.
+type Engine int
+
+const (
+	// EngineAuto (the default) lets Open pick the engine the profile
+	// compiles to: the instrumented chain when statistics are kept, a
+	// specialized stats-free fast path under WithPerfMode.
+	EngineAuto Engine = iota
+	// EngineGeneric forces the generic reference chain, which
+	// re-interprets the whole profile on every access. It exists for
+	// differential testing: a specialized engine must be
+	// observationally identical to the generic one.
+	EngineGeneric
+)
+
+// WithEngine forces a barrier-engine family. The default, EngineAuto,
+// is right for everything except engine-equivalence testing; see
+// Runtime.Engine for what was actually selected.
+func WithEngine(e Engine) Option {
+	return func(s *settings) { s.cfg.ForceGeneric = e == EngineGeneric }
+}
+
 // --- Profiles ---
 
 // Profile is a named, reusable bundle of Options — one column of a

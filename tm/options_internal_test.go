@@ -83,6 +83,12 @@ func TestOptionFieldMapping(t *testing.T) {
 	if !cfg.VerifyElision || !cfg.Counting {
 		t.Errorf("WithVerifyElision built %+v, want VerifyElision+Counting", cfg)
 	}
+	if cfg := buildCfg(t, WithEngine(EngineGeneric)); !cfg.ForceGeneric {
+		t.Error("WithEngine(EngineGeneric) did not set ForceGeneric")
+	}
+	if cfg := buildCfg(t, WithEngine(EngineGeneric), WithEngine(EngineAuto)); cfg.ForceGeneric {
+		t.Error("WithEngine(EngineAuto) did not clear ForceGeneric")
+	}
 }
 
 func TestMemoryAndDefaults(t *testing.T) {

@@ -82,6 +82,12 @@ func (rt *Runtime) AllocGlobal(n int) Struct {
 // Stats sums the statistics of every thread created so far.
 func (rt *Runtime) Stats() Stats { return rt.rt.Stats() }
 
+// Engine names the barrier engine this runtime compiled its
+// configuration into: "counting" for instrumented profiles, a "perf-*"
+// specialization under WithPerfMode, or "generic" when forced with
+// WithEngine(EngineGeneric).
+func (rt *Runtime) Engine() string { return rt.rt.Engine() }
+
 // ResetStats zeroes every thread's counters (e.g. between an untimed
 // setup phase and the timed parallel phase). Not safe to call while
 // worker threads are running.
