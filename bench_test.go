@@ -15,6 +15,7 @@ import (
 	"repro/tm/bench"
 
 	_ "repro/internal/scenarios/tmkv"
+	_ "repro/internal/scenarios/tmmsg"
 	_ "repro/internal/stamp/all"
 )
 
@@ -165,6 +166,45 @@ func BenchmarkTMKVParallel(b *testing.B) {
 		tm.CompilerElision(),
 	}
 	for _, name := range tmkvVariants {
+		for _, p := range profiles {
+			b.Run(name+"/"+p.Name(), func(b *testing.B) {
+				runBench(b, name, p.Perf(), benchThreads)
+			})
+		}
+	}
+}
+
+// --- tmmsg scenario pack (transactional message broker) ---
+
+// tmmsgVariants are the registered broker mixes.
+var tmmsgVariants = []string{"tmmsg", "tmmsg-pub", "tmmsg-sub"}
+
+// BenchmarkTMMSG measures the broker single-threaded under the Fig. 10
+// configurations. Batch publishes are pure allocate-build-publish, so
+// the capture techniques move tmmsg-pub the most of any workload in
+// the matrix, while tmmsg-sub's contended shared cursors barely move —
+// the two regimes of the paper side by side in one scenario.
+func BenchmarkTMMSG(b *testing.B) {
+	for _, name := range tmmsgVariants {
+		for _, p := range bench.Fig10Configs() {
+			b.Run(name+"/"+p.Name(), func(b *testing.B) {
+				runBench(b, name, p.Perf(), 1)
+			})
+		}
+	}
+}
+
+// BenchmarkTMMSGParallel measures the mixes contended at 16 threads
+// under the baseline and the strongest runtime and compiler profiles:
+// the consumer-group cursors make this the most write-contended
+// scenario in the matrix.
+func BenchmarkTMMSGParallel(b *testing.B) {
+	profiles := []tm.Profile{
+		tm.Baseline(),
+		tm.RuntimeAll(tm.LogTree),
+		tm.CompilerElision(),
+	}
+	for _, name := range tmmsgVariants {
 		for _, p := range profiles {
 			b.Run(name+"/"+p.Name(), func(b *testing.B) {
 				runBench(b, name, p.Perf(), benchThreads)

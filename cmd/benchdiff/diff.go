@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/tm/bench"
+)
+
+// Key identifies one comparable measurement across reports: the same
+// workload under the same profile, thread count, and compiled barrier
+// engine. A row that changes engine between runs is not comparable —
+// the engine *is* the code under test — so it surfaces as unmatched
+// instead of as a bogus delta.
+type Key struct {
+	Bench, Config, Engine string
+	Threads               int
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/%s/%dt", k.Bench, k.Config, k.Engine, k.Threads)
+}
+
+// Delta is one matched row: the best (minimum) observed time from each
+// report and the relative slowdown of current against baseline.
+// Minima are the comparison statistic throughout the harness: noise
+// only ever adds time, so the minimum is the most repeatable view of
+// the same code on the same machine.
+type Delta struct {
+	Key
+	BaseNs, CurNs int64
+	Pct           float64 // positive: current is slower (throughput regression)
+	Regressed     bool
+}
+
+// Comparison is the outcome of diffing two reports.
+type Comparison struct {
+	Deltas   []Delta
+	OnlyBase []Key // timed rows present only in the baseline
+	OnlyCur  []Key // timed rows present only in the current report
+}
+
+// Regressions returns the flagged deltas, worst first.
+func (c Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pct > out[j].Pct })
+	return out
+}
+
+// indexResults maps each timed row to its minimum observed time.
+// Rows without times (capture-only reports) are skipped; a duplicate
+// key keeps the fastest run.
+func indexResults(rep bench.Report) map[Key]int64 {
+	idx := make(map[Key]int64)
+	for _, r := range rep.Results {
+		if r.MinNs <= 0 {
+			continue
+		}
+		k := Key{Bench: r.Bench, Config: r.Config, Engine: r.Engine, Threads: r.Threads}
+		if prev, ok := idx[k]; !ok || r.MinNs < prev {
+			idx[k] = r.MinNs
+		}
+	}
+	return idx
+}
+
+func sortedKeys(idx map[Key]int64) []Key {
+	keys := make([]Key, 0, len(idx))
+	for k := range idx {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		if a.Engine != b.Engine {
+			return a.Engine < b.Engine
+		}
+		return a.Threads < b.Threads
+	})
+	return keys
+}
+
+// Compare matches the timed rows of two reports by key and flags every
+// match whose best time rose by more than thresholdPct. A row whose
+// current time is still under floor is reported but never flagged:
+// at sub-floor durations scheduler noise swamps any real regression,
+// while a genuine catastrophic slowdown pushes the current time past
+// the floor and fires regardless of how small the baseline was.
+func Compare(base, cur bench.Report, thresholdPct float64, floor time.Duration) Comparison {
+	bidx, cidx := indexResults(base), indexResults(cur)
+	var c Comparison
+	for _, k := range sortedKeys(bidx) {
+		bNs := bidx[k]
+		cNs, ok := cidx[k]
+		if !ok {
+			c.OnlyBase = append(c.OnlyBase, k)
+			continue
+		}
+		d := Delta{Key: k, BaseNs: bNs, CurNs: cNs,
+			Pct: 100 * (float64(cNs) - float64(bNs)) / float64(bNs)}
+		d.Regressed = d.Pct > thresholdPct && cNs >= floor.Nanoseconds()
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, k := range sortedKeys(cidx) {
+		if _, ok := bidx[k]; !ok {
+			c.OnlyCur = append(c.OnlyCur, k)
+		}
+	}
+	return c
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/tm/bench"
+)
+
+func fixture(name string) string { return filepath.Join("testdata", name) }
+
+// diffFixtures runs the full testable pipeline over two fixture files.
+func diffFixtures(t *testing.T, base, cur string, thresholdPct float64, floor time.Duration) (bool, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	regressed, err := runDiff(fixture(base), fixture(cur), thresholdPct, floor, &buf)
+	if err != nil {
+		t.Fatalf("runDiff(%s, %s): %v", base, cur, err)
+	}
+	return regressed, buf.String()
+}
+
+func TestUnchangedPairPasses(t *testing.T) {
+	regressed, out := diffFixtures(t, "baseline.json", "baseline.json", 25, 5*time.Millisecond)
+	if regressed {
+		t.Fatalf("identical reports flagged a regression:\n%s", out)
+	}
+	if strings.Contains(out, "only in") {
+		t.Errorf("identical reports left unmatched rows:\n%s", out)
+	}
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	regressed, out := diffFixtures(t, "baseline.json", "current_ok.json", 25, 5*time.Millisecond)
+	if regressed {
+		t.Fatalf("within-threshold pair flagged a regression:\n%s", out)
+	}
+	// The engine rename must surface as unmatched on both sides, and
+	// the brand-new workload as current-only.
+	for _, want := range []string{
+		"only in baseline: vacation-low/baseline/generic/1t",
+		"only in current: vacation-low/baseline/perf-noinstr/1t",
+		"only in current: tmmsg/baseline/perf-noinstr/1t",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegressionFires(t *testing.T) {
+	regressed, out := diffFixtures(t, "baseline.json", "current_regress.json", 25, 5*time.Millisecond)
+	if !regressed {
+		t.Fatalf("+60%% row not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "tmkv/baseline/perf-noinstr/1t") {
+		t.Errorf("output does not name the regressed row:\n%s", out)
+	}
+}
+
+func TestThresholdRaisesGate(t *testing.T) {
+	regressed, out := diffFixtures(t, "baseline.json", "current_regress.json", 100, 5*time.Millisecond)
+	if regressed {
+		t.Fatalf("+60%% row flagged at a 100%% threshold:\n%s", out)
+	}
+}
+
+// TestFloorSuppressesNoise: the micro row explodes +250% in the ok
+// fixture, but its current time (3.5ms) is under the 5ms floor, so it
+// must not fire — yet it must with the floor lowered.
+func TestFloorSuppressesNoise(t *testing.T) {
+	if regressed, out := diffFixtures(t, "baseline.json", "current_ok.json", 25, 5*time.Millisecond); regressed {
+		t.Fatalf("sub-floor noise fired the gate:\n%s", out)
+	}
+	if regressed, _ := diffFixtures(t, "baseline.json", "current_ok.json", 25, time.Millisecond); !regressed {
+		t.Fatal("lowering the floor below the row did not re-enable the gate")
+	}
+}
+
+func TestCaptureOnlyReportsCompareEmpty(t *testing.T) {
+	regressed, out := diffFixtures(t, "capture_only.json", "capture_only.json", 25, 5*time.Millisecond)
+	if regressed {
+		t.Fatal("capture-only reports flagged a regression")
+	}
+	if !strings.Contains(out, "no comparable timed rows") {
+		t.Errorf("missing empty-comparison notice:\n%s", out)
+	}
+}
+
+func TestUnknownSchemaRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := runDiff(fixture("bad_schema.json"), fixture("baseline.json"), 25, 5*time.Millisecond, &buf); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if _, err := runDiff(fixture("baseline.json"), fixture("bad_schema.json"), 25, 5*time.Millisecond, &buf); err == nil {
+		t.Fatal("unknown schema accepted as current")
+	}
+}
+
+// TestExitCodes pins the gate's process contract: 0 clean, 1 on
+// regression, 2 on input errors.
+func TestExitCodes(t *testing.T) {
+	var out, errw bytes.Buffer
+	cases := []struct {
+		base, cur string
+		skip      bool
+		want      int
+	}{
+		{"baseline.json", "current_ok.json", false, 0},
+		{"baseline.json", "current_regress.json", false, 1},
+		{"bad_schema.json", "baseline.json", false, 2},
+		{"baseline.json", "bad_schema.json", false, 2},
+		{"missing.json", "baseline.json", false, 2},
+	}
+	for _, c := range cases {
+		if got := run(fixture(c.base), fixture(c.cur), 25, 5*time.Millisecond, c.skip, &out, &errw); got != c.want {
+			t.Errorf("run(%s, %s, skip=%v) = %d, want %d", c.base, c.cur, c.skip, got, c.want)
+		}
+	}
+}
+
+// TestSkipBadBaseline: with the flag, a stale-schema or unreadable
+// baseline is treated as absent (the CI first-run case) — but a broken
+// *current* report must still fail.
+func TestSkipBadBaseline(t *testing.T) {
+	var out, errw bytes.Buffer
+	if got := run(fixture("bad_schema.json"), fixture("baseline.json"), 25, 5*time.Millisecond, true, &out, &errw); got != 0 {
+		t.Errorf("bad baseline with skip flag: exit %d, want 0", got)
+	}
+	if !strings.Contains(out.String(), "skipping regression gate") {
+		t.Errorf("missing skip notice:\n%s", out.String())
+	}
+	if got := run(fixture("missing.json"), fixture("baseline.json"), 25, 5*time.Millisecond, true, &out, &errw); got != 0 {
+		t.Errorf("missing baseline with skip flag: exit %d, want 0", got)
+	}
+	if got := run(fixture("baseline.json"), fixture("bad_schema.json"), 25, 5*time.Millisecond, true, &out, &errw); got != 2 {
+		t.Errorf("bad current with skip flag: exit %d, want 2", got)
+	}
+	// A usable baseline still gates normally under the flag.
+	if got := run(fixture("baseline.json"), fixture("current_regress.json"), 25, 5*time.Millisecond, true, &out, &errw); got != 1 {
+		t.Errorf("regression with skip flag: exit %d, want 1", got)
+	}
+}
+
+// TestCompareSemantics pins the matching rules on in-memory reports:
+// duplicate keys keep the fastest run, untimed rows are ignored, and
+// the delta math is exact.
+func TestCompareSemantics(t *testing.T) {
+	row := func(benchName string, threads int, minNs int64) bench.ResultJSON {
+		return bench.ResultJSON{Bench: benchName, Config: "baseline", Engine: "perf-noinstr",
+			Threads: threads, MinNs: minNs}
+	}
+	base := bench.Report{Schema: bench.ReportSchema, Results: []bench.ResultJSON{
+		row("a", 1, 100), row("a", 1, 80), // duplicate: keep 80
+		row("b", 1, 0), // untimed: ignored
+		row("c", 1, 200),
+	}}
+	cur := bench.Report{Schema: bench.ReportSchema, Results: []bench.ResultJSON{
+		row("a", 1, 120),
+		row("c", 1, 150),
+	}}
+	c := Compare(base, cur, 25, 0)
+	if len(c.Deltas) != 2 || len(c.OnlyBase) != 0 || len(c.OnlyCur) != 0 {
+		t.Fatalf("got %d deltas, %d only-base, %d only-cur", len(c.Deltas), len(c.OnlyBase), len(c.OnlyCur))
+	}
+	a := c.Deltas[0]
+	if a.BaseNs != 80 || a.CurNs != 120 || a.Pct != 50 || !a.Regressed {
+		t.Errorf("row a: %+v", a)
+	}
+	cRow := c.Deltas[1]
+	if cRow.Pct != -25 || cRow.Regressed {
+		t.Errorf("row c: %+v", cRow)
+	}
+	if regs := c.Regressions(); len(regs) != 1 || regs[0].Bench != "a" {
+		t.Errorf("regressions: %+v", regs)
+	}
+}

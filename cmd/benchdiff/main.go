@@ -1,0 +1,148 @@
+// Command benchdiff compares two benchmark reports (schema
+// repro/bench-report/v1, as written by `stampbench -format json` and
+// tm/bench.WriteJSON) and fails when the current report shows a
+// throughput regression against the baseline: a matched (workload,
+// profile, threads, engine) row whose best time rose by more than the
+// threshold. CI runs it against the previous successful run's
+// artifact, making the perf trajectory a gate instead of an archive.
+//
+// Usage:
+//
+//	benchdiff [-threshold 25] [-floor 5ms] [-skip-bad-baseline] baseline.json current.json
+//
+// Rows are matched on (bench, config, threads, engine); rows only one
+// report has are listed but never fail the run (workloads and engines
+// come and go across PRs). Rows whose current best time is below
+// -floor are compared but cannot fire: at that scale scheduler noise
+// swamps real regressions. With -skip-bad-baseline an unreadable or
+// schema-mismatched *baseline* is treated like an absent one (exit 0),
+// so a schema bump cannot wedge CI against a stale artifact; problems
+// with the *current* report always fail. Exit status: 0 no
+// regression, 1 regression found, 2 usage or input error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/tm/bench"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 25, "flag matched rows whose best time rose more than this percent")
+	floor := flag.Duration("floor", 5*time.Millisecond, "never flag rows whose current best time is below this")
+	skipBadBaseline := flag.Bool("skip-bad-baseline", false,
+		"treat an unreadable or schema-mismatched baseline as absent (exit 0) instead of an error")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] [-floor DUR] [-skip-bad-baseline] baseline.json current.json")
+		os.Exit(2)
+	}
+	os.Exit(run(flag.Arg(0), flag.Arg(1), *threshold, *floor, *skipBadBaseline, os.Stdout, os.Stderr))
+}
+
+// run executes the whole gate and returns the process exit code. Each
+// report is read exactly once; only the baseline's errors are
+// forgivable, and only under -skip-bad-baseline.
+func run(basePath, curPath string, thresholdPct float64, floor time.Duration,
+	skipBadBaseline bool, out, errw io.Writer) int {
+	base, err := readReport(basePath)
+	if err != nil {
+		if skipBadBaseline {
+			fmt.Fprintf(out, "skipping regression gate: baseline unusable: %v\n", err)
+			return 0
+		}
+		fmt.Fprintln(errw, "benchdiff:", err)
+		return 2
+	}
+	cur, err := readReport(curPath)
+	if err != nil {
+		fmt.Fprintln(errw, "benchdiff:", err)
+		return 2
+	}
+	if diffReports(base, cur, thresholdPct, floor, out) {
+		return 1
+	}
+	return 0
+}
+
+// readReport loads one report and rejects unknown schemas: silently
+// diffing a report whose fields changed meaning would gate on noise.
+func readReport(path string) (bench.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return bench.Report{}, err
+	}
+	defer f.Close()
+	rep, err := bench.ReadJSON(f)
+	if err != nil {
+		return bench.Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != bench.ReportSchema {
+		return bench.Report{}, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, bench.ReportSchema)
+	}
+	return rep, nil
+}
+
+// runDiff is the path-based form the tests drive: load both reports,
+// then compare.
+func runDiff(basePath, curPath string, thresholdPct float64, floor time.Duration, w io.Writer) (bool, error) {
+	base, err := readReport(basePath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := readReport(curPath)
+	if err != nil {
+		return false, err
+	}
+	return diffReports(base, cur, thresholdPct, floor, w), nil
+}
+
+// diffReports prints the comparison to w and reports whether any row
+// regressed.
+func diffReports(base, cur bench.Report, thresholdPct float64, floor time.Duration, w io.Writer) bool {
+	if base.Machine != cur.Machine {
+		fmt.Fprintf(w, "note: reports come from different machines (%+v vs %+v); deltas may reflect the machine, not the code\n",
+			base.Machine, cur.Machine)
+	}
+
+	c := Compare(base, cur, thresholdPct, floor)
+	if len(c.Deltas) == 0 {
+		fmt.Fprintln(w, "no comparable timed rows between the two reports")
+	} else {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "benchmark\tconfig\tengine\tthreads\tbaseline\tcurrent\tdelta")
+		for _, d := range c.Deltas {
+			mark := ""
+			if d.Regressed {
+				mark = "  REGRESSED"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%v\t%v\t%+.1f%%%s\n",
+				d.Bench, d.Config, d.Engine, d.Threads,
+				time.Duration(d.BaseNs).Round(time.Microsecond),
+				time.Duration(d.CurNs).Round(time.Microsecond),
+				d.Pct, mark)
+		}
+		tw.Flush()
+	}
+	for _, k := range c.OnlyBase {
+		fmt.Fprintf(w, "only in baseline: %s\n", k)
+	}
+	for _, k := range c.OnlyCur {
+		fmt.Fprintf(w, "only in current: %s\n", k)
+	}
+
+	regs := c.Regressions()
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "OK: %d rows compared, none beyond +%.0f%% (floor %v)\n",
+			len(c.Deltas), thresholdPct, floor)
+		return false
+	}
+	fmt.Fprintf(w, "FAIL: %d of %d rows regressed beyond +%.0f%% (floor %v); worst: %s %+.1f%%\n",
+		len(regs), len(c.Deltas), thresholdPct, floor, regs[0].Key, regs[0].Pct)
+	return true
+}

@@ -7,12 +7,12 @@
 // -bench flag too.
 //
 // The matrix covers every workload registered in the tm registry: the
-// STAMP roster plus the in-tree scenario packs (tmkv) and anything an
-// external package registers.
+// STAMP roster plus the in-tree scenario packs (tmkv, tmmsg) and
+// anything an external package registers.
 //
 // Usage:
 //
-//	stampbench -experiment list             # registered workloads
+//	stampbench -experiment list             # registered workloads + descriptions
 //	stampbench -experiment fig10            # 1-thread improvements
 //	stampbench -experiment fig11a -threads 16
 //	stampbench -experiment fig11b -threads 16
@@ -34,11 +34,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 
 	"repro/tm"
 	"repro/tm/bench"
 
 	_ "repro/internal/scenarios/tmkv"
+	_ "repro/internal/scenarios/tmmsg"
 	_ "repro/internal/stamp/all"
 )
 
@@ -80,9 +82,13 @@ func main() {
 	var err error
 	switch *exp {
 	case "list":
+		// One line per workload with its registered description, so a CI
+		// log of the matrix is self-explaining.
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		for _, b := range benches {
-			fmt.Fprintln(w, b)
+			fmt.Fprintf(tw, "%s\t%s\n", b, tm.WorkloadDescription(b))
 		}
+		tw.Flush()
 	case "capture":
 		err = capture(w, benches, *format == "json")
 	case "table1":

@@ -6,6 +6,7 @@ import (
 	"repro/tm"
 
 	_ "repro/internal/scenarios/tmkv"
+	_ "repro/internal/scenarios/tmmsg"
 	_ "repro/internal/stamp/all"
 )
 

@@ -1,0 +1,83 @@
+// Package dist holds the key/topic-selection helpers shared by the
+// scenario packs (tmkv, tmmsg): a Zipfian sampler, the rank-scattering
+// bijection that keeps the hot set from clustering, and the multi-word
+// probe-key encoding.
+package dist
+
+import (
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/prng"
+	"repro/internal/stm"
+)
+
+// Zipf samples ranks in [0, n) with Zipfian skew using the standard
+// YCSB/Gray et al. inversion method. The constants are precomputed
+// once (the zeta sum is O(n)); Sample then costs one Pow per draw.
+// Sampling is deterministic given the caller's generator, so every
+// thread shares one Zipf but owns its prng.
+type Zipf struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+func zetaSum(n int, theta float64) float64 {
+	var z float64
+	for i := 1; i <= n; i++ {
+		z += 1 / math.Pow(float64(i), theta)
+	}
+	return z
+}
+
+// NewZipf builds a sampler over [0, n) with skew theta in (0, 1).
+func NewZipf(n int, theta float64) *Zipf {
+	zetan := zetaSum(n, theta)
+	return &Zipf{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zetaSum(2, theta)/zetan),
+	}
+}
+
+// Sample draws a rank: rank 0 is the hottest.
+func (z *Zipf) Sample(r *prng.R) int {
+	u := r.Float()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	k := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
+
+// RankToKey spreads ranks over the key space with an odd-multiplier
+// bijection (keys must be a power of two), so the hot set is not a
+// contiguous id prefix that would cluster in an index.
+func RankToKey(rank, keys int) uint64 {
+	return (uint64(rank) * 0x9E3779B97F4A7C15) & uint64(keys-1)
+}
+
+// StackKey writes the packs' shared probe-key encoding for id into a
+// transaction-local stack buffer: word 0 is the id, the rest mix it so
+// equality needs the full multi-word compare (captured-stack traffic,
+// like STAMP's iterator words).
+func StackKey(tx *stm.Tx, id uint64, words int) mem.Addr {
+	kb := tx.StackAlloc(words)
+	tx.Store(kb, id, stm.AccStack)
+	for i := 1; i < words; i++ {
+		tx.Store(kb+mem.Addr(i), id*0x9E3779B97F4A7C15+uint64(i), stm.AccStack)
+	}
+	return kb
+}

@@ -1,0 +1,52 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	const n = 1024
+	z := NewZipf(n, 0.9)
+	r := prng.New(11)
+	counts := make([]int, n)
+	for i := 0; i < 100000; i++ {
+		k := z.Sample(r)
+		if k < 0 || k >= n {
+			t.Fatalf("sample %d out of [0,%d)", k, n)
+		}
+		counts[k]++
+	}
+	var head int
+	for i := 0; i < n/100; i++ { // hottest 1% of ranks
+		head += counts[i]
+	}
+	if head < 30000 {
+		t.Errorf("zipf(0.9): hottest 1%% drew %d of 100000 samples, want a heavy head", head)
+	}
+}
+
+// TestRankToKeyBijection: the scatter must cover the key space exactly
+// once, for several power-of-two sizes.
+func TestRankToKeyBijection(t *testing.T) {
+	for _, n := range []int{2, 64, 1024} {
+		seen := make(map[uint64]bool)
+		for i := 0; i < n; i++ {
+			seen[RankToKey(i, n)] = true
+		}
+		if len(seen) != n {
+			t.Errorf("RankToKey maps %d ranks to %d keys", n, len(seen))
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	z := NewZipf(256, 0.85)
+	a, b := prng.New(5), prng.New(5)
+	for i := 0; i < 1000; i++ {
+		if z.Sample(a) != z.Sample(b) {
+			t.Fatal("identical seeds diverged")
+		}
+	}
+}

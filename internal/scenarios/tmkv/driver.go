@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/prng"
+	"repro/internal/scenarios/dist"
 	"repro/internal/stm"
 	"repro/internal/txlib"
 	"repro/tm"
@@ -70,9 +71,16 @@ func Small() Config {
 }
 
 func init() {
-	for _, cfg := range []Config{Mixed(), ReadHeavy(), WriteHeavy()} {
-		cfg := cfg
-		tm.RegisterWorkload(cfg.Name, func() tm.Workload { return New(cfg) })
+	for _, reg := range []struct {
+		cfg  Config
+		desc string
+	}{
+		{Mixed(), "transactional KV/object store: mixed OLTP blend with content-hash dedup"},
+		{ReadHeavy(), "tmkv read heavy: checksum-verified point reads over a hot key set"},
+		{WriteHeavy(), "tmkv write heavy: allocation-dominated churn, peak elision headroom"},
+	} {
+		cfg := reg.cfg
+		tm.RegisterWorkloadDesc(cfg.Name, reg.desc, func() tm.Workload { return New(cfg) })
 	}
 }
 
@@ -90,7 +98,7 @@ type threadStats struct {
 type B struct {
 	cfg     Config
 	store   Store
-	dist    *zipf
+	dist    *dist.Zipf
 	preload int
 	perTh   []threadStats
 }
@@ -136,16 +144,10 @@ func (c Config) opThresholds() [4]int {
 	}
 }
 
-// makeKey writes the probe key for id into a transaction-local stack
-// buffer: word 0 is the id, the rest mix it so equality needs the full
-// multi-word compare.
+// makeKey builds the probe key for id in a transaction-local stack
+// buffer (the packs' shared encoding).
 func (b *B) makeKey(tx *stm.Tx, id uint64) mem.Addr {
-	kb := tx.StackAlloc(b.cfg.KeyWords)
-	tx.Store(kb, id, stm.AccStack)
-	for i := 1; i < b.cfg.KeyWords; i++ {
-		tx.Store(kb+mem.Addr(i), id*0x9E3779B97F4A7C15+uint64(i), stm.AccStack)
-	}
-	return kb
+	return dist.StackKey(tx, id, b.cfg.KeyWords)
 }
 
 // valueShape derives a value's block count deterministically from the
@@ -191,7 +193,7 @@ func (b *B) Setup(trt *tm.Runtime) {
 	rt := trt.Unwrap()
 	c := b.cfg
 	if c.Zipf {
-		b.dist = newZipf(c.Keys, c.Theta)
+		b.dist = dist.NewZipf(c.Keys, c.Theta)
 	}
 	th := rt.Thread(0)
 	th.Atomic(func(tx *stm.Tx) {
@@ -199,7 +201,7 @@ func (b *B) Setup(trt *tm.Runtime) {
 	})
 	b.preload = c.Keys * c.PreloadPct / 100
 	for i := 0; i < b.preload; i++ {
-		id := rankToKey(i, c.Keys)
+		id := dist.RankToKey(i, c.Keys)
 		th.Atomic(func(tx *stm.Tx) {
 			kb := b.makeKey(tx, id)
 			stage, words := b.stageValue(tx, id, 1)
@@ -214,9 +216,9 @@ func (b *B) Setup(trt *tm.Runtime) {
 // pickKey draws a key id for one operation.
 func (b *B) pickKey(r *prng.R) uint64 {
 	if b.dist != nil {
-		return rankToKey(b.dist.Sample(r), b.cfg.Keys)
+		return dist.RankToKey(b.dist.Sample(r), b.cfg.Keys)
 	}
-	return rankToKey(r.Intn(b.cfg.Keys), b.cfg.Keys)
+	return dist.RankToKey(r.Intn(b.cfg.Keys), b.cfg.Keys)
 }
 
 // Run implements tm.Workload: the timed parallel phase. Ops are split

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/mem"
-	"repro/internal/prng"
 	"repro/internal/stm"
 	"repro/internal/txlib"
 	"repro/tm"
@@ -150,34 +149,5 @@ func TestConcurrentStress(t *testing.T) {
 	for _, threads := range []int{2, 4} {
 		runOnce(t, cfg, tm.Baseline(), threads)
 		runOnce(t, cfg, tm.RuntimeAll(tm.LogTree), threads)
-	}
-}
-
-func TestZipfSkewAndBounds(t *testing.T) {
-	const n = 1024
-	z := newZipf(n, 0.9)
-	r := prng.New(11)
-	counts := make([]int, n)
-	for i := 0; i < 100000; i++ {
-		k := z.Sample(r)
-		if k < 0 || k >= n {
-			t.Fatalf("sample %d out of [0,%d)", k, n)
-		}
-		counts[k]++
-	}
-	var head int
-	for i := 0; i < n/100; i++ { // hottest 1% of ranks
-		head += counts[i]
-	}
-	if head < 30000 {
-		t.Errorf("zipf(0.9): hottest 1%% drew %d of 100000 samples, want a heavy head", head)
-	}
-	// The bijection must cover the key space exactly once.
-	seen := make(map[uint64]bool)
-	for i := 0; i < n; i++ {
-		seen[rankToKey(i, n)] = true
-	}
-	if len(seen) != n {
-		t.Errorf("rankToKey maps %d ranks to %d keys", n, len(seen))
 	}
 }

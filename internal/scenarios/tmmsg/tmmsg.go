@@ -1,0 +1,235 @@
+// Package tmmsg is a transactional message broker scenario: a topic
+// index, per-topic ring buffers of message records, batch publishes
+// assembled entirely in captured memory, and consumer groups sharing
+// cursors.
+//
+// It is the first workload built to separate the paper's two capture
+// regimes inside one program. The publish path is the
+// allocate-build-publish shape the paper optimizes — every header word
+// and payload block of a batch is allocated with Tx.Alloc and filled
+// with fresh-provenance stores, and only the final ring links and the
+// head-sequence bump touch definitely-shared words — so runtime and
+// static capture analysis both elide almost all of its barriers. The
+// consumer path is the opposite: a consume transaction allocates
+// nothing and spends its whole life in contended read-modify-writes on
+// group cursor words and shared payload reads, so capture analysis can
+// elide none of it (the anti-capture stress case, like kmeans in
+// Fig. 10).
+//
+// Retention follows broker practice: each topic keeps its most recent
+// RingCap messages; publishing into a full ring drops (and frees) the
+// oldest, and a consumer whose cursor has fallen out of the window
+// skips ahead to the tail, accounting the skipped sequences like an
+// out-of-range cursor reset.
+package tmmsg
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+	"repro/internal/txlib"
+)
+
+// BlockWords is the payload granule; messages span MinBlocks..MaxBlocks
+// of them, so building one payload is a multi-block tx-local assembly.
+const BlockWords = 32
+
+// Topic record layout (one per topic, owned by the index).
+const (
+	tpRing    = 0 // ring: seq → message record (txlib ring)
+	tpHead    = 1 // next sequence to publish (== messages ever published)
+	tpTail    = 2 // oldest retained sequence (== messages ever dropped)
+	tpGroups  = 3 // group-record pointer array (tpNGroups entries)
+	tpNGroups = 4
+	tpSize    = 5
+)
+
+// Consumer-group record layout: the definitely-shared cursor words
+// every consumer of the group contends on.
+const (
+	grCursor   = 0 // next sequence this group will consume
+	grInflight = 1 // consumed but not yet acknowledged
+	grAcked    = 2 // acknowledged
+	grSkipped  = 3 // sequences lost to retention (cursor reset jumps)
+	grSize     = 4
+)
+
+// Message record layout (headers; the payload block is separate).
+const (
+	msgSeq     = 0 // sequence within its topic
+	msgWords   = 1 // payload length in words
+	msgSum     = 2 // content checksum over the payload
+	msgPayload = 3 // payload block address
+	msgSize    = 4
+)
+
+// Broker holds the root of the shared structures. The root is fixed
+// after setup; all mutation happens transactionally inside it.
+type Broker struct {
+	index mem.Addr // hashtable: topic key words → topic record
+}
+
+// NewBroker allocates the topic index inside the transaction.
+func NewBroker(tx *stm.Tx, buckets int) Broker {
+	return Broker{index: txlib.NewHashtable(tx, buckets)}
+}
+
+// Topics returns the number of live topics.
+func (b Broker) Topics(tx *stm.Tx) int { return txlib.HTSize(tx, b.index, txlib.TM) }
+
+// newTopic allocates a topic record: the retention ring and one cursor
+// record per consumer group. Fresh memory reads as zero, so only the
+// pointers and the group count need initializing stores.
+func newTopic(tx *stm.Tx, ringCap, groups int) mem.Addr {
+	tp := tx.Alloc(tpSize)
+	ring := txlib.NewRing(tx, ringCap)
+	ga := tx.Alloc(groups)
+	for i := 0; i < groups; i++ {
+		tx.StoreAddr(ga+mem.Addr(i), tx.Alloc(grSize), stm.AccFresh)
+	}
+	tx.StoreAddr(tp+tpRing, ring, stm.AccFresh)
+	tx.StoreAddr(tp+tpGroups, ga, stm.AccFresh)
+	tx.Store(tp+tpNGroups, uint64(groups), stm.AccFresh)
+	return tp
+}
+
+// addTopic creates a topic under the probe key. Returns false (and
+// builds nothing) when the key is already present.
+func (b Broker) addTopic(tx *stm.Tx, key mem.Addr, keyWords, ringCap, groups int) bool {
+	if txlib.HTContains(tx, b.index, key, keyWords, txlib.TM, stm.AccStack) {
+		return false
+	}
+	tp := newTopic(tx, ringCap, groups)
+	txlib.HTInsertIfAbsent(tx, b.index, key, keyWords, uint64(tp), txlib.TM, stm.AccStack)
+	return true
+}
+
+// topic returns the topic record stored under the probe key, if any.
+func (b Broker) topic(tx *stm.Tx, key mem.Addr, keyWords int) (mem.Addr, bool) {
+	data, ok := txlib.HTGet(tx, b.index, key, keyWords, txlib.TM, stm.AccStack)
+	return mem.Addr(data), ok
+}
+
+// group returns the gi-th consumer-group record of a topic.
+func group(tx *stm.Tx, tp mem.Addr, gi int) mem.Addr {
+	ga := tx.LoadAddr(tp+tpGroups, txlib.TM)
+	return tx.LoadAddr(ga+mem.Addr(gi), txlib.TM)
+}
+
+// publishOne appends one message to the topic: the header and payload
+// are allocated and filled in captured memory (fresh provenance — the
+// allocate-build-publish pattern), the checksum is computed over
+// plain-provenance staging reads (runtime-capturable but statically
+// opaque across the call), and only the final ring link and sequence
+// bump touch definitely-shared words. A full ring drops and frees the
+// oldest retained message first. shape sizes the payload for the
+// assigned sequence; fill writes its content.
+func publishOne(tx *stm.Tx, tp mem.Addr,
+	shape func(seq uint64) int, fill func(payload mem.Addr, seq uint64, words int)) (seq uint64, dropped bool) {
+	seq = tx.Load(tp+tpHead, txlib.TM)
+	words := shape(seq)
+	payload := tx.Alloc(words)
+	fill(payload, seq, words)
+	sum := txlib.HashWords(tx, payload, words, txlib.P)
+	m := tx.Alloc(msgSize)
+	tx.Store(m+msgSeq, seq, stm.AccFresh)
+	tx.Store(m+msgWords, uint64(words), stm.AccFresh)
+	tx.Store(m+msgSum, sum, stm.AccFresh)
+	tx.StoreAddr(m+msgPayload, payload, stm.AccFresh)
+
+	ring := tx.LoadAddr(tp+tpRing, txlib.TM)
+	tail := tx.Load(tp+tpTail, txlib.TM)
+	if seq-tail == uint64(txlib.RingCap(tx, ring, txlib.TM)) {
+		old := mem.Addr(txlib.RingGet(tx, ring, tail, txlib.TM))
+		tx.Free(tx.LoadAddr(old+msgPayload, txlib.TM))
+		tx.Free(old)
+		tx.Store(tp+tpTail, tail+1, txlib.TM)
+		dropped = true
+	}
+	txlib.RingSet(tx, ring, seq, uint64(m), txlib.TM)
+	tx.Store(tp+tpHead, seq+1, txlib.TM)
+	return seq, dropped
+}
+
+// readMessage checks a retained message against its stored checksum
+// through full shared barriers: on the consumer side nothing is
+// captured, so none of these accesses can be elided.
+func readMessage(tx *stm.Tx, m mem.Addr, wantSeq uint64) bool {
+	if tx.Load(m+msgSeq, txlib.TM) != wantSeq {
+		return false
+	}
+	words := int(tx.Load(m+msgWords, txlib.TM))
+	payload := tx.LoadAddr(m+msgPayload, txlib.TM)
+	return txlib.HashWords(tx, payload, words, txlib.TM) == tx.Load(m+msgSum, txlib.TM)
+}
+
+// consume advances one consumer group's shared cursor by up to max
+// retained messages, verifying each delivered message's checksum. A
+// cursor that has fallen behind the retention window first skips ahead
+// to the tail, accounting the lost sequences. Everything it touches is
+// definitely shared: the contended read-modify-write regime capture
+// analysis cannot help.
+func consume(tx *stm.Tx, tp mem.Addr, gi, max int) (consumed, skipped, bad int) {
+	g := group(tx, tp, gi)
+	cursor := tx.Load(g+grCursor, txlib.TM)
+	tail := tx.Load(tp+tpTail, txlib.TM)
+	head := tx.Load(tp+tpHead, txlib.TM)
+	if cursor < tail {
+		skipped = int(tail - cursor)
+		cursor = tail
+	}
+	ring := tx.LoadAddr(tp+tpRing, txlib.TM)
+	for consumed < max && cursor < head {
+		m := mem.Addr(txlib.RingGet(tx, ring, cursor, txlib.TM))
+		if !readMessage(tx, m, cursor) {
+			bad++
+		}
+		cursor++
+		consumed++
+	}
+	if consumed > 0 || skipped > 0 {
+		tx.Store(g+grCursor, cursor, txlib.TM)
+		tx.Store(g+grInflight, tx.Load(g+grInflight, txlib.TM)+uint64(consumed), txlib.TM)
+		tx.Store(g+grSkipped, tx.Load(g+grSkipped, txlib.TM)+uint64(skipped), txlib.TM)
+	}
+	return consumed, skipped, bad
+}
+
+// ack moves up to max in-flight messages of one group to acked — a
+// pure read-modify-write on two contended shared words.
+func ack(tx *stm.Tx, tp mem.Addr, gi, max int) int {
+	g := group(tx, tp, gi)
+	inflight := tx.Load(g+grInflight, txlib.TM)
+	n := uint64(max)
+	if inflight < n {
+		n = inflight
+	}
+	if n > 0 {
+		tx.Store(g+grInflight, inflight-n, txlib.TM)
+		tx.Store(g+grAcked, tx.Load(g+grAcked, txlib.TM)+n, txlib.TM)
+	}
+	return int(n)
+}
+
+// lagScan visits up to limit topics and sums every consumer group's
+// backlog (head − cursor). The running total lives in a transaction-
+// local stack slot (captured-stack traffic), but the cursors and heads
+// it reads are all shared.
+func (b Broker) lagScan(tx *stm.Tx, limit int) uint64 {
+	acc := tx.StackAlloc(1)
+	tx.Store(acc, 0, stm.AccStack)
+	seen := 0
+	txlib.HTForEach(tx, b.index, txlib.TM, func(_ mem.Addr, _ int, data uint64) bool {
+		tp := mem.Addr(data)
+		head := tx.Load(tp+tpHead, txlib.TM)
+		n := int(tx.Load(tp+tpNGroups, txlib.TM))
+		for i := 0; i < n; i++ {
+			cursor := tx.Load(group(tx, tp, i)+grCursor, txlib.TM)
+			if cursor < head {
+				tx.Store(acc, tx.Load(acc, stm.AccStack)+(head-cursor), stm.AccStack)
+			}
+		}
+		seen++
+		return seen < limit
+	})
+	return tx.Load(acc, stm.AccStack)
+}

@@ -68,7 +68,8 @@ type B struct {
 }
 
 func init() {
-	stamp.Register("bayes", func() stamp.Benchmark { return &B{cfg: Default()} })
+	stamp.Register("bayes",
+		"STAMP bayes: Bayesian network structure learning over an adtree", func() stamp.Benchmark { return &B{cfg: Default()} })
 }
 
 // NewWith creates a bayes instance with a custom configuration.

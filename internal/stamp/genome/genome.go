@@ -68,7 +68,8 @@ type B struct {
 }
 
 func init() {
-	stamp.Register("genome", func() stamp.Benchmark { return &B{cfg: Default()} })
+	stamp.Register("genome",
+		"STAMP genome: segment dedup and overlap matching assemble a genome", func() stamp.Benchmark { return &B{cfg: Default()} })
 }
 
 // NewWith creates a genome instance with a custom configuration.

@@ -77,7 +77,8 @@ type B struct {
 }
 
 func init() {
-	stamp.Register("intruder", func() stamp.Benchmark { return &B{cfg: Default()} })
+	stamp.Register("intruder",
+		"STAMP intruder: packet reassembly and signature scanning", func() stamp.Benchmark { return &B{cfg: Default()} })
 }
 
 // NewWith creates an intruder instance with a custom configuration.

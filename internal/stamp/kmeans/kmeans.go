@@ -56,8 +56,10 @@ type B struct {
 }
 
 func init() {
-	stamp.Register("kmeans-high", func() stamp.Benchmark { return &B{cfg: HighContention()} })
-	stamp.Register("kmeans-low", func() stamp.Benchmark { return &B{cfg: LowContention()} })
+	stamp.Register("kmeans-high",
+		"STAMP kmeans: clustering with high-contention shared centers", func() stamp.Benchmark { return &B{cfg: HighContention()} })
+	stamp.Register("kmeans-low",
+		"STAMP kmeans: clustering with low-contention shared centers", func() stamp.Benchmark { return &B{cfg: LowContention()} })
 }
 
 // NewWith creates a kmeans instance with a custom configuration.

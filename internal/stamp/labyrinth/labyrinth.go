@@ -50,7 +50,8 @@ type B struct {
 }
 
 func init() {
-	stamp.Register("labyrinth", func() stamp.Benchmark { return &B{cfg: Default()} })
+	stamp.Register("labyrinth",
+		"STAMP labyrinth: maze routing over privatized grid copies", func() stamp.Benchmark { return &B{cfg: Default()} })
 }
 
 // NewWith creates a labyrinth instance with a custom configuration.

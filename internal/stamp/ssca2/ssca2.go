@@ -42,7 +42,8 @@ type B struct {
 }
 
 func init() {
-	stamp.Register("ssca2", func() stamp.Benchmark { return &B{cfg: Default()} })
+	stamp.Register("ssca2",
+		"STAMP ssca2: graph kernel appending adjacency arrays under contention", func() stamp.Benchmark { return &B{cfg: Default()} })
 }
 
 // NewWith creates an ssca2 instance with a custom configuration.

@@ -61,9 +61,10 @@ func (w tmWorkload) Run(rt *tm.Runtime, n int)     { w.b.Run(rt.Unwrap(), n) }
 func (w tmWorkload) Validate(rt *tm.Runtime) error { return w.b.Validate(rt.Unwrap()) }
 
 // Register adds a benchmark factory to the registry and bridges it
-// into the public tm workload registry. It is called from the
-// benchmark packages' init functions.
-func Register(name string, f Factory) {
+// into the public tm workload registry, carrying a one-line
+// description for listings. It is called from the benchmark packages'
+// init functions.
+func Register(name, desc string, f Factory) {
 	for _, e := range registry {
 		if e.name == name {
 			panic("stamp: duplicate benchmark " + name)
@@ -73,7 +74,7 @@ func Register(name string, f Factory) {
 		name string
 		f    Factory
 	}{name, f})
-	tm.RegisterWorkload(name, func() tm.Workload { return tmWorkload{f()} })
+	tm.RegisterWorkloadDesc(name, desc, func() tm.Workload { return tmWorkload{f()} })
 }
 
 // Names returns the registered benchmark names in registration order.

@@ -91,8 +91,10 @@ type B struct {
 }
 
 func init() {
-	stamp.Register("vacation-high", func() stamp.Benchmark { return &B{cfg: HighContention()} })
-	stamp.Register("vacation-low", func() stamp.Benchmark { return &B{cfg: LowContention()} })
+	stamp.Register("vacation-high",
+		"STAMP vacation: travel-reservation OLTP, high-contention mix", func() stamp.Benchmark { return &B{cfg: HighContention()} })
+	stamp.Register("vacation-low",
+		"STAMP vacation: travel-reservation OLTP, low-contention mix", func() stamp.Benchmark { return &B{cfg: LowContention()} })
 }
 
 // NewWith creates a vacation instance with a custom configuration.

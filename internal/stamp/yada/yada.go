@@ -69,7 +69,8 @@ type B struct {
 }
 
 func init() {
-	stamp.Register("yada", func() stamp.Benchmark { return &B{cfg: Default()} })
+	stamp.Register("yada",
+		"STAMP yada: Delaunay mesh refinement with cavity re-triangulation", func() stamp.Benchmark { return &B{cfg: Default()} })
 }
 
 // NewWith creates a yada instance with a custom configuration.

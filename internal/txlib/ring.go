@@ -1,0 +1,62 @@
+package txlib
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Ring is a fixed-capacity circular slot array indexed by monotonically
+// growing sequence numbers (a broker-style retention window, not a
+// FIFO like Queue: the caller owns the head/tail sequences and the ring
+// only maps seq → slot). Slot i holds the element published at every
+// sequence s with s % capacity == i, so a window of the most recent
+// `capacity` sequences is addressable at any time.
+//
+// Layout:
+//
+//	header: [0] cap  [1] data ptr
+const (
+	rgCap  = 0
+	rgData = 1
+	rgHdr  = 2
+)
+
+// NewRing allocates a ring with the given capacity (at least 1). The
+// slot array is freshly allocated, so its initial all-zero state needs
+// no stores.
+func NewRing(tx *stm.Tx, capacity int) mem.Addr {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := tx.Alloc(rgHdr)
+	d := tx.Alloc(capacity)
+	tx.Store(r+rgCap, uint64(capacity), stm.AccFresh)
+	tx.StoreAddr(r+rgData, d, stm.AccFresh)
+	return r
+}
+
+// RingCap returns the ring's fixed capacity.
+func RingCap(tx *stm.Tx, r mem.Addr, mode stm.Acc) int {
+	return int(tx.Load(r+rgCap, mode))
+}
+
+// RingGet returns the element in the slot for sequence seq.
+func RingGet(tx *stm.Tx, r mem.Addr, seq uint64, mode stm.Acc) uint64 {
+	capWords := tx.Load(r+rgCap, mode)
+	d := tx.LoadAddr(r+rgData, mode)
+	return tx.Load(d+mem.Addr(seq%capWords), mode)
+}
+
+// RingSet stores val into the slot for sequence seq, overwriting
+// whatever older sequence mapped there.
+func RingSet(tx *stm.Tx, r mem.Addr, seq uint64, val uint64, mode stm.Acc) {
+	capWords := tx.Load(r+rgCap, mode)
+	d := tx.LoadAddr(r+rgData, mode)
+	tx.Store(d+mem.Addr(seq%capWords), val, mode)
+}
+
+// RingFree frees the slot array and header.
+func RingFree(tx *stm.Tx, r mem.Addr, mode stm.Acc) {
+	tx.Free(tx.LoadAddr(r+rgData, mode))
+	tx.Free(r)
+}

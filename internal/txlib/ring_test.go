@@ -1,0 +1,80 @@
+package txlib
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+func TestRingBasic(t *testing.T) {
+	rt := newTestRT()
+	th := rt.Thread(0)
+	var r mem.Addr
+	th.Atomic(func(tx *stm.Tx) { r = NewRing(tx, 4) })
+	th.Atomic(func(tx *stm.Tx) {
+		if got := RingCap(tx, r, TM); got != 4 {
+			t.Errorf("cap = %d, want 4", got)
+		}
+		// Fresh slots read as zero.
+		for seq := uint64(0); seq < 4; seq++ {
+			if got := RingGet(tx, r, seq, TM); got != 0 {
+				t.Errorf("fresh slot %d = %d, want 0", seq, got)
+			}
+		}
+	})
+	th.Atomic(func(tx *stm.Tx) {
+		for seq := uint64(0); seq < 4; seq++ {
+			RingSet(tx, r, seq, 100+seq, TM)
+		}
+	})
+	th.Atomic(func(tx *stm.Tx) {
+		for seq := uint64(0); seq < 4; seq++ {
+			if got := RingGet(tx, r, seq, TM); got != 100+seq {
+				t.Errorf("slot %d = %d, want %d", seq, got, 100+seq)
+			}
+		}
+	})
+}
+
+// TestRingWraps checks the seq → slot mapping: a sequence overwrites
+// exactly the slot of the sequence `capacity` before it, and the most
+// recent `capacity` sequences stay addressable.
+func TestRingWraps(t *testing.T) {
+	rt := newTestRT()
+	th := rt.Thread(0)
+	var r mem.Addr
+	th.Atomic(func(tx *stm.Tx) { r = NewRing(tx, 3) })
+	th.Atomic(func(tx *stm.Tx) {
+		for seq := uint64(0); seq < 10; seq++ {
+			RingSet(tx, r, seq, seq*seq+1, TM)
+		}
+		for seq := uint64(7); seq < 10; seq++ { // retained window: 7, 8, 9
+			if got := RingGet(tx, r, seq, TM); got != seq*seq+1 {
+				t.Errorf("seq %d = %d, want %d", seq, got, seq*seq+1)
+			}
+		}
+		// Sequence 4 aliases sequence 7's slot (4 % 3 == 7 % 3).
+		if got := RingGet(tx, r, 4, TM); got != 7*7+1 {
+			t.Errorf("aliased seq 4 = %d, want %d (seq 7's value)", got, 7*7+1)
+		}
+	})
+}
+
+func TestRingMinCapacityAndFree(t *testing.T) {
+	rt := newTestRT()
+	th := rt.Thread(0)
+	var r mem.Addr
+	th.Atomic(func(tx *stm.Tx) { r = NewRing(tx, 0) })
+	th.Atomic(func(tx *stm.Tx) {
+		if got := RingCap(tx, r, TM); got != 1 {
+			t.Errorf("cap = %d, want 1 (clamped)", got)
+		}
+		RingSet(tx, r, 41, 7, TM)
+		if got := RingGet(tx, r, 41, TM); got != 7 {
+			t.Errorf("slot = %d, want 7", got)
+		}
+	})
+	th.Atomic(func(tx *stm.Tx) { RingFree(tx, r, TM) })
+	rt.Validate()
+}

@@ -60,6 +60,10 @@ func SweepMatrix(workload string, profiles []tm.Profile, threadCounts []int, run
 // Report is the diffable JSON artifact of a benchmark run.
 type Report = harness.Report
 
+// ReportSchema is the schema tag WriteJSON stamps on every report;
+// consumers (cmd/benchdiff, CI gates) refuse reports tagged otherwise.
+const ReportSchema = harness.ReportSchema
+
 // Machine describes the host a report was produced on.
 type Machine = harness.Machine
 

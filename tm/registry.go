@@ -28,9 +28,16 @@ type Workload interface {
 // WorkloadFactory creates a fresh workload instance.
 type WorkloadFactory func() Workload
 
+// regEntry is one registration: the factory plus an optional one-line
+// description surfaced by listings.
+type regEntry struct {
+	factory WorkloadFactory
+	desc    string
+}
+
 var (
 	registryMu sync.RWMutex
-	registry   = make(map[string]WorkloadFactory)
+	registry   = make(map[string]regEntry)
 )
 
 // RegisterWorkload adds a workload factory under name. The in-tree
@@ -39,6 +46,13 @@ var (
 // and bench matrix. It panics on an empty name or a duplicate
 // registration, like database/sql.Register.
 func RegisterWorkload(name string, f WorkloadFactory) {
+	RegisterWorkloadDesc(name, "", f)
+}
+
+// RegisterWorkloadDesc is RegisterWorkload with a one-line description
+// attached, so listings (stampbench -experiment list, CI logs) can
+// explain what each workload models without resolving it.
+func RegisterWorkloadDesc(name, desc string, f WorkloadFactory) {
 	if name == "" || f == nil {
 		panic("tm: RegisterWorkload with empty name or nil factory")
 	}
@@ -47,7 +61,15 @@ func RegisterWorkload(name string, f WorkloadFactory) {
 	if _, dup := registry[name]; dup {
 		panic("tm: duplicate workload " + name)
 	}
-	registry[name] = f
+	registry[name] = regEntry{factory: f, desc: desc}
+}
+
+// WorkloadDescription returns the description a workload was
+// registered with ("" when none was given or the name is unknown).
+func WorkloadDescription(name string) string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return registry[name].desc
 }
 
 // Workloads returns the registered workload names, sorted.
@@ -66,11 +88,11 @@ func Workloads() []string {
 // an error that lists what is registered.
 func NewWorkload(name string) (Workload, error) {
 	registryMu.RLock()
-	f, ok := registry[name]
+	e, ok := registry[name]
 	registryMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("tm: unknown workload %q (registered: %s)",
 			name, strings.Join(Workloads(), ", "))
 	}
-	return f(), nil
+	return e.factory(), nil
 }

@@ -86,6 +86,29 @@ func TestDuplicateAndInvalidRegistrationPanics(t *testing.T) {
 	})
 }
 
+// TestWorkloadDescriptions: descriptions ride the registry — present
+// when registered with one, empty for plain registrations and unknown
+// names, and resolvable without instantiating the workload.
+func TestWorkloadDescriptions(t *testing.T) {
+	tm.RegisterWorkloadDesc("registry-test-desc", "a described workload",
+		func() tm.Workload { return regWorkload{"registry-test-desc"} })
+	if got := tm.WorkloadDescription("registry-test-desc"); got != "a described workload" {
+		t.Errorf("WorkloadDescription = %q", got)
+	}
+	tm.RegisterWorkload("registry-test-nodesc", func() tm.Workload { return regWorkload{"registry-test-nodesc"} })
+	if got := tm.WorkloadDescription("registry-test-nodesc"); got != "" {
+		t.Errorf("undescribed workload reports %q", got)
+	}
+	if got := tm.WorkloadDescription("registry-test-never-registered"); got != "" {
+		t.Errorf("unknown workload reports %q", got)
+	}
+	// The described registration still resolves like any other.
+	w, err := tm.NewWorkload("registry-test-desc")
+	if err != nil || w.Name() != "registry-test-desc" {
+		t.Errorf("resolve: %v, %v", w, err)
+	}
+}
+
 // TestFactoryReturnsFreshInstances: NewWorkload must hand out a new
 // instance per call (workload instances are single use).
 func TestFactoryReturnsFreshInstances(t *testing.T) {
