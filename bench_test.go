@@ -213,6 +213,34 @@ func BenchmarkTMMSGParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkTMMSGPhased is the phase-hint A/B: each broker mix under
+// one engine for the whole run (the strongest single-engine choices)
+// vs phase-aware switching between the publish and cursor engines. On
+// the publish-heavy mix the hinted run keeps capture checking exactly
+// where it pays; on the cursor-heavy mix it removes the capture checks
+// that can never elide — the regime split a single compiled engine
+// must always sacrifice one side of.
+func BenchmarkTMMSGPhased(b *testing.B) {
+	single := []tm.Profile{
+		tm.Baseline().Perf().Named("single-baseline"),
+		tm.RuntimeAll(tm.LogTree).Perf().Named("single-runtime"),
+	}
+	hinted := []tm.Profile{
+		tm.Baseline().Perf().With(tm.WithPhases(bench.PhaseRegimeSpecs()...)).Named("phased-baseline"),
+		tm.RuntimeAll(tm.LogTree).Perf().With(tm.WithPhases(bench.PhaseRegimeSpecs()...)).Named("phased-runtime"),
+	}
+	for _, name := range tmmsgVariants {
+		for i := range single {
+			b.Run(name+"/"+single[i].Name(), func(b *testing.B) {
+				runBench(b, name, single[i], 1)
+			})
+			b.Run(name+"/"+hinted[i].Name(), func(b *testing.B) {
+				runBench(b, name, hinted[i], 1)
+			})
+		}
+	}
+}
+
 // --- Barrier engine (profile-compiled fast paths vs reference chain) ---
 
 // BenchmarkEngineVsGeneric compares each specialized perf engine with

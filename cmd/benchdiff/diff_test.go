@@ -16,7 +16,7 @@ func fixture(name string) string { return filepath.Join("testdata", name) }
 func diffFixtures(t *testing.T, base, cur string, thresholdPct float64, floor time.Duration) (bool, string) {
 	t.Helper()
 	var buf bytes.Buffer
-	regressed, err := runDiff(fixture(base), fixture(cur), thresholdPct, floor, &buf)
+	regressed, err := gate{thresholdPct: thresholdPct, floor: floor}.runDiff(fixture(base), fixture(cur), &buf)
 	if err != nil {
 		t.Fatalf("runDiff(%s, %s): %v", base, cur, err)
 	}
@@ -92,10 +92,10 @@ func TestCaptureOnlyReportsCompareEmpty(t *testing.T) {
 
 func TestUnknownSchemaRejected(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := runDiff(fixture("bad_schema.json"), fixture("baseline.json"), 25, 5*time.Millisecond, &buf); err == nil {
+	if _, err := (gate{thresholdPct: 25, floor: 5 * time.Millisecond}).runDiff(fixture("bad_schema.json"), fixture("baseline.json"), &buf); err == nil {
 		t.Fatal("unknown schema accepted")
 	}
-	if _, err := runDiff(fixture("baseline.json"), fixture("bad_schema.json"), 25, 5*time.Millisecond, &buf); err == nil {
+	if _, err := (gate{thresholdPct: 25, floor: 5 * time.Millisecond}).runDiff(fixture("baseline.json"), fixture("bad_schema.json"), &buf); err == nil {
 		t.Fatal("unknown schema accepted as current")
 	}
 }
@@ -116,7 +116,8 @@ func TestExitCodes(t *testing.T) {
 		{"missing.json", "baseline.json", false, 2},
 	}
 	for _, c := range cases {
-		if got := run(fixture(c.base), fixture(c.cur), 25, 5*time.Millisecond, c.skip, &out, &errw); got != c.want {
+		g := gate{thresholdPct: 25, floor: 5 * time.Millisecond, skipBadBaseline: c.skip}
+		if got := g.run(fixture(c.base), fixture(c.cur), &out, &errw); got != c.want {
 			t.Errorf("run(%s, %s, skip=%v) = %d, want %d", c.base, c.cur, c.skip, got, c.want)
 		}
 	}
@@ -127,21 +128,82 @@ func TestExitCodes(t *testing.T) {
 // *current* report must still fail.
 func TestSkipBadBaseline(t *testing.T) {
 	var out, errw bytes.Buffer
-	if got := run(fixture("bad_schema.json"), fixture("baseline.json"), 25, 5*time.Millisecond, true, &out, &errw); got != 0 {
+	g := gate{thresholdPct: 25, floor: 5 * time.Millisecond, skipBadBaseline: true}
+	if got := g.run(fixture("bad_schema.json"), fixture("baseline.json"), &out, &errw); got != 0 {
 		t.Errorf("bad baseline with skip flag: exit %d, want 0", got)
 	}
 	if !strings.Contains(out.String(), "skipping regression gate") {
 		t.Errorf("missing skip notice:\n%s", out.String())
 	}
-	if got := run(fixture("missing.json"), fixture("baseline.json"), 25, 5*time.Millisecond, true, &out, &errw); got != 0 {
+	if got := g.run(fixture("missing.json"), fixture("baseline.json"), &out, &errw); got != 0 {
 		t.Errorf("missing baseline with skip flag: exit %d, want 0", got)
 	}
-	if got := run(fixture("baseline.json"), fixture("bad_schema.json"), 25, 5*time.Millisecond, true, &out, &errw); got != 2 {
+	if got := g.run(fixture("baseline.json"), fixture("bad_schema.json"), &out, &errw); got != 2 {
 		t.Errorf("bad current with skip flag: exit %d, want 2", got)
 	}
 	// A usable baseline still gates normally under the flag.
-	if got := run(fixture("baseline.json"), fixture("current_regress.json"), 25, 5*time.Millisecond, true, &out, &errw); got != 1 {
+	if got := g.run(fixture("baseline.json"), fixture("current_regress.json"), &out, &errw); got != 1 {
 		t.Errorf("regression with skip flag: exit %d, want 1", got)
+	}
+}
+
+// TestRequireMatched pins the vanished-workload gate: by default a
+// baseline-only row never fails, but under -require-matched a workload
+// dropped from the sweep (the current_dropped fixture is the baseline
+// minus every tmkv row) fails the run with exit 1 — unless the
+// workload is named in the allowlist as a deliberate removal.
+func TestRequireMatched(t *testing.T) {
+	var out, errw bytes.Buffer
+	relaxed := gate{thresholdPct: 25, floor: 5 * time.Millisecond}
+	if got := relaxed.run(fixture("baseline.json"), fixture("current_dropped.json"), &out, &errw); got != 0 {
+		t.Errorf("dropped workload without -require-matched: exit %d, want 0\n%s", got, out.String())
+	}
+
+	out.Reset()
+	strict := relaxed
+	strict.requireMatched = true
+	if got := strict.run(fixture("baseline.json"), fixture("current_dropped.json"), &out, &errw); got != 1 {
+		t.Errorf("dropped workload under -require-matched: exit %d, want 1\n%s", got, out.String())
+	}
+	for _, want := range []string{"VANISHED", "tmkv/baseline/perf-noinstr/1t", "no current counterpart"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("strict output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	allowed := strict
+	allowed.allowVanished = map[string]bool{"tmkv": true}
+	if got := allowed.run(fixture("baseline.json"), fixture("current_dropped.json"), &out, &errw); got != 0 {
+		t.Errorf("allowlisted removal: exit %d, want 0\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "allowed removal") {
+		t.Errorf("allowlisted output missing the removal note:\n%s", out.String())
+	}
+
+	// An engine rename also unmatches its baseline row (the engine is
+	// part of the key), so strict gates must allowlist renames too —
+	// current_ok renames vacation-low's engine and adds new rows.
+	out.Reset()
+	if got := strict.run(fixture("baseline.json"), fixture("current_ok.json"), &out, &errw); got != 1 {
+		t.Errorf("engine rename under -require-matched: exit %d, want 1\n%s", got, out.String())
+	}
+	out.Reset()
+	allowed.allowVanished = map[string]bool{"vacation-low": true}
+	if got := allowed.run(fixture("baseline.json"), fixture("current_ok.json"), &out, &errw); got != 0 {
+		t.Errorf("allowlisted rename: exit %d, want 0\n%s", got, out.String())
+	}
+}
+
+// TestSplitNames pins the allowlist parser: blanks trimmed, empties
+// dropped.
+func TestSplitNames(t *testing.T) {
+	got := splitNames(" tmkv , ,tmmsg,")
+	if len(got) != 2 || !got["tmkv"] || !got["tmmsg"] {
+		t.Errorf("splitNames = %v", got)
+	}
+	if len(splitNames("")) != 0 {
+		t.Error("empty allowlist not empty")
 	}
 }
 

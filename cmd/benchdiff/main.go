@@ -8,17 +8,22 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 25] [-floor 5ms] [-skip-bad-baseline] baseline.json current.json
+//	benchdiff [-threshold 25] [-floor 5ms] [-skip-bad-baseline] [-require-matched [-allow-vanished W,...]] baseline.json current.json
 //
-// Rows are matched on (bench, config, threads, engine); rows only one
-// report has are listed but never fail the run (workloads and engines
-// come and go across PRs). Rows whose current best time is below
-// -floor are compared but cannot fire: at that scale scheduler noise
-// swamps real regressions. With -skip-bad-baseline an unreadable or
-// schema-mismatched *baseline* is treated like an absent one (exit 0),
-// so a schema bump cannot wedge CI against a stale artifact; problems
-// with the *current* report always fail. Exit status: 0 no
-// regression, 1 regression found, 2 usage or input error.
+// Rows are matched on (bench, config, threads, engine); rows present
+// in only one report are listed. By default baseline-only rows never
+// fail the run — but that default lets a workload silently dropped
+// from the sweep (a registration typo, a skipped bench) pass the CI
+// gate forever, so gates should pass -require-matched: then any
+// baseline-only row fails the run unless its workload is named in the
+// -allow-vanished allowlist (deliberate removals). Rows whose current
+// best time is below -floor are compared but cannot fire: at that
+// scale scheduler noise swamps real regressions. With
+// -skip-bad-baseline an unreadable or schema-mismatched *baseline* is
+// treated like an absent one (exit 0), so a schema bump cannot wedge
+// CI against a stale artifact; problems with the *current* report
+// always fail. Exit status: 0 clean, 1 regression or (under
+// -require-matched) vanished rows, 2 usage or input error.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -37,22 +43,47 @@ func main() {
 	floor := flag.Duration("floor", 5*time.Millisecond, "never flag rows whose current best time is below this")
 	skipBadBaseline := flag.Bool("skip-bad-baseline", false,
 		"treat an unreadable or schema-mismatched baseline as absent (exit 0) instead of an error")
+	requireMatched := flag.Bool("require-matched", false,
+		"fail when a baseline row has no current counterpart (catches silently dropped workloads)")
+	allowVanished := flag.String("allow-vanished", "",
+		"comma-separated workload names whose baseline-only rows are deliberate removals (with -require-matched)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] [-floor DUR] [-skip-bad-baseline] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] [-floor DUR] [-skip-bad-baseline] [-require-matched [-allow-vanished W,...]] baseline.json current.json")
 		os.Exit(2)
 	}
-	os.Exit(run(flag.Arg(0), flag.Arg(1), *threshold, *floor, *skipBadBaseline, os.Stdout, os.Stderr))
+	g := gate{thresholdPct: *threshold, floor: *floor, skipBadBaseline: *skipBadBaseline,
+		requireMatched: *requireMatched, allowVanished: splitNames(*allowVanished)}
+	os.Exit(g.run(flag.Arg(0), flag.Arg(1), os.Stdout, os.Stderr))
+}
+
+// splitNames parses a comma-separated allowlist into a set.
+func splitNames(s string) map[string]bool {
+	set := map[string]bool{}
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			set[n] = true
+		}
+	}
+	return set
+}
+
+// gate bundles the comparison policy of one benchdiff invocation.
+type gate struct {
+	thresholdPct    float64
+	floor           time.Duration
+	skipBadBaseline bool
+	requireMatched  bool
+	allowVanished   map[string]bool
 }
 
 // run executes the whole gate and returns the process exit code. Each
 // report is read exactly once; only the baseline's errors are
 // forgivable, and only under -skip-bad-baseline.
-func run(basePath, curPath string, thresholdPct float64, floor time.Duration,
-	skipBadBaseline bool, out, errw io.Writer) int {
+func (g gate) run(basePath, curPath string, out, errw io.Writer) int {
 	base, err := readReport(basePath)
 	if err != nil {
-		if skipBadBaseline {
+		if g.skipBadBaseline {
 			fmt.Fprintf(out, "skipping regression gate: baseline unusable: %v\n", err)
 			return 0
 		}
@@ -64,7 +95,7 @@ func run(basePath, curPath string, thresholdPct float64, floor time.Duration,
 		fmt.Fprintln(errw, "benchdiff:", err)
 		return 2
 	}
-	if diffReports(base, cur, thresholdPct, floor, out) {
+	if g.diffReports(base, cur, out) {
 		return 1
 	}
 	return 0
@@ -90,7 +121,7 @@ func readReport(path string) (bench.Report, error) {
 
 // runDiff is the path-based form the tests drive: load both reports,
 // then compare.
-func runDiff(basePath, curPath string, thresholdPct float64, floor time.Duration, w io.Writer) (bool, error) {
+func (g gate) runDiff(basePath, curPath string, w io.Writer) (bool, error) {
 	base, err := readReport(basePath)
 	if err != nil {
 		return false, err
@@ -99,12 +130,14 @@ func runDiff(basePath, curPath string, thresholdPct float64, floor time.Duration
 	if err != nil {
 		return false, err
 	}
-	return diffReports(base, cur, thresholdPct, floor, w), nil
+	return g.diffReports(base, cur, w), nil
 }
 
-// diffReports prints the comparison to w and reports whether any row
-// regressed.
-func diffReports(base, cur bench.Report, thresholdPct float64, floor time.Duration, w io.Writer) bool {
+// diffReports prints the comparison to w and reports whether the gate
+// fails: a regressed row, or (under -require-matched) a baseline row
+// that vanished from the current report without being allowlisted.
+func (g gate) diffReports(base, cur bench.Report, w io.Writer) bool {
+	thresholdPct, floor := g.thresholdPct, g.floor
 	if base.Machine != cur.Machine {
 		fmt.Fprintf(w, "note: reports come from different machines (%+v vs %+v); deltas may reflect the machine, not the code\n",
 			base.Machine, cur.Machine)
@@ -129,20 +162,37 @@ func diffReports(base, cur bench.Report, thresholdPct float64, floor time.Durati
 		}
 		tw.Flush()
 	}
+	var vanished []Key
 	for _, k := range c.OnlyBase {
-		fmt.Fprintf(w, "only in baseline: %s\n", k)
+		switch {
+		case !g.requireMatched:
+			fmt.Fprintf(w, "only in baseline: %s\n", k)
+		case g.allowVanished[k.Bench]:
+			fmt.Fprintf(w, "only in baseline (allowed removal): %s\n", k)
+		default:
+			fmt.Fprintf(w, "only in baseline: %s  VANISHED\n", k)
+			vanished = append(vanished, k)
+		}
 	}
 	for _, k := range c.OnlyCur {
 		fmt.Fprintf(w, "only in current: %s\n", k)
 	}
 
+	failed := false
+	if len(vanished) > 0 {
+		fmt.Fprintf(w, "FAIL: %d baseline rows have no current counterpart (first: %s); a dropped workload would otherwise pass this gate forever — re-register it or list it in -allow-vanished\n",
+			len(vanished), vanished[0])
+		failed = true
+	}
 	regs := c.Regressions()
-	if len(regs) == 0 {
+	if len(regs) > 0 {
+		fmt.Fprintf(w, "FAIL: %d of %d rows regressed beyond +%.0f%% (floor %v); worst: %s %+.1f%%\n",
+			len(regs), len(c.Deltas), thresholdPct, floor, regs[0].Key, regs[0].Pct)
+		failed = true
+	}
+	if !failed {
 		fmt.Fprintf(w, "OK: %d rows compared, none beyond +%.0f%% (floor %v)\n",
 			len(c.Deltas), thresholdPct, floor)
-		return false
 	}
-	fmt.Fprintf(w, "FAIL: %d of %d rows regressed beyond +%.0f%% (floor %v); worst: %s %+.1f%%\n",
-		len(regs), len(c.Deltas), thresholdPct, floor, regs[0].Key, regs[0].Pct)
-	return true
+	return failed
 }

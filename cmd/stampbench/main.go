@@ -21,10 +21,15 @@
 //	stampbench -experiment capture -bench tmkv   # per-mechanism elision counts
 //	stampbench -experiment sweep -bench vacation-low   # machine-sized scaling curves
 //	stampbench -experiment sweep -format json -o BENCH_sweep.json
+//	stampbench -experiment sweep -bench tmmsg -phases  # A/B phase hints on vs. off
 //
 // The sweep and capture experiments accept -format json, producing the
 // diffable report of tm/bench.WriteJSON; -o writes it to a file
-// (BENCH_*.json in CI) instead of stdout.
+// (BENCH_*.json in CI) instead of stdout. The -phases toggle adds a
+// phase-hinted variant of every sweep profile (publish-shaped
+// transactions on the capture-checking engines, cursor-shaped ones on
+// the definitely-shared bypass), so a single report carries both sides
+// of the A/B for workloads that hint phases (tmmsg).
 package main
 
 import (
@@ -52,6 +57,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text|json (json: sweep and capture only)")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	threadList := flag.String("threadlist", "", "comma-separated thread counts for -experiment sweep (default: machine-sized)")
+	phases := flag.Bool("phases", false, "add phase-hinted variants of every sweep profile (A/B: hints on vs. off)")
 	flag.Parse()
 
 	benches := bench.AllWorkloads()
@@ -107,7 +113,7 @@ func main() {
 	case "sweep":
 		var counts []int
 		if counts, err = parseThreadList(*threadList); err == nil {
-			err = sweep(w, benches, counts, *runs, *format == "json")
+			err = sweep(w, benches, counts, *runs, *format == "json", *phases)
 		}
 	default:
 		err = fmt.Errorf("unknown experiment %q", *exp)
@@ -224,21 +230,33 @@ func improvements(w io.Writer, benches []string, profiles []tm.Profile, threads,
 
 // sweepProfiles are the scaling-curve configurations: the baseline and
 // the two headline optimizations, in perf mode like the paper's timing
-// builds, so the specialized engines are what gets measured.
-func sweepProfiles() []tm.Profile {
-	return []tm.Profile{
+// builds, so the specialized engines are what gets measured. With
+// phases, a hinted variant of each profile is appended: publish-shaped
+// transactions map to the capture-checking engines and cursor-shaped
+// ones to the definitely-shared bypass, so the report carries the
+// hints-on and hints-off rows side by side.
+func sweepProfiles(phases bool) []tm.Profile {
+	base := []tm.Profile{
 		tm.Baseline().Perf(),
 		tm.RuntimeAll(tm.LogTree).Perf(),
 		tm.CompilerElision().Perf(),
 	}
+	if !phases {
+		return base
+	}
+	out := base
+	for _, p := range base {
+		out = append(out, p.With(tm.WithPhases(bench.PhaseRegimeSpecs()...)).Named(p.Name()+"+phases"))
+	}
+	return out
 }
 
 // sweep measures scaling curves over machine-sized thread counts (or
 // -threadlist) and writes them as a table or a diffable JSON report.
-func sweep(w io.Writer, benches []string, counts []int, runs int, asJSON bool) error {
+func sweep(w io.Writer, benches []string, counts []int, runs int, asJSON, phases bool) error {
 	var all []bench.Result
 	for _, b := range benches {
-		results, err := bench.SweepMatrix(b, sweepProfiles(), counts, runs)
+		results, err := bench.SweepMatrix(b, sweepProfiles(phases), counts, runs)
 		if err != nil {
 			return err
 		}

@@ -1,4 +1,5 @@
-// Broker: the tmmsg scenario's two capture regimes on the public API.
+// Broker: the tmmsg scenario's two capture regimes on the public API,
+// with phase-aware engine selection.
 //
 //	go run ./examples/broker
 //
@@ -7,10 +8,14 @@
 // stores — the allocate-build-publish shape the paper optimizes) and
 // link them into a shared ring; consumers share one group cursor and
 // spend their whole transaction in contended read-modify-writes on
-// definitely-shared words. The printed statistics show the runtime
-// capture analysis eliding most publish barriers and none of the
-// consume barriers — the split the internal/scenarios/tmmsg workload
-// measures at full scale.
+// definitely-shared words. The two regimes want opposite barrier
+// engines, so the runtime declares a phase per regime (WithPhases) and
+// each worker hints its regime with EnterPhase: publish transactions
+// run on the capture-checking engine, consume transactions on the
+// definitely-shared bypass that skips checks which can never elide.
+// The printed per-phase statistics show the publish phase eliding most
+// of its barriers and the cursor phase eliding none — the split the
+// internal/scenarios/tmmsg workload measures at full scale.
 package main
 
 import (
@@ -34,6 +39,16 @@ func main() {
 		tm.WithName("broker"),
 		tm.WithRuntimeCapture(tm.StackAndHeap, tm.StackAndHeap),
 		tm.WithLogKind(tm.LogTree),
+		// One engine per regime: the publish phase inherits the capture
+		// checks above; the cursor phase drops them (they cannot elide
+		// anything there) and bypasses checks on definitely-shared
+		// accesses instead.
+		tm.WithPhases(
+			tm.PhaseProfile(tm.PhasePublish),
+			tm.PhaseProfile(tm.PhaseCursor,
+				tm.WithRuntimeCapture(tm.NoChecks, tm.NoChecks),
+				tm.WithSkipSharedChecks()),
+		),
 		tm.WithMemory(tm.MemConfig{
 			GlobalWords: 1 << 10, HeapWords: 1 << 20, StackWords: 1 << 10, MaxThreads: 8,
 		}),
@@ -49,6 +64,7 @@ func main() {
 	// allocated and filled inside its transaction; only the ring link
 	// and the sequence bump touch shared words.
 	rt.Parallel(2, func(th *tm.Thread, tid, _ int) {
+		th.EnterPhase(tm.PhasePublish)
 		for i := 0; i < batches; i++ {
 			th.Atomic(func(tx *tm.Tx) {
 				for m := 0; m < batch; m++ {
@@ -71,14 +87,12 @@ func main() {
 			})
 		}
 	})
-	pub := rt.Stats()
-	report("publish (allocate-build-publish)", pub)
 
 	// Phase 2 — two consumers sharing one group cursor: pure contended
 	// read-modify-write on shared words, nothing captured.
-	rt.ResetStats()
 	consumed := make([]int, 2)
 	rt.Parallel(2, func(th *tm.Thread, tid, _ int) {
+		th.EnterPhase(tm.PhaseCursor)
 		for {
 			var got, done bool
 			th.Atomic(func(tx *tm.Tx) {
@@ -111,24 +125,40 @@ func main() {
 			}
 		}
 	})
-	sub := rt.Stats()
-	report("consume (shared cursor)", sub)
+
+	// The per-phase breakdown attributes each regime's barriers to the
+	// engine that ran them — no ResetStats between phases needed.
+	var pub, cur tm.Stats
+	for _, ps := range rt.PhaseStats() {
+		switch ps.Kind {
+		case tm.PhasePublish:
+			pub = ps.Stats
+		case tm.PhaseCursor:
+			cur = ps.Stats
+		}
+	}
+	report("publish (allocate-build-publish)", rt.EngineFor(tm.PhasePublish), pub)
+	report("consume (shared cursor)", rt.EngineFor(tm.PhaseCursor), cur)
 
 	published := head.Peek(rt)
 	retained := published - tail.Peek(rt)
 	fmt.Printf("\npublished %d messages, retained %d, consumed %d (rest dropped by retention)\n",
 		published, retained, consumed[0]+consumed[1])
-	if sub.ReadElHeap+sub.WriteElHeap != 0 {
+	if cur.ReadElHeap+cur.WriteElHeap != 0 {
 		fmt.Fprintln(os.Stderr, "broker: consume phase should capture nothing")
+		os.Exit(1)
+	}
+	if cur.ReadSkipShared == 0 {
+		fmt.Fprintln(os.Stderr, "broker: cursor engine bypassed no definitely-shared checks")
 		os.Exit(1)
 	}
 }
 
 // report prints the share of barriers the capture analysis removed in
-// one phase.
-func report(phase string, s tm.Stats) {
+// one phase, and the engine the phase compiled to.
+func report(phase, engine string, s tm.Stats) {
 	total := s.ReadTotal + s.WriteTotal
 	elided := s.ReadElided() + s.WriteElided()
-	fmt.Printf("%-34s %7d commits  %8d barriers  %5.1f%% elided\n",
-		phase, s.Commits, total, 100*float64(elided)/float64(total))
+	fmt.Printf("%-34s %-10s %7d commits  %8d barriers  %5.1f%% elided\n",
+		phase, engine, s.Commits, total, 100*float64(elided)/float64(total))
 }

@@ -25,6 +25,10 @@ type Result struct {
 	Threads int
 	Times   []time.Duration // one per run
 	Stats   tm.Stats        // from the last run
+
+	// PhaseStats is the per-phase breakdown of the last run, populated
+	// only when the profile declares phases (tm.WithPhases).
+	PhaseStats []tm.PhaseStats
 }
 
 // Run executes the workload `runs` times (fresh instance each run;
@@ -44,10 +48,16 @@ func Run(bench string, p tm.Profile, threads, runs int) (Result, error) {
 		w.Setup(rt)
 		rt.ResetStats() // report the timed phase only
 		res.Times = append(res.Times, timedRun(w, rt, threads))
+		// Snapshot before Validate: validation may itself transact
+		// (tmmsg walks every topic, vacation re-reads every table), and
+		// that work must not leak into the reported counters.
+		res.Stats = rt.Stats()
+		if len(rt.Phases()) > 0 {
+			res.PhaseStats = rt.PhaseStats()
+		}
 		if err := w.Validate(rt); err != nil {
 			return res, fmt.Errorf("%s [%s, %d threads]: %w", bench, p.Name(), threads, err)
 		}
-		res.Stats = rt.Stats()
 	}
 	return res, nil
 }
@@ -84,6 +94,7 @@ func RunMatrix(bench string, profiles []tm.Profile, threads, runs int) ([]Result
 			results[i].Engine = one.Engine
 			results[i].Times = append(results[i].Times, one.Times[0])
 			results[i].Stats = one.Stats
+			results[i].PhaseStats = one.PhaseStats
 		}
 	}
 	return results, nil
@@ -184,6 +195,22 @@ func (r Result) RelStdDev() float64 {
 // It compares minima (see Min).
 func Improvement(base, opt Result) float64 {
 	return 100 * (float64(base.Min()) - float64(opt.Min())) / float64(base.Min())
+}
+
+// PhaseRegimeSpecs returns the canonical two-regime phase declaration:
+// publish-shaped transactions onto the capture-checking engines,
+// cursor-shaped ones onto the definitely-shared bypass — the mapping
+// the tmmsg driver's EnterPhase hints are written for. Everything that
+// A/Bs phase hints (the phased engine-equivalence differential,
+// stampbench -phases, BenchmarkTMMSGPhased) must build on this one
+// declaration, or the certified mapping and the measured one drift
+// apart silently.
+func PhaseRegimeSpecs() []tm.PhaseSpec {
+	return []tm.PhaseSpec{
+		tm.PhaseProfile(tm.PhasePublish,
+			tm.WithRuntimeCapture(tm.StackAndHeap, tm.StackAndHeap), tm.WithLogKind(tm.LogTree)),
+		tm.PhaseProfile(tm.PhaseCursor, tm.WithSkipSharedChecks()),
+	}
 }
 
 // --- Profile sets from the paper's evaluation ---

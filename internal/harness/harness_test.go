@@ -236,6 +236,101 @@ func init() {
 	})
 }
 
+// valTxCounter is a workload whose Setup AND Validate both run
+// transactions — the shape (tmmsg walks every topic, vacation re-reads
+// every table) that used to pollute the reported statistics, because
+// Run snapshotted rt.Stats() only after Validate.
+type valTxCounter struct {
+	perThread   int
+	cell        tm.Word
+	want        uint64
+	preValidate tm.Stats // rt.Stats() at the instant Validate starts
+	validated   bool
+}
+
+// lastValTx is the most recently constructed instance, so the test can
+// reach through the registry to its snapshots.
+var lastValTx *valTxCounter
+
+func (c *valTxCounter) Name() string { return "ext-valtx" }
+
+func (c *valTxCounter) MemConfig() tm.MemConfig {
+	return tm.MemConfig{GlobalWords: 64, HeapWords: 1 << 17, StackWords: 1 << 8, MaxThreads: 8}
+}
+
+func (c *valTxCounter) Setup(rt *tm.Runtime) {
+	c.cell = rt.AllocGlobal(1).Word(0)
+	rt.Thread(0).Atomic(func(tx *tm.Tx) { c.cell.Store(tx, 0) }) // transactional setup
+}
+
+func (c *valTxCounter) Run(rt *tm.Runtime, nthreads int) {
+	rt.Parallel(nthreads, func(th *tm.Thread, tid, _ int) {
+		for i := 0; i < c.perThread; i++ {
+			th.Atomic(func(tx *tm.Tx) { c.cell.Add(tx, 1) })
+		}
+	})
+	c.want += uint64(nthreads * c.perThread)
+}
+
+func (c *valTxCounter) Validate(rt *tm.Runtime) error {
+	c.preValidate = rt.Stats()
+	c.validated = true
+	var got uint64
+	th := rt.Thread(0)
+	for i := 0; i < 16; i++ { // transactional re-reads, like a topic walk
+		th.Atomic(func(tx *tm.Tx) { got = c.cell.Load(tx) })
+	}
+	if got != c.want {
+		return fmt.Errorf("counter = %d, want %d", got, c.want)
+	}
+	return nil
+}
+
+func init() {
+	tm.RegisterWorkload("ext-valtx", func() tm.Workload {
+		lastValTx = &valTxCounter{perThread: 100}
+		return lastValTx
+	})
+}
+
+// TestRunStatsExcludeValidation pins the measurement-integrity fix:
+// the stats a Result reports must equal the snapshot taken before
+// Validate ran, and must count exactly the timed phase's transactions
+// — neither the transactional setup nor the transactional validation.
+func TestRunStatsExcludeValidation(t *testing.T) {
+	res, err := Run("ext-valtx", tm.Baseline(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := lastValTx
+	if w == nil || !w.validated {
+		t.Fatal("ext-valtx did not run its transactional Validate")
+	}
+	if res.Stats != w.preValidate {
+		t.Errorf("reported stats differ from the pre-Validate snapshot:\n  reported: %+v\n  snapshot: %+v",
+			res.Stats, w.preValidate)
+	}
+	if want := uint64(2 * w.perThread); res.Stats.Commits != want {
+		t.Errorf("reported commits = %d, want exactly %d (timed phase only)", res.Stats.Commits, want)
+	}
+}
+
+// TestCaptureStatsExcludeValidation pins the same invariant for the
+// capture report rows that feed BENCH_capture.json: every profile's
+// commit count is exactly the timed phase's.
+func TestCaptureStatsExcludeValidation(t *testing.T) {
+	rows, err := MeasureCaptureStats("ext-valtx", CaptureConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if want := uint64(lastValTx.perThread); r.Commits != want {
+			t.Errorf("%s: capture row commits = %d, want exactly %d (setup and validation excluded)",
+				r.Config, r.Commits, want)
+		}
+	}
+}
+
 // TestExternalWorkloadThroughHarness is the acceptance test for the
 // pluggable registry: a workload registered outside internal/stamp
 // runs through harness.Run and shows up in the report output next to

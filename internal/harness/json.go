@@ -38,6 +38,18 @@ type ResultJSON struct {
 	RelStdDev  float64  `json:"rel_std_dev_pct"`
 	AbortRatio float64  `json:"abort_ratio"`
 	Stats      tm.Stats `json:"stats"`
+
+	// Phases is the per-phase breakdown of the last run; present only
+	// for profiles that declare phases (tm.WithPhases).
+	Phases []PhaseJSON `json:"phases,omitempty"`
+}
+
+// PhaseJSON is one per-phase statistics row of a result: the phase
+// kind ("" = default), the engine it compiled to, and its counters.
+type PhaseJSON struct {
+	Kind   string   `json:"kind"`
+	Engine string   `json:"engine"`
+	Stats  tm.Stats `json:"stats"`
 }
 
 // Report is the diffable artifact of a benchmark run: results and/or
@@ -77,6 +89,9 @@ func resultJSON(r Result) ResultJSON {
 		Threads:    r.Threads,
 		AbortRatio: r.Stats.AbortRatio(),
 		Stats:      r.Stats,
+	}
+	for _, ps := range r.PhaseStats {
+		out.Phases = append(out.Phases, PhaseJSON{Kind: ps.Kind, Engine: ps.Engine, Stats: ps.Stats})
 	}
 	for _, t := range r.Times {
 		out.TimesNs = append(out.TimesNs, t.Nanoseconds())

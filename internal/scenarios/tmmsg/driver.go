@@ -237,6 +237,7 @@ func (b *B) Setup(trt *tm.Runtime) {
 			}
 		})
 	}
+	th.EnterPhase(tm.PhasePublish) // preload publishes are publish-shaped
 	for t := 0; t < c.Topics; t++ {
 		id := dist.RankToKey(t, c.Topics)
 		for done := 0; done < c.PreloadMsgs; {
@@ -291,14 +292,24 @@ func (b *B) worker(th *stm.Thread, tid, nthreads int, thresholds [3]int) {
 	for i := 0; i < ops; i++ {
 		op := r.Intn(100)
 		id := b.pickTopic(r)
+		// Each operation is tagged with its capture regime. The hints
+		// are unconditional: under a profile without tm.WithPhases they
+		// select the default engine and the run is byte-for-byte the
+		// classic single-engine one; under a phased profile they move
+		// the thread onto the regime's compiled engine at the next
+		// transaction boundary.
 		switch {
 		case op < thresholds[0]:
+			th.EnterPhase(tm.PhasePublish)
 			b.opPublish(th, st, r, id)
 		case op < thresholds[1]:
+			th.EnterPhase(tm.PhaseCursor)
 			b.opConsume(th, st, r, id)
 		case op < thresholds[2]:
+			th.EnterPhase(tm.PhaseCursor)
 			b.opAck(th, st, r, id)
 		default:
+			th.EnterPhase(tm.PhaseCursor)
 			b.opLag(th, st)
 		}
 	}
@@ -378,6 +389,7 @@ func (b *B) opLag(th *stm.Thread, st *threadStats) {
 func (b *B) Validate(trt *tm.Runtime) error {
 	rt := trt.Unwrap()
 	th := rt.Thread(0)
+	th.EnterPhase(tm.PhaseCursor) // walking topics is cursor-shaped work
 	c := b.cfg
 
 	var pub, drops, consumed, skipped, acked, badSum, misses uint64
@@ -467,9 +479,9 @@ func (b *B) validateTopic(tx *stm.Tx, tp mem.Addr,
 	if head-tail > uint64(c.RingCap) {
 		return fmt.Errorf("tmmsg: topic %d retains %d messages, ring holds %d", tp, head-tail, c.RingCap)
 	}
-	ring := tx.LoadAddr(tp+tpRing, txlib.TM)
+	ring := txlib.RingSnapshot(tx, tx.LoadAddr(tp+tpRing, txlib.TM), txlib.TM)
 	for seq := tail; seq < head; seq++ {
-		m := mem.Addr(txlib.RingGet(tx, ring, seq, txlib.TM))
+		m := mem.Addr(ring.Get(tx, seq, txlib.TM))
 		if !readMessage(tx, m, seq) {
 			return fmt.Errorf("tmmsg: topic %d message %d fails its sequence/checksum", tp, seq)
 		}

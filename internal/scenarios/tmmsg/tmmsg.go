@@ -136,16 +136,16 @@ func publishOne(tx *stm.Tx, tp mem.Addr,
 	tx.Store(m+msgSum, sum, stm.AccFresh)
 	tx.StoreAddr(m+msgPayload, payload, stm.AccFresh)
 
-	ring := tx.LoadAddr(tp+tpRing, txlib.TM)
+	ring := txlib.RingSnapshot(tx, tx.LoadAddr(tp+tpRing, txlib.TM), txlib.TM)
 	tail := tx.Load(tp+tpTail, txlib.TM)
-	if seq-tail == uint64(txlib.RingCap(tx, ring, txlib.TM)) {
-		old := mem.Addr(txlib.RingGet(tx, ring, tail, txlib.TM))
+	if seq-tail == ring.Cap {
+		old := mem.Addr(ring.Get(tx, tail, txlib.TM))
 		tx.Free(tx.LoadAddr(old+msgPayload, txlib.TM))
 		tx.Free(old)
 		tx.Store(tp+tpTail, tail+1, txlib.TM)
 		dropped = true
 	}
-	txlib.RingSet(tx, ring, seq, uint64(m), txlib.TM)
+	ring.Set(tx, seq, uint64(m), txlib.TM)
 	tx.Store(tp+tpHead, seq+1, txlib.TM)
 	return seq, dropped
 }
@@ -177,9 +177,9 @@ func consume(tx *stm.Tx, tp mem.Addr, gi, max int) (consumed, skipped, bad int) 
 		skipped = int(tail - cursor)
 		cursor = tail
 	}
-	ring := tx.LoadAddr(tp+tpRing, txlib.TM)
+	ring := txlib.RingSnapshot(tx, tx.LoadAddr(tp+tpRing, txlib.TM), txlib.TM)
 	for consumed < max && cursor < head {
-		m := mem.Addr(txlib.RingGet(tx, ring, cursor, txlib.TM))
+		m := mem.Addr(ring.Get(tx, cursor, txlib.TM))
 		if !readMessage(tx, m, cursor) {
 			bad++
 		}

@@ -37,7 +37,7 @@ func (tx *Tx) Store(a mem.Addr, val uint64, ac Acc) {
 func (tx *Tx) loadGeneric(a mem.Addr, ac Acc) uint64 {
 	th := tx.th
 	if tx.keepStats {
-		st := &th.stats
+		st := th.stats
 		st.ReadTotal++
 		if ac.Manual {
 			st.ReadManual++
@@ -81,7 +81,7 @@ func (tx *Tx) loadGeneric(a mem.Addr, ac Acc) uint64 {
 func (tx *Tx) storeGeneric(a mem.Addr, val uint64, ac Acc) {
 	th := tx.th
 	if tx.keepStats {
-		st := &th.stats
+		st := th.stats
 		st.WriteTotal++
 		if ac.Manual {
 			st.WriteManual++
@@ -140,7 +140,7 @@ func (tx *Tx) storeGeneric(a mem.Addr, val uint64, ac Acc) {
 
 func (tx *Tx) loadCounting(a mem.Addr, ac Acc) uint64 {
 	th := tx.th
-	st := &th.stats
+	st := th.stats
 	st.ReadTotal++
 	if ac.Manual {
 		st.ReadManual++
@@ -182,7 +182,7 @@ func (tx *Tx) loadCounting(a mem.Addr, ac Acc) uint64 {
 
 func (tx *Tx) storeCounting(a mem.Addr, val uint64, ac Acc) {
 	th := tx.th
-	st := &th.stats
+	st := th.stats
 	st.WriteTotal++
 	if ac.Manual {
 		st.WriteManual++

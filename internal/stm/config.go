@@ -160,7 +160,25 @@ type OptConfig struct {
 	// of the specialized engine the profile would compile to. It is a
 	// debug/differential-testing knob (tm.WithEngine): the specialized
 	// engines must be observationally identical to the generic chain.
+	// It applies to every declared phase, not just the default one.
 	ForceGeneric bool
+
+	// Phases declares named workload phases, each compiled to its own
+	// barrier engine (phase.go). Threads switch between the compiled
+	// engines with Thread.EnterPhase; switches only take effect between
+	// transactions. An empty slice is the classic one-engine runtime.
+	Phases []PhaseConfig
+}
+
+// PhaseConfig binds a phase kind to the full optimization configuration
+// its barrier engine compiles from. The tm layer builds these by
+// overlaying per-phase option fragments on the runtime's base
+// configuration; structural fields (OrecBits) and the engine-force knob
+// are inherited from the base at compile time regardless of what the
+// fragment says.
+type PhaseConfig struct {
+	Kind string
+	Cfg  OptConfig
 }
 
 // Perf returns a copy of the configuration with PerfMode enabled.

@@ -50,12 +50,16 @@ type Tx struct {
 	// a live-range counter so the overwhelmingly common "transaction
 	// has allocated nothing" case costs a single predictable branch —
 	// the property that keeps the paper's runtime checks cheap on
-	// allocation-free benchmarks like kmeans and ssca2.
+	// allocation-free benchmarks like kmeans and ssca2. The concrete
+	// logs live in phaseLogs, one cached set per phase (built lazily on
+	// first entry, each with its phase's sizing), so flipping phases
+	// between transactions allocates nothing on the steady state.
 	alogKind  capture.Kind
 	alogTree  *capture.Tree
 	alogArr   *capture.Array
 	alogFil   *capture.Filter
 	allocLive int
+	phaseLogs []phaseLogSet
 
 	waw [wawSlots]wawEntry
 
@@ -84,9 +88,32 @@ type Tx struct {
 
 func (tx *Tx) init(th *Thread) {
 	tx.th = th
-	cfg := &th.rt.cfg
-	tx.load = th.rt.eng.load
-	tx.store = th.rt.eng.store
+	tx.lockedPrev = make(map[uint64]uint64)
+	tx.applyPhase(0)
+}
+
+// phaseLogSet caches one phase's concrete capture logs, so switching
+// back and forth between phases — the tmmsg driver hints once per
+// operation — reuses the logs built (with that phase's sizing) on its
+// first entry instead of reallocating.
+type phaseLogSet struct {
+	alog capture.Log
+	tree *capture.Tree
+	arr  *capture.Array
+	fil  *capture.Filter
+	clog *capture.Tree
+}
+
+// applyPhase points the descriptor at one compiled phase: the engine's
+// barrier pair plus the cached configuration decisions the instrumented
+// chains re-test per access. It must only run between transactions
+// (setPhase enforces this); the logs it selects are empty then, so no
+// captured range can leak across a switch.
+func (tx *Tx) applyPhase(idx int) {
+	ph := &tx.th.rt.phases[idx]
+	cfg := &ph.cfg
+	tx.load = ph.eng.load
+	tx.store = ph.eng.store
 	tx.trackAlog = cfg.Read.Heap || cfg.Write.Heap
 	tx.useWAW = !cfg.NoWAWFilter
 	tx.keepStats = !cfg.PerfMode
@@ -98,35 +125,44 @@ func (tx *Tx) init(th *Thread) {
 	tx.writeStack = cfg.Write.Stack
 	tx.writeHeap = cfg.Write.Heap
 	tx.verify = cfg.VerifyElision
-	if tx.verify && !cfg.Counting {
-		panic("stm: VerifyElision requires Counting")
-	}
 	tx.skipShared = cfg.SkipSharedChecks
-	tx.lockedPrev = make(map[uint64]uint64)
+	if tx.phaseLogs == nil {
+		tx.phaseLogs = make([]phaseLogSet, len(tx.th.rt.phases))
+	}
+	pl := &tx.phaseLogs[idx]
+	tx.alog = nil
 	if tx.trackAlog {
 		tx.alogKind = cfg.LogKind
-		switch cfg.LogKind {
-		case capture.KindTree:
-			tx.alogTree = capture.NewTree()
-			tx.alog = tx.alogTree
-		case capture.KindArray:
-			c := cfg.ArrayCap
-			if c == 0 {
-				c = capture.DefaultArrayCap
+		if pl.alog == nil {
+			switch cfg.LogKind {
+			case capture.KindTree:
+				pl.tree = capture.NewTree()
+				pl.alog = pl.tree
+			case capture.KindArray:
+				c := cfg.ArrayCap
+				if c == 0 {
+					c = capture.DefaultArrayCap
+				}
+				pl.arr = capture.NewArray(c)
+				pl.alog = pl.arr
+			case capture.KindFilter:
+				b := cfg.FilterBits
+				if b == 0 {
+					b = capture.DefaultFilterBits
+				}
+				pl.fil = capture.NewFilter(b)
+				pl.alog = pl.fil
 			}
-			tx.alogArr = capture.NewArray(c)
-			tx.alog = tx.alogArr
-		case capture.KindFilter:
-			b := cfg.FilterBits
-			if b == 0 {
-				b = capture.DefaultFilterBits
-			}
-			tx.alogFil = capture.NewFilter(b)
-			tx.alog = tx.alogFil
 		}
+		tx.alogTree, tx.alogArr, tx.alogFil = pl.tree, pl.arr, pl.fil
+		tx.alog = pl.alog
 	}
+	tx.clog = nil
 	if cfg.Counting {
-		tx.clog = capture.NewTree()
+		if pl.clog == nil {
+			pl.clog = capture.NewTree()
+		}
+		tx.clog = pl.clog
 	}
 }
 

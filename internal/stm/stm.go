@@ -50,7 +50,12 @@ type Runtime struct {
 	orecShift uint
 	clock     atomic.Uint64
 	cfg       OptConfig
-	eng       *engine // barrier engine compiled once from cfg (engine.go)
+
+	// phases is the compiled engine table (phase.go): index 0 is the
+	// default phase's engine, compiled once from cfg; declared phases
+	// follow in declaration order. phaseIdx maps kind → table index.
+	phases   []compiledPhase
+	phaseIdx map[string]int
 
 	// seqs[i] is thread i's quiescence counter: odd while inside a
 	// transaction, even otherwise. It drives the epoch-based deferred
@@ -73,20 +78,30 @@ func New(mcfg mem.Config, cfg OptConfig) *Runtime {
 	if bits < 4 || bits > 26 {
 		panic("stm: OrecBits out of range")
 	}
+	phases, phaseIdx := compilePhases(cfg)
 	return &Runtime{
 		space:     mem.NewSpace(mcfg),
 		orecs:     make([]atomic.Uint64, 1<<bits),
 		orecShift: 64 - uint(bits),
 		cfg:       cfg,
-		eng:       newEngine(cfg),
+		phases:    phases,
+		phaseIdx:  phaseIdx,
 		seqs:      make([]atomic.Uint64, mcfg.MaxThreads),
 		threads:   make(map[int]*Thread),
 	}
 }
 
-// Engine names the barrier engine compiled for this runtime's
-// configuration ("generic", "counting", or a "perf-*" specialization).
-func (rt *Runtime) Engine() string { return rt.eng.name }
+// Engine names the barrier engine compiled for this runtime's default
+// phase ("generic", "counting", or a "perf-*" specialization). When
+// phases are declared the name carries a "+phases" marker — the
+// per-phase breakdown is EngineFor and PhaseStats.
+func (rt *Runtime) Engine() string {
+	name := rt.phases[0].eng.name
+	if len(rt.phases) > 1 {
+		name += "+phases"
+	}
+	return name
+}
 
 // Space returns the simulated address space (for non-transactional
 // setup and validation code).
@@ -122,9 +137,17 @@ type Thread struct {
 	stack *mem.Stack
 	alloc *mem.Allocator
 	priv  capture.Log // thread-local/read-only annotations (Sec. 3.1.3)
-	stats Stats
 	rng   uint64
 	tx    Tx
+
+	// stats points at the current phase's accumulator inside
+	// phaseStats, so the barrier chains never test which phase is
+	// active; setPhase retargets it at phase switches. phaseStats is
+	// indexed like the runtime's engine table (0 = default phase).
+	stats        *Stats
+	phaseStats   []Stats
+	phase        int
+	pendingPhase int // deferred EnterPhase target; -1 = none
 
 	limbo []limboBatch // committed frees awaiting quiescence
 }
@@ -187,13 +210,16 @@ func (rt *Runtime) Thread(id int) *Thread {
 		return th
 	}
 	th := &Thread{
-		rt:    rt,
-		id:    id,
-		stack: mem.NewStack(rt.space, id),
-		alloc: mem.NewAllocator(rt.space),
-		priv:  capture.NewTree(),
-		rng:   uint64(id)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
+		rt:           rt,
+		id:           id,
+		stack:        mem.NewStack(rt.space, id),
+		alloc:        mem.NewAllocator(rt.space),
+		priv:         capture.NewTree(),
+		rng:          uint64(id)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
+		phaseStats:   make([]Stats, len(rt.phases)),
+		pendingPhase: -1,
 	}
+	th.stats = &th.phaseStats[0]
 	th.tx.init(th)
 	rt.threads[id] = th
 	return th
@@ -208,17 +234,22 @@ func (rt *Runtime) ResetStats() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for _, th := range rt.threads {
-		th.stats = Stats{}
+		for i := range th.phaseStats {
+			th.phaseStats[i] = Stats{}
+		}
 	}
 }
 
-// Stats sums the statistics of every thread created so far.
+// Stats sums the statistics of every thread created so far, across all
+// phases (the per-phase view is PhaseStats).
 func (rt *Runtime) Stats() Stats {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	var s Stats
 	for _, th := range rt.threads {
-		s.Add(&th.stats)
+		for i := range th.phaseStats {
+			s.Add(&th.phaseStats[i])
+		}
 	}
 	return s
 }
@@ -226,8 +257,10 @@ func (rt *Runtime) Stats() Stats {
 // ID returns the worker id of this thread.
 func (th *Thread) ID() int { return th.id }
 
-// Stats returns this thread's counters (read after joining).
-func (th *Thread) Stats() *Stats { return &th.stats }
+// Stats returns this thread's counters for its current phase (read
+// after joining; without declared phases this is all of the thread's
+// accounting, exactly as before phases existed).
+func (th *Thread) Stats() *Stats { return th.stats }
 
 // Runtime returns the owning runtime.
 func (th *Thread) Runtime() *Runtime { return th.rt }
@@ -291,6 +324,11 @@ func (th *Thread) Atomic(fn func(*Tx)) bool {
 	if tx.active {
 		return th.atomicNested(fn)
 	}
+	// A phase switch hinted during the previous transaction lands here,
+	// on the boundary: the retry loop below always runs one engine.
+	if th.pendingPhase >= 0 {
+		th.setPhase(th.pendingPhase)
+	}
 	for {
 		tx.beginTop()
 		retry, aborted := th.run(tx, fn)
@@ -299,6 +337,9 @@ func (th *Thread) Atomic(fn func(*Tx)) bool {
 			continue
 		}
 		tx.attempts = 0
+		if th.pendingPhase >= 0 {
+			th.setPhase(th.pendingPhase)
+		}
 		return !aborted
 	}
 }

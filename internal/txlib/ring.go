@@ -1,6 +1,8 @@
 package txlib
 
 import (
+	"fmt"
+
 	"repro/internal/mem"
 	"repro/internal/stm"
 )
@@ -21,12 +23,14 @@ const (
 	rgHdr  = 2
 )
 
-// NewRing allocates a ring with the given capacity (at least 1). The
-// slot array is freshly allocated, so its initial all-zero state needs
-// no stores.
+// NewRing allocates a ring with the given capacity. A capacity below 1
+// is a caller bug — a silently clamped ring would retain one message
+// where the caller sized for zero or more — so it panics loudly.
+// The slot array is freshly allocated, so its initial all-zero state
+// needs no stores.
 func NewRing(tx *stm.Tx, capacity int) mem.Addr {
 	if capacity < 1 {
-		capacity = 1
+		panic(fmt.Sprintf("txlib: NewRing capacity %d, need at least 1", capacity))
 	}
 	r := tx.Alloc(rgHdr)
 	d := tx.Alloc(capacity)
@@ -59,4 +63,38 @@ func RingSet(tx *stm.Tx, r mem.Addr, seq uint64, val uint64, mode stm.Acc) {
 func RingFree(tx *stm.Tx, r mem.Addr, mode stm.Acc) {
 	tx.Free(tx.LoadAddr(r+rgData, mode))
 	tx.Free(r)
+}
+
+// RingView is a per-transaction snapshot of a ring's header: the
+// capacity word and the slot-array pointer, loaded once. RingGet and
+// RingSet reload both transactionally on every slot access — two extra
+// barriers per message in a broker's hottest loops — but within one
+// transaction the header is immutable (the ring's capacity and slot
+// array never change after NewRing), so a loop over slots should take
+// the snapshot once and go through it. The snapshot is only valid
+// inside the transaction (or attempt) that took it: the header loads
+// are part of that transaction's read set, and a retry must re-snapshot.
+type RingView struct {
+	Cap  uint64
+	Data mem.Addr
+}
+
+// RingSnapshot loads the ring header once and returns the view.
+func RingSnapshot(tx *stm.Tx, r mem.Addr, mode stm.Acc) RingView {
+	return RingView{
+		Cap:  tx.Load(r+rgCap, mode),
+		Data: tx.LoadAddr(r+rgData, mode),
+	}
+}
+
+// Get returns the element in the slot for sequence seq — one barrier,
+// against RingGet's three.
+func (v RingView) Get(tx *stm.Tx, seq uint64, mode stm.Acc) uint64 {
+	return tx.Load(v.Data+mem.Addr(seq%v.Cap), mode)
+}
+
+// Set stores val into the slot for sequence seq, overwriting whatever
+// older sequence mapped there.
+func (v RingView) Set(tx *stm.Tx, seq, val uint64, mode stm.Acc) {
+	tx.Store(v.Data+mem.Addr(seq%v.Cap), val, mode)
 }

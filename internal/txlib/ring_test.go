@@ -61,14 +61,33 @@ func TestRingWraps(t *testing.T) {
 	})
 }
 
+// TestRingRejectsBadCapacity: a capacity below 1 used to be silently
+// clamped to 1 — a ring that retains one message where the caller
+// sized for zero. It must panic instead.
+func TestRingRejectsBadCapacity(t *testing.T) {
+	rt := newTestRT()
+	th := rt.Thread(0)
+	for _, bad := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRing(%d) did not panic", bad)
+				}
+			}()
+			th.Atomic(func(tx *stm.Tx) { NewRing(tx, bad) })
+		}()
+	}
+	rt.Validate() // the panicking transactions must have rolled back
+}
+
 func TestRingMinCapacityAndFree(t *testing.T) {
 	rt := newTestRT()
 	th := rt.Thread(0)
 	var r mem.Addr
-	th.Atomic(func(tx *stm.Tx) { r = NewRing(tx, 0) })
+	th.Atomic(func(tx *stm.Tx) { r = NewRing(tx, 1) })
 	th.Atomic(func(tx *stm.Tx) {
 		if got := RingCap(tx, r, TM); got != 1 {
-			t.Errorf("cap = %d, want 1 (clamped)", got)
+			t.Errorf("cap = %d, want 1", got)
 		}
 		RingSet(tx, r, 41, 7, TM)
 		if got := RingGet(tx, r, 41, TM); got != 7 {
@@ -76,5 +95,32 @@ func TestRingMinCapacityAndFree(t *testing.T) {
 		}
 	})
 	th.Atomic(func(tx *stm.Tx) { RingFree(tx, r, TM) })
+	rt.Validate()
+}
+
+// TestRingViewMatchesAccessors: the snapshot path must observe and
+// produce exactly what the per-access helpers do.
+func TestRingViewMatchesAccessors(t *testing.T) {
+	rt := newTestRT()
+	th := rt.Thread(0)
+	var r mem.Addr
+	th.Atomic(func(tx *stm.Tx) { r = NewRing(tx, 3) })
+	th.Atomic(func(tx *stm.Tx) {
+		v := RingSnapshot(tx, r, TM)
+		if int(v.Cap) != RingCap(tx, r, TM) {
+			t.Errorf("view cap = %d, RingCap = %d", v.Cap, RingCap(tx, r, TM))
+		}
+		for seq := uint64(0); seq < 9; seq++ {
+			v.Set(tx, seq, seq*3+1, TM)
+		}
+		for seq := uint64(6); seq < 9; seq++ { // retained window
+			if got, want := RingGet(tx, r, seq, TM), seq*3+1; got != want {
+				t.Errorf("RingGet(%d) = %d, want %d (view wrote it)", seq, got, want)
+			}
+			if got := v.Get(tx, seq, TM); got != RingGet(tx, r, seq, TM) {
+				t.Errorf("view Get(%d) = %d, RingGet = %d", seq, got, RingGet(tx, r, seq, TM))
+			}
+		}
+	})
 	rt.Validate()
 }

@@ -70,6 +70,10 @@ type Machine = harness.Machine
 // ResultJSON is one flattened result row of a Report.
 type ResultJSON = harness.ResultJSON
 
+// PhaseJSON is one per-phase statistics row of a ResultJSON, present
+// when the measured profile declared phases (tm.WithPhases).
+type PhaseJSON = harness.PhaseJSON
+
 // NewReport wraps results into a Report stamped with this machine.
 func NewReport(results []Result) Report { return harness.NewReport(results) }
 
@@ -123,6 +127,12 @@ func MeasureCaptureStats(workload string, profiles []tm.Profile) ([]CaptureStat,
 func WriteCaptureStats(w io.Writer, rows []CaptureStat) {
 	harness.WriteCaptureStats(w, rows)
 }
+
+// PhaseRegimeSpecs returns the canonical publish/cursor phase
+// declaration every phase-hint A/B builds on: publish-shaped
+// transactions map to the capture-checking engines, cursor-shaped ones
+// to the definitely-shared bypass.
+func PhaseRegimeSpecs() []tm.PhaseSpec { return harness.PhaseRegimeSpecs() }
 
 // Fig10Configs returns the profiles compared in Fig. 10 / Fig. 11(a).
 func Fig10Configs() []tm.Profile { return harness.Fig10Configs() }

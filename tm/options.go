@@ -47,21 +47,27 @@ var (
 
 // settings accumulates the configuration an Open call builds.
 type settings struct {
-	mem mem.Config
-	cfg stm.OptConfig
+	mem    mem.Config
+	cfg    stm.OptConfig
+	phases []PhaseSpec
 }
 
 // Option configures a Runtime created by Open.
 type Option func(*settings)
 
 // build folds opts over the defaults: default memory geometry and the
-// paper's unoptimized baseline configuration.
+// paper's unoptimized baseline configuration. Phase fragments are
+// applied last, onto the *final* base configuration, so a WithPhases
+// appearing anywhere in the option list sees every other option.
 func build(opts []Option) (mem.Config, stm.OptConfig) {
 	s := settings{mem: mem.DefaultConfig(), cfg: stm.OptConfig{Name: "custom"}}
 	for _, o := range opts {
 		if o != nil {
 			o(&s)
 		}
+	}
+	for _, ph := range s.phases {
+		s.cfg.Phases = append(s.cfg.Phases, ph.compile(&s))
 	}
 	return s.mem, s.cfg
 }
@@ -180,9 +186,69 @@ const (
 
 // WithEngine forces a barrier-engine family. The default, EngineAuto,
 // is right for everything except engine-equivalence testing; see
-// Runtime.Engine for what was actually selected.
+// Runtime.Engine for what was actually selected. The forced family
+// applies to every declared phase.
 func WithEngine(e Engine) Option {
 	return func(s *settings) { s.cfg.ForceGeneric = e == EngineGeneric }
+}
+
+// --- Phases ---
+
+// Phase names a declared workload phase kind. Kinds are free-form
+// strings; PhasePublish and PhaseCursor are the conventional names for
+// the paper's two capture regimes.
+type Phase = string
+
+const (
+	// PhasePublish is the allocate-build-publish regime: transactions
+	// that assemble their footprint in captured memory, where the
+	// capture-checking engines elide most barriers.
+	PhasePublish Phase = "publish"
+	// PhaseCursor is the contended shared read-modify-write regime:
+	// transactions that capture nothing, where capture checks are pure
+	// overhead and the definitely-shared bypass is the right engine.
+	PhaseCursor Phase = "cursor"
+)
+
+// PhaseSpec maps one phase kind to the profile fragment its barrier
+// engine compiles from; build with PhaseProfile and declare with
+// WithPhases.
+type PhaseSpec struct {
+	kind Phase
+	opts []Option
+}
+
+// PhaseProfile binds a phase kind to a profile fragment: options
+// applied on top of the runtime's base configuration to derive the
+// phase's engine. Memory geometry and nested phase declarations inside
+// the fragment are ignored — both are per-Runtime.
+func PhaseProfile(kind Phase, opts ...Option) PhaseSpec {
+	return PhaseSpec{kind: kind, opts: opts}
+}
+
+// compile overlays the fragment on a copy of the final base settings
+// and returns the phase's full engine configuration.
+func (ph PhaseSpec) compile(base *settings) stm.PhaseConfig {
+	d := settings{mem: base.mem, cfg: base.cfg}
+	d.cfg.Phases = nil
+	for _, o := range ph.opts {
+		if o != nil {
+			o(&d)
+		}
+	}
+	d.cfg.Phases = nil // fragments cannot nest phase declarations
+	return stm.PhaseConfig{Kind: ph.kind, Cfg: d.cfg}
+}
+
+// WithPhases declares named workload phases, each compiled to its own
+// barrier engine derived from the base configuration plus the spec's
+// fragment. Threads switch engines with Thread.EnterPhase; switches
+// take effect only between transactions. Workloads may hint phases
+// unconditionally — under a profile that declares no phases (or not
+// that kind), the hint falls back to the default engine and the run
+// behaves exactly like the classic one-engine runtime.
+func WithPhases(specs ...PhaseSpec) Option {
+	return func(s *settings) { s.phases = append(s.phases, specs...) }
 }
 
 // --- Profiles ---

@@ -85,8 +85,30 @@ func (rt *Runtime) Stats() Stats { return rt.rt.Stats() }
 // Engine names the barrier engine this runtime compiled its
 // configuration into: "counting" for instrumented profiles, a "perf-*"
 // specialization under WithPerfMode, or "generic" when forced with
-// WithEngine(EngineGeneric).
+// WithEngine(EngineGeneric). With WithPhases the name carries a
+// "+phases" marker; EngineFor and PhaseStats give the per-phase
+// breakdown.
 func (rt *Runtime) Engine() string { return rt.rt.Engine() }
+
+// EngineFor names the barrier engine compiled for the given declared
+// phase kind ("" is the default phase; undeclared kinds report the
+// default engine, mirroring EnterPhase's hint semantics).
+func (rt *Runtime) EngineFor(kind Phase) string { return rt.rt.EngineFor(kind) }
+
+// Phases returns the phase kinds declared with WithPhases, in
+// declaration order (empty without phases; the implicit default phase
+// is not listed).
+func (rt *Runtime) Phases() []Phase { return rt.rt.PhaseKinds() }
+
+// PhaseStats is one row of the per-phase statistics breakdown: the
+// phase kind ("" for the default phase), the engine its profile
+// compiled to, and the counters of every transaction run in the phase.
+type PhaseStats = stm.PhaseStats
+
+// PhaseStats sums every thread's counters by phase: index 0 is the
+// default phase, declared phases follow in declaration order. Read it
+// after worker threads have joined, like Stats.
+func (rt *Runtime) PhaseStats() []PhaseStats { return rt.rt.PhaseStats() }
 
 // ResetStats zeroes every thread's counters (e.g. between an untimed
 // setup phase and the timed parallel phase). Not safe to call while
@@ -156,7 +178,22 @@ func (t *Thread) RemovePrivateBlock(s Struct) {
 	t.th.RemovePrivateBlock(s.base, s.mustLen("RemovePrivateBlock"))
 }
 
-// Stats returns this thread's counters (read after joining).
+// EnterPhase hints that this thread's upcoming transactions belong to
+// the given phase kind, switching onto that phase's compiled barrier
+// engine. Hints are free to give unconditionally: a kind the runtime
+// did not declare selects the default engine. Called inside a
+// transaction, the switch is deferred until the enclosing top-level
+// transaction (including its retries) has ended — engines never change
+// mid-transaction.
+func (t *Thread) EnterPhase(kind Phase) { t.th.EnterPhase(kind) }
+
+// Phase returns the kind of the phase this thread currently executes
+// in ("" for the default phase).
+func (t *Thread) Phase() Phase { return t.th.Phase() }
+
+// Stats returns this thread's counters for its current phase (read
+// after joining; without declared phases this is all of the thread's
+// accounting).
 func (t *Thread) Stats() *Stats { return t.th.Stats() }
 
 // Tx is a transaction descriptor, valid only inside the Atomic call
