@@ -241,6 +241,47 @@ func BenchmarkTMMSGPhased(b *testing.B) {
 	}
 }
 
+// --- Served front-end (application-side transaction merging) ---
+
+// BenchmarkServeMerge runs the served backends through the open-loop
+// harness at peak load, one-transaction-per-request vs merged: the
+// req/s and p95 metrics are the merge-width A/B the tmsrv sweeps
+// explore in full (use cmd/tmsrv for the merge-width x worker x
+// offered-load grid), and merged/req confirms the queue actually
+// sustained batching rather than degenerating to width 1.
+func BenchmarkServeMerge(b *testing.B) {
+	p := tm.RuntimeAll(tm.LogTree).Perf()
+	for _, backend := range []string{"srv-tmkv", "srv-tmmsg"} {
+		for _, mw := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/mw%d", backend, mw), func(b *testing.B) {
+				var last bench.Result
+				for i := 0; i < b.N; i++ {
+					res, err := bench.RunOpenLoop(bench.OpenLoopSpec{
+						Backend:    backend,
+						Profile:    p,
+						Workers:    4,
+						MergeWidth: mw,
+						Clients:    8,
+						Requests:   4096,
+						Seed:       uint64(i) + 1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Latency.Aborted > 0 {
+						b.Fatalf("%d requests aborted", res.Latency.Aborted)
+					}
+					last = res
+				}
+				lat := last.Latency
+				b.ReportMetric(lat.AchievedRPS, "req/s")
+				b.ReportMetric(float64(lat.P95Ns), "p95-ns")
+				b.ReportMetric(float64(lat.MergedReplies)/float64(lat.Requests), "merged/req")
+			})
+		}
+	}
+}
+
 // --- Barrier engine (profile-compiled fast paths vs reference chain) ---
 
 // BenchmarkEngineVsGeneric compares each specialized perf engine with

@@ -8,18 +8,31 @@ import (
 	"repro/tm/bench"
 )
 
+// Metric names for Key.Metric: the best observed time of a throughput
+// row, and the open-loop service-time quantiles of a latency row. All
+// three are durations in nanoseconds where smaller is better, so one
+// threshold/floor policy gates them uniformly.
+const (
+	MetricMin = "min"
+	MetricP95 = "p95"
+	MetricP99 = "p99"
+)
+
 // Key identifies one comparable measurement across reports: the same
 // workload under the same profile, thread count, and compiled barrier
-// engine. A row that changes engine between runs is not comparable —
-// the engine *is* the code under test — so it surfaces as unmatched
-// instead of as a bogus delta.
+// engine, for the same metric. A row that changes engine between runs
+// is not comparable — the engine *is* the code under test — so it
+// surfaces as unmatched instead of as a bogus delta. A result row with
+// a latency block yields up to three keys (min, p95, p99); one without
+// yields just min, so old reports keep diffing unchanged.
 type Key struct {
 	Bench, Config, Engine string
 	Threads               int
+	Metric                string
 }
 
 func (k Key) String() string {
-	return fmt.Sprintf("%s/%s/%s/%dt", k.Bench, k.Config, k.Engine, k.Threads)
+	return fmt.Sprintf("%s/%s/%s/%dt/%s", k.Bench, k.Config, k.Engine, k.Threads, k.Metric)
 }
 
 // Delta is one matched row: the best (minimum) observed time from each
@@ -53,18 +66,33 @@ func (c Comparison) Regressions() []Delta {
 	return out
 }
 
-// indexResults maps each timed row to its minimum observed time.
-// Rows without times (capture-only reports) are skipped; a duplicate
-// key keeps the fastest run.
+// indexResults maps each comparable metric of each timed row to its
+// best (smallest) observed value: the minimum run time, plus the p95
+// and p99 service times when the row carries an open-loop latency
+// block. Rows without times (capture-only reports) are skipped; a
+// duplicate key keeps the fastest run.
 func indexResults(rep bench.Report) map[Key]int64 {
 	idx := make(map[Key]int64)
-	for _, r := range rep.Results {
-		if r.MinNs <= 0 {
-			continue
+	add := func(k Key, ns int64) {
+		if prev, ok := idx[k]; !ok || ns < prev {
+			idx[k] = ns
 		}
+	}
+	for _, r := range rep.Results {
 		k := Key{Bench: r.Bench, Config: r.Config, Engine: r.Engine, Threads: r.Threads}
-		if prev, ok := idx[k]; !ok || r.MinNs < prev {
-			idx[k] = r.MinNs
+		if r.MinNs > 0 {
+			k.Metric = MetricMin
+			add(k, r.MinNs)
+		}
+		if l := r.Latency; l != nil {
+			if l.P95Ns > 0 {
+				k.Metric = MetricP95
+				add(k, l.P95Ns)
+			}
+			if l.P99Ns > 0 {
+				k.Metric = MetricP99
+				add(k, l.P99Ns)
+			}
 		}
 	}
 	return idx
@@ -86,7 +114,10 @@ func sortedKeys(idx map[Key]int64) []Key {
 		if a.Engine != b.Engine {
 			return a.Engine < b.Engine
 		}
-		return a.Threads < b.Threads
+		if a.Threads != b.Threads {
+			return a.Threads < b.Threads
+		}
+		return a.Metric < b.Metric
 	})
 	return keys
 }

@@ -195,6 +195,113 @@ func TestRequireMatched(t *testing.T) {
 	}
 }
 
+// TestLatencyMetricsGate: a row with an open-loop latency block yields
+// p95/p99 metrics matched and gated like throughput minima. The
+// regress fixture raises one row's p99 by +60% while its min and p95
+// stay within threshold — only the p99 metric may fire.
+func TestLatencyMetricsGate(t *testing.T) {
+	regressed, out := diffFixtures(t, "baseline_latency.json", "baseline_latency.json", 25, 5*time.Millisecond)
+	if regressed {
+		t.Fatalf("identical latency reports flagged a regression:\n%s", out)
+	}
+	if strings.Contains(out, "only in") {
+		t.Errorf("identical latency reports left unmatched rows:\n%s", out)
+	}
+	// 3 latency rows x (min, p95, p99) + 1 plain row x min = 10 deltas.
+	if !strings.Contains(out, "OK: 10 rows compared") {
+		t.Errorf("expected 10 compared rows:\n%s", out)
+	}
+
+	regressed, out = diffFixtures(t, "baseline_latency.json", "current_latency_regress.json", 25, 5*time.Millisecond)
+	if !regressed {
+		t.Fatalf("+60%% p99 not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "srv-tmkv/runtime-rw-stack-heap-tree+mw4@peak/counting/2t/p99") {
+		t.Errorf("output does not name the regressed p99 row:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "REGRESSED") && !strings.Contains(line, "p99") {
+			t.Errorf("non-p99 metric flagged: %s", line)
+		}
+	}
+}
+
+// TestLatencyFloorSuppressesNoise: the paced srv-tmmsg row explodes
+// +250%/+167% on p95/p99 in the regress fixture, but its current
+// values sit under the 5ms floor, so it must not fire once the p99
+// regression is tolerated by a higher threshold — yet it must fire
+// with the floor lowered.
+func TestLatencyFloorSuppressesNoise(t *testing.T) {
+	if regressed, out := diffFixtures(t, "baseline_latency.json", "current_latency_regress.json", 100, 5*time.Millisecond); regressed {
+		t.Fatalf("sub-floor latency noise fired the gate:\n%s", out)
+	}
+	regressed, out := diffFixtures(t, "baseline_latency.json", "current_latency_regress.json", 100, time.Millisecond)
+	if !regressed {
+		t.Fatal("lowering the floor below the latency row did not re-enable the gate")
+	}
+	if !strings.Contains(out, "srv-tmmsg") {
+		t.Errorf("output does not name the sub-floor row:\n%s", out)
+	}
+}
+
+// TestLatencyBlockVanishedRows: a current report whose rows lost their
+// latency blocks (a tmsrv sweep silently downgraded to throughput
+// only) keeps matching on min but leaves the p95/p99 baseline keys
+// unmatched — invisible by default, fatal under -require-matched, and
+// allowlistable per workload.
+func TestLatencyBlockVanishedRows(t *testing.T) {
+	var out, errw bytes.Buffer
+	relaxed := gate{thresholdPct: 25, floor: 5 * time.Millisecond}
+	if got := relaxed.run(fixture("baseline_latency.json"), fixture("current_latency_dropped.json"), &out, &errw); got != 0 {
+		t.Errorf("dropped latency blocks without -require-matched: exit %d, want 0\n%s", got, out.String())
+	}
+
+	out.Reset()
+	strict := relaxed
+	strict.requireMatched = true
+	if got := strict.run(fixture("baseline_latency.json"), fixture("current_latency_dropped.json"), &out, &errw); got != 1 {
+		t.Errorf("dropped latency blocks under -require-matched: exit %d, want 1\n%s", got, out.String())
+	}
+	for _, want := range []string{"VANISHED", "/p95", "/p99"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("strict output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	allowed := strict
+	allowed.allowVanished = map[string]bool{"srv-tmkv": true, "srv-tmmsg": true}
+	if got := allowed.run(fixture("baseline_latency.json"), fixture("current_latency_dropped.json"), &out, &errw); got != 0 {
+		t.Errorf("allowlisted latency removal: exit %d, want 0\n%s", got, out.String())
+	}
+}
+
+// TestIndexResultsMetrics pins the key fan-out on in-memory reports:
+// a latency row yields min+p95+p99, a plain row yields min only, an
+// untimed latency row yields the quantiles alone.
+func TestIndexResultsMetrics(t *testing.T) {
+	lat := &bench.LatencyStats{P95Ns: 500, P99Ns: 900}
+	rep := bench.Report{Schema: bench.ReportSchema, Results: []bench.ResultJSON{
+		{Bench: "a", Config: "c", Engine: "e", Threads: 1, MinNs: 100, Latency: lat},
+		{Bench: "b", Config: "c", Engine: "e", Threads: 1, MinNs: 100},
+		{Bench: "c", Config: "c", Engine: "e", Threads: 1, Latency: lat},
+	}}
+	idx := indexResults(rep)
+	if len(idx) != 6 {
+		t.Fatalf("index size = %d, want 6: %v", len(idx), idx)
+	}
+	key := func(b, m string) Key { return Key{Bench: b, Config: "c", Engine: "e", Threads: 1, Metric: m} }
+	for k, want := range map[Key]int64{
+		key("a", MetricMin): 100, key("a", MetricP95): 500, key("a", MetricP99): 900,
+		key("b", MetricMin): 100,
+		key("c", MetricP95): 500, key("c", MetricP99): 900,
+	} {
+		if got := idx[k]; got != want {
+			t.Errorf("%s = %d, want %d", k, got, want)
+		}
+	}
+}
+
 // TestSplitNames pins the allowlist parser: blanks trimmed, empties
 // dropped.
 func TestSplitNames(t *testing.T) {

@@ -10,8 +10,12 @@
 //
 //	benchdiff [-threshold 25] [-floor 5ms] [-skip-bad-baseline] [-require-matched [-allow-vanished W,...]] baseline.json current.json
 //
-// Rows are matched on (bench, config, threads, engine); rows present
-// in only one report are listed. By default baseline-only rows never
+// Rows are matched on (bench, config, threads, engine, metric). A
+// throughput row contributes its best time as the "min" metric; a row
+// carrying an open-loop latency block (tmsrv sweeps) additionally
+// contributes its p95 and p99 service times, gated by the same
+// threshold and floor — all three are durations where smaller is
+// better. Rows present in only one report are listed. By default baseline-only rows never
 // fail the run — but that default lets a workload silently dropped
 // from the sweep (a registration typo, a skipped bench) pass the CI
 // gate forever, so gates should pass -require-matched: then any
@@ -148,14 +152,14 @@ func (g gate) diffReports(base, cur bench.Report, w io.Writer) bool {
 		fmt.Fprintln(w, "no comparable timed rows between the two reports")
 	} else {
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "benchmark\tconfig\tengine\tthreads\tbaseline\tcurrent\tdelta")
+		fmt.Fprintln(tw, "benchmark\tconfig\tengine\tthreads\tmetric\tbaseline\tcurrent\tdelta")
 		for _, d := range c.Deltas {
 			mark := ""
 			if d.Regressed {
 				mark = "  REGRESSED"
 			}
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%v\t%v\t%+.1f%%%s\n",
-				d.Bench, d.Config, d.Engine, d.Threads,
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%v\t%v\t%+.1f%%%s\n",
+				d.Bench, d.Config, d.Engine, d.Threads, d.Metric,
 				time.Duration(d.BaseNs).Round(time.Microsecond),
 				time.Duration(d.CurNs).Round(time.Microsecond),
 				d.Pct, mark)

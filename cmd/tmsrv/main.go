@@ -1,0 +1,227 @@
+// Command tmsrv measures the serving front-end (tm/serve): an
+// open-loop Poisson client population offers load to a worker pool
+// that merges compatible requests into single transactions
+// (application-side transaction merging), and the harness reports the
+// service-time distribution — p50/p95/p99 and achieved requests/sec —
+// for every point of a merge-width × worker-count × offered-load
+// sweep.
+//
+// Merging amortizes per-transaction commit work across requests and
+// assembles all replies in one captured stack block, whose writes the
+// runtime elides (the paper's captured-memory analysis); run with
+// -stats to keep the elision counters on and see WriteElStack move
+// with the merge ratio.
+//
+// Usage:
+//
+//	tmsrv -list                              # registered backends
+//	tmsrv -backend srv-tmkv                  # default sweep, human table
+//	tmsrv -backend all -mergewidths 1,4,8 -rates 100000,peak
+//	tmsrv -workers 1,4 -requests 8192 -stats # counters on (non-perf build)
+//	tmsrv -format json -o BENCH_sweep_latency.json
+//
+// JSON output is the diffable repro/bench-report/v1 report of
+// tm/bench.WriteJSON: each sweep point is one result row whose config
+// string encodes profile, merge width, and offered load ("peak" =
+// unpaced), with the open-loop block under "latency" — cmd/benchdiff
+// gates on its p95/p99 like it gates throughput minima.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/tm"
+	"repro/tm/bench"
+	"repro/tm/serve"
+
+	_ "repro/internal/scenarios/tmkv"
+	_ "repro/internal/scenarios/tmmsg"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered serve backends and exit")
+	backendFlag := flag.String("backend", "all", "comma-separated serve backend names or 'all'")
+	profileFlag := flag.String("profile", "runtime", "optimization profile: baseline|runtime|compiler")
+	stats := flag.Bool("stats", false, "keep per-access counters on (skip perf mode) so the report's elision counters are populated")
+	workersFlag := flag.String("workers", "", "comma-separated worker-pool sizes (default: machine-sized)")
+	widthsFlag := flag.String("mergewidths", "1,4,8", "comma-separated merge widths (1 = no merging)")
+	ratesFlag := flag.String("rates", "peak", "comma-separated offered loads in requests/sec; 'peak' or 0 = unpaced")
+	requests := flag.Int("requests", 1<<14, "requests per sweep point")
+	clients := flag.Int("clients", 8, "open-loop client goroutines")
+	seed := flag.Uint64("seed", 1, "seed for interarrivals and the request stream")
+	format := flag.String("format", "text", "output format: text|json")
+	out := flag.String("o", "", "write output to this file instead of stdout")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *list {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		for _, b := range serve.Backends() {
+			fmt.Fprintf(tw, "%s\t%s\n", b, serve.Description(b))
+		}
+		tw.Flush()
+		return
+	}
+
+	backends := serve.Backends()
+	if *backendFlag != "all" {
+		backends = strings.Split(*backendFlag, ",")
+	}
+	profile, err := profileFor(*profileFlag, *stats)
+	if err == nil && *format != "text" && *format != "json" {
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	var workers, widths []int
+	var rates []float64
+	if err == nil {
+		workers, err = parseInts(*workersFlag, "workers")
+	}
+	if err == nil {
+		widths, err = parseInts(*widthsFlag, "mergewidths")
+	}
+	if err == nil {
+		rates, err = parseRates(*ratesFlag)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmsrv:", err)
+		os.Exit(1)
+	}
+	if len(workers) == 0 {
+		workers = bench.DefaultThreadCounts()
+	}
+
+	w := io.Writer(os.Stdout)
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tmsrv:", err)
+			os.Exit(1)
+		}
+		outFile = f
+		w = f
+	}
+
+	err = sweep(w, backends, profile, workers, widths, rates, *requests, *clients, *seed, *format == "json")
+	// A failed flush at close must fail the run: CI diffs the written
+	// report, and a silently truncated artifact would pass as baseline.
+	if outFile != nil {
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmsrv:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		`tmsrv: open-loop latency sweeps over the served transactional backends.
+
+An open-loop Poisson client population offers load to a worker pool
+that merges compatible requests into single transactions; each sweep
+point (backend x workers x merge width x offered load) reports
+p50/p95/p99 service time, achieved requests/sec, and the merge and
+elision counters that explain them. Latency is measured from each
+request's *scheduled* arrival, so queueing delay behind a stall is
+charged, never omitted.
+
+Registered backends (tmsrv -list for descriptions):
+`)
+	for _, b := range serve.Backends() {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %s\n", b)
+	}
+	fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
+	flag.PrintDefaults()
+}
+
+func profileFor(name string, stats bool) (tm.Profile, error) {
+	var p tm.Profile
+	switch name {
+	case "baseline":
+		p = tm.Baseline()
+	case "runtime":
+		p = tm.RuntimeAll(tm.LogTree)
+	case "compiler":
+		p = tm.CompilerElision()
+	default:
+		return tm.Profile{}, fmt.Errorf("unknown profile %q (want baseline|runtime|compiler)", name)
+	}
+	if !stats {
+		p = p.Perf()
+	}
+	return p, nil
+}
+
+func parseInts(s, what string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -%s entry %q", what, part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "peak" {
+			out = append(out, 0)
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || r < 0 {
+			return nil, fmt.Errorf("bad -rates entry %q (want a rate in req/s or 'peak')", part)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// sweep measures every point of the grid and writes the latency table
+// or the diffable JSON report.
+func sweep(w io.Writer, backends []string, p tm.Profile, workers, widths []int, rates []float64, requests, clients int, seed uint64, asJSON bool) error {
+	var all []bench.Result
+	for _, be := range backends {
+		for _, nw := range workers {
+			for _, mw := range widths {
+				for _, rate := range rates {
+					res, err := bench.RunOpenLoop(bench.OpenLoopSpec{
+						Backend:    be,
+						Profile:    p,
+						Workers:    nw,
+						MergeWidth: mw,
+						Clients:    clients,
+						Rate:       rate,
+						Requests:   requests,
+						Seed:       seed,
+					})
+					if err != nil {
+						return err
+					}
+					all = append(all, res)
+				}
+			}
+		}
+	}
+	if asJSON {
+		return bench.WriteJSON(w, bench.NewReport(all))
+	}
+	bench.WriteLatencyTable(w, all)
+	return nil
+}

@@ -29,6 +29,10 @@ type Result struct {
 	// PhaseStats is the per-phase breakdown of the last run, populated
 	// only when the profile declares phases (tm.WithPhases).
 	PhaseStats []tm.PhaseStats
+
+	// Latency is the open-loop service-time block, populated only by
+	// RunOpenLoop (nil for throughput results).
+	Latency *LatencyStats
 }
 
 // Run executes the workload `runs` times (fresh instance each run;

@@ -42,6 +42,11 @@ type ResultJSON struct {
 	// Phases is the per-phase breakdown of the last run; present only
 	// for profiles that declare phases (tm.WithPhases).
 	Phases []PhaseJSON `json:"phases,omitempty"`
+
+	// Latency is the open-loop service-time block; present only for
+	// results produced by RunOpenLoop. Its addition does not bump
+	// ReportSchema: consumers that ignore it read the rest unchanged.
+	Latency *LatencyStats `json:"latency,omitempty"`
 }
 
 // PhaseJSON is one per-phase statistics row of a result: the phase
@@ -89,6 +94,7 @@ func resultJSON(r Result) ResultJSON {
 		Threads:    r.Threads,
 		AbortRatio: r.Stats.AbortRatio(),
 		Stats:      r.Stats,
+		Latency:    r.Latency,
 	}
 	for _, ps := range r.PhaseStats {
 		out.Phases = append(out.Phases, PhaseJSON{Kind: ps.Kind, Engine: ps.Engine, Stats: ps.Stats})

@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/tm"
+
+	_ "repro/internal/scenarios/tmkv"
+	_ "repro/internal/scenarios/tmmsg"
+)
+
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, 50}, {0.95, 100}, {0.99, 100}, {0.10, 10}, {1.0, 100},
+	}
+	for _, c := range cases {
+		if got := quantileNs(sorted, c.q); got != c.want {
+			t.Errorf("q%.2f = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if got := quantileNs([]int64{42}, 0.99); got != 42 {
+		t.Errorf("single sample = %d", got)
+	}
+	if got := quantileNs(nil, 0.5); got != 0 {
+		t.Errorf("empty sample = %d", got)
+	}
+}
+
+func TestLatencyReportRoundTrip(t *testing.T) {
+	with := Result{
+		Bench: "srv-tmkv", Config: "baseline+mw4@50000rps", Engine: "perf-noinstr", Threads: 2,
+		Times: []time.Duration{time.Second},
+		Stats: tm.Stats{Commits: 10},
+		Latency: &LatencyStats{
+			OfferedRPS: 50000, AchievedRPS: 49000,
+			P50Ns: 1000, P95Ns: 5000, P99Ns: 9000, MaxNs: 12000,
+			Requests: 1024, MergedReplies: 900, MergeWidth: 4, Clients: 4,
+			MergeRatio: 3.5, Batches: 300, MergedBatches: 280, Txns: 320,
+		},
+	}
+	without := Result{
+		Bench: "tmkv", Config: "baseline", Engine: "perf-noinstr", Threads: 2,
+		Times: []time.Duration{time.Second}, Stats: tm.Stats{Commits: 10},
+	}
+	rep := NewReport([]Result{with, without})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"latency"`, `"p95_ns"`, `"p99_ns"`, `"offered_rps"`, `"merge_ratio"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("report missing %s", key)
+		}
+	}
+	back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rep) {
+		t.Errorf("round trip drifted:\n got %+v\nwant %+v", back, rep)
+	}
+	if back.Results[0].Latency == nil || back.Results[0].Latency.P95Ns != 5000 {
+		t.Errorf("latency block lost: %+v", back.Results[0].Latency)
+	}
+	// The block must be absent, not zero-valued, on throughput rows.
+	var raw struct {
+		Results []map[string]json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw.Results[1]["latency"]; ok {
+		t.Error("throughput row carries a latency block")
+	}
+}
+
+// TestRunOpenLoop drives a small open-loop run end to end over the
+// served KV backend and checks the latency block is self-consistent.
+func TestRunOpenLoop(t *testing.T) {
+	spec := OpenLoopSpec{
+		Backend:    "srv-tmkv",
+		Profile:    tm.RuntimeAll(tm.LogTree),
+		Workers:    2,
+		MergeWidth: 4,
+		Clients:    4,
+		Rate:       200_000,
+		Requests:   512,
+		Seed:       7,
+	}
+	res, err := RunOpenLoop(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bench != "srv-tmkv" || res.Threads != 2 {
+		t.Errorf("result key = %s/%d", res.Bench, res.Threads)
+	}
+	if want := "runtime-rw-stack-heap-tree+mw4@200000rps"; res.Config != want {
+		t.Errorf("config = %q, want %q", res.Config, want)
+	}
+	l := res.Latency
+	if l == nil {
+		t.Fatal("no latency block")
+	}
+	if l.Requests != 512 || l.MergeWidth != 4 || l.Clients != 4 || l.OfferedRPS != 200_000 {
+		t.Errorf("spec echo drifted: %+v", l)
+	}
+	if l.P50Ns <= 0 || l.P95Ns < l.P50Ns || l.P99Ns < l.P95Ns || l.MaxNs < l.P99Ns {
+		t.Errorf("quantiles not monotone: p50=%d p95=%d p99=%d max=%d", l.P50Ns, l.P95Ns, l.P99Ns, l.MaxNs)
+	}
+	if l.AchievedRPS <= 0 {
+		t.Errorf("achieved rps = %v", l.AchievedRPS)
+	}
+	if l.Txns == 0 || l.MergeRatio < 1 {
+		t.Errorf("merge counters: txns=%d ratio=%v", l.Txns, l.MergeRatio)
+	}
+	if l.MergedReplies > l.Requests || l.Aborted != 0 {
+		t.Errorf("reply counters: merged=%d aborted=%d", l.MergedReplies, l.Aborted)
+	}
+	if res.Stats.Commits == 0 {
+		t.Error("no commits recorded")
+	}
+	var buf bytes.Buffer
+	WriteLatencyTable(&buf, []Result{res})
+	if !strings.Contains(buf.String(), "srv-tmkv") || !strings.Contains(buf.String(), "mw4") {
+		t.Errorf("latency table:\n%s", buf.String())
+	}
+}
+
+// TestRunOpenLoopUnpaced: Rate<=0 is peak stress — every request
+// scheduled at the start — and the config string says so.
+func TestRunOpenLoopUnpaced(t *testing.T) {
+	res, err := RunOpenLoop(OpenLoopSpec{
+		Backend:    "srv-tmmsg",
+		Profile:    tm.Baseline().Perf(),
+		Workers:    2,
+		MergeWidth: 8,
+		Clients:    2,
+		Requests:   256,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "baseline+mw8@peak"; res.Config != want {
+		t.Errorf("config = %q, want %q", res.Config, want)
+	}
+	if res.Latency.OfferedRPS != 0 {
+		t.Errorf("offered rps = %v, want 0 (unpaced)", res.Latency.OfferedRPS)
+	}
+	if res.Latency.Requests != 256 {
+		t.Errorf("requests = %d", res.Latency.Requests)
+	}
+}
+
+func TestRunOpenLoopUnknownBackend(t *testing.T) {
+	if _, err := RunOpenLoop(OpenLoopSpec{Backend: "no-such-backend", Profile: tm.Baseline()}); err == nil {
+		t.Fatal("expected error for unknown backend")
+	}
+}

@@ -1,0 +1,206 @@
+package harness
+
+// Merge-correctness differentials for the serving front-end: merging
+// compatible requests into one transaction (tm.Batcher) may change how
+// many transactions run and which barriers fire, but never what the
+// requests compute. A single worker over a deterministic request
+// stream must therefore leave a bit-identical address space and return
+// bit-identical replies whatever the merge width and whatever the
+// optimization profile.
+//
+// The differential configs are chosen so the final state is genuinely
+// comparable across transaction groupings: no deletes, no version
+// trims, and no ring-overflow drops. Those paths free blocks owned by
+// *earlier* transactions, and commit-time frees recycle through limbo
+// lists whose timing depends on the commit sequence — a real but
+// benign allocation-placement difference that would drown the signal
+// the checksum is after (a wrongly elided barrier corrupting data).
+// Same-transaction staging frees reclaim immediately and stay exactly
+// reproducible. Per-thread stacks are zeroed before the checksum: a
+// merged transaction's reply buffer legitimately leaves different
+// stack residue than per-request transactions do.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/scenarios/tmkv"
+	"repro/internal/scenarios/tmmsg"
+	"repro/tm"
+	"repro/tm/serve"
+)
+
+// diffRequests is the stream length of the single-worker differentials.
+const diffRequests = 256
+
+// diffKVConfig is the deletion-free, trim-free tmkv mix (see the file
+// comment for why). MaxVersions exceeds the longest chain any key can
+// grow — every request updating the same key, plus its preload — so
+// trimming never fires; memConfig reserves that worst case per key,
+// which is why the bound is tight rather than astronomical.
+func diffKVConfig() tmkv.Config {
+	return tmkv.Config{Name: "diff-kv", Keys: 256,
+		KeyWords: 3, MinBlocks: 1, MaxBlocks: 3, MaxVersions: diffRequests + 64,
+		ReadPct: 50, UpdatePct: 30, InsertPct: 15, DeletePct: 0, ScanPct: 5,
+		ScanLimit: 8, Zipf: true, Theta: 0.85, PreloadPct: 50, Seed: 1}
+}
+
+// diffMsgConfig is the drop-free tmmsg mix: RingCap absorbs the preload
+// plus every message the run could publish, even if the Zipfian stream
+// lands all of them on one topic.
+func diffMsgConfig(requests int) tmmsg.Config {
+	return tmmsg.Config{Name: "diff-msg", Topics: 16,
+		KeyWords: 3, RingCap: 8 + requests*3, Groups: 2, MinBlocks: 1, MaxBlocks: 3,
+		PublishPct: 40, ConsumePct: 30, AckPct: 20, LagPct: 10,
+		MaxBatch: 3, ConsumeMax: 6, AckMax: 6, ScanLimit: 8,
+		Zipf: true, Theta: 0.85, PreloadMsgs: 8, Seed: 1}
+}
+
+// servedRun is the comparable outcome of one served request stream.
+type servedRun struct {
+	checksum uint64
+	replies  [][]uint64
+	stats    tm.BatchStats
+}
+
+// runServed executes requests 0..n-1 of the backend's deterministic
+// stream through a server and returns the final-state fingerprint, the
+// per-request replies, and the merge counters. All requests are queued
+// before the workers start, so batch composition — and with it the
+// merge ratio — is reproducible at one worker.
+func runServed(t *testing.T, be serve.Backend, p tm.Profile, workers, width, requests int, seed uint64) servedRun {
+	t.Helper()
+	srv := serve.NewServer(be, serve.Config{
+		Workers: workers, MergeWidth: width,
+		QueueDepth: requests, Requests: requests,
+		Options: p.Options(),
+	})
+	replies := make([][]uint64, requests)
+	aborted := make([]bool, requests)
+	var wg sync.WaitGroup
+	wg.Add(requests)
+	for i := 0; i < requests; i++ {
+		idx := i
+		srv.SubmitRequest(be.NewRequest(seed, uint64(i)), func(rep serve.Reply) {
+			replies[idx] = rep.Words
+			aborted[idx] = rep.Aborted
+			wg.Done()
+		})
+	}
+	srv.Start()
+	srv.Stop()
+	wg.Wait()
+	rt := srv.Runtime()
+	rt.Validate() // no orec may stay locked after the pool joined
+	for i := range aborted {
+		if aborted[i] {
+			t.Fatalf("[%s, mw%d] request %d aborted: the differential mixes never refuse", p.Name(), width, i)
+		}
+	}
+	sp := rt.Unwrap().Space()
+	for tid := 0; tid < workers; tid++ {
+		lo, hi := sp.StackRange(tid)
+		sp.Zero(lo, int(hi-lo))
+	}
+	return servedRun{checksum: sp.Checksum(), replies: replies, stats: srv.BatchStats()}
+}
+
+func sameReplies(a, b [][]uint64) (int, bool) {
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return i, false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return i, false
+			}
+		}
+	}
+	return 0, true
+}
+
+// mergeDifferential drives one backend family through the grid: the
+// unmerged baseline, wider merge widths under the baseline profile,
+// and full-width runs under every named profile (plus extras), all of
+// which must agree bit-for-bit on state and replies.
+func mergeDifferential(t *testing.T, name string, newBackend func() serve.Backend, extras []tm.Profile, requests int) {
+	const seed, width = 21, 8
+	base := runServed(t, newBackend(), tm.Baseline(), 1, 1, requests, seed)
+	if base.stats.Merged != 0 || base.stats.Txns != uint64(requests) {
+		t.Fatalf("width-1 run merged: %+v", base.stats)
+	}
+
+	profiles := namedProfiles()
+	widths := []int{2, 4, width}
+	if testing.Short() {
+		profiles = []tm.Profile{tm.Baseline(), tm.RuntimeAll(tm.LogTree), tm.CompilerElision()}
+		widths = []int{width}
+	}
+	for _, w := range widths {
+		got := runServed(t, newBackend(), tm.Baseline(), 1, w, requests, seed)
+		if got.stats.Merged == 0 {
+			t.Errorf("%s mw%d: no batch ever merged (stats %+v)", name, w, got.stats)
+		}
+		if got.checksum != base.checksum {
+			t.Errorf("%s mw%d: final state %#x, want %#x", name, w, got.checksum, base.checksum)
+		}
+		if i, ok := sameReplies(base.replies, got.replies); !ok {
+			t.Errorf("%s mw%d: reply %d = %v, want %v", name, w, i, got.replies[i], base.replies[i])
+		}
+	}
+	for _, p := range append(profiles, extras...) {
+		got := runServed(t, newBackend(), p, 1, width, requests, seed)
+		if got.checksum != base.checksum {
+			t.Errorf("%s under %s (mw%d): final state %#x, want %#x",
+				name, p.Name(), width, got.checksum, base.checksum)
+		}
+		if i, ok := sameReplies(base.replies, got.replies); !ok {
+			t.Errorf("%s under %s: reply %d = %v, want %v", name, p.Name(), i, got.replies[i], base.replies[i])
+		}
+	}
+}
+
+func TestServeMergeDifferentialKV(t *testing.T) {
+	mergeDifferential(t, "srv-tmkv",
+		func() serve.Backend { return tmkv.NewKVBackend(diffKVConfig()) }, nil, diffRequests)
+}
+
+func TestServeMergeDifferentialMsg(t *testing.T) {
+	// The extra phased profile exercises the Batcher's phase switching:
+	// publish-shaped batches compile onto the capture-checking engine,
+	// cursor-shaped ones onto the definitely-shared bypass, and the
+	// result must still be bit-identical.
+	phased := tm.RuntimeAll(tm.LogTree).
+		With(tm.WithPhases(PhaseRegimeSpecs()...)).Named("runtime+phases")
+	mergeDifferential(t, "srv-tmmsg",
+		func() serve.Backend { return tmmsg.NewMsgBackend(diffMsgConfig(diffRequests)) },
+		[]tm.Profile{phased}, diffRequests)
+}
+
+// TestServeMergeParallelNoLeaks repeats the merged grid at four
+// workers: batch composition and final state are scheduling-dependent
+// there, but every request must complete unaborted, validation must
+// pass, and no orec lock may leak.
+func TestServeMergeParallelNoLeaks(t *testing.T) {
+	backends := map[string]func() serve.Backend{
+		"srv-tmkv":  func() serve.Backend { return tmkv.NewKVBackend(diffKVConfig()) },
+		"srv-tmmsg": func() serve.Backend { return tmmsg.NewMsgBackend(diffMsgConfig(1024)) },
+	}
+	for name, nb := range backends {
+		nb := nb
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for _, p := range []tm.Profile{tm.Baseline(), tm.RuntimeAll(tm.LogTree)} {
+				run := runServed(t, nb(), p, 4, 8, 1024, 33)
+				for i, words := range run.replies {
+					if words == nil {
+						t.Fatalf("[%s] request %d never replied", p.Name(), i)
+					}
+				}
+				if run.stats.Requests != 1024 {
+					t.Errorf("[%s] stats requests = %d", p.Name(), run.stats.Requests)
+				}
+			}
+		})
+	}
+}

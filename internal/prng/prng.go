@@ -4,6 +4,8 @@
 // matters for reproducibility, not the generator family.
 package prng
 
+import "math"
+
 // R is a xorshift64* generator. Not safe for concurrent use; each
 // thread owns its own.
 type R struct {
@@ -48,6 +50,17 @@ func (r *R) Uint64n(n uint64) uint64 {
 // Float returns a value in [0, 1) with 53 bits of precision.
 func (r *R) Float() float64 {
 	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate) — the interarrival gap of a Poisson process, used by
+// the open-loop client population. It panics if rate <= 0.
+func (r *R) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("prng: Exp with non-positive rate")
+	}
+	// Float is in [0, 1), so 1-Float is in (0, 1] and the log is finite.
+	return -math.Log(1-r.Float()) / rate
 }
 
 // Shuffle permutes xs in place (Fisher–Yates).

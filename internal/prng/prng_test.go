@@ -1,6 +1,7 @@
 package prng
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -68,6 +69,56 @@ func TestIntnPanicsOnNonPositive(t *testing.T) {
 		}
 	}()
 	New(1).Intn(0)
+}
+
+// TestExpShape checks the exponential sampler against the closed-form
+// distribution: mean 1/rate, and the CDF 1-exp(-rate*x) at a few
+// quantile points. Tolerances are sized for n=200k samples (relative
+// standard error of the mean is 1/sqrt(n) ≈ 0.22%).
+func TestExpShape(t *testing.T) {
+	const (
+		rate = 2.5
+		n    = 200000
+	)
+	r := New(31)
+	var sum float64
+	samples := make([]float64, n)
+	for i := range samples {
+		x := r.Exp(rate)
+		if x < 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+			t.Fatalf("Exp sample %v", x)
+		}
+		samples[i] = x
+		sum += x
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate)/(1/rate) > 0.02 {
+		t.Errorf("mean = %v, want ≈ %v", mean, 1/rate)
+	}
+	// Empirical CDF at x: fraction of samples below x must match
+	// 1-exp(-rate*x) to within a couple of percent.
+	for _, x := range []float64{0.1, 1 / rate, 1.0} {
+		want := 1 - math.Exp(-rate*x)
+		below := 0
+		for _, s := range samples {
+			if s < x {
+				below++
+			}
+		}
+		got := float64(below) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestExpPanicsOnNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New(1).Exp(0)
 }
 
 func TestRoughUniformity(t *testing.T) {

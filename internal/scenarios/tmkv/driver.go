@@ -121,12 +121,20 @@ func (b *B) Name() string { return b.cfg.Name }
 // MemConfig implements tm.Workload: it sizes the heap for the worst
 // case of every key holding MaxVersions values of MaxBlocks unshared
 // blocks, with slack for allocator rounding and dedup-map churn.
-func (b *B) MemConfig() tm.MemConfig {
-	c := b.cfg
+func (b *B) MemConfig() tm.MemConfig { return b.cfg.memConfig(0) }
+
+// memConfig sizes the simulated address space for the worst case of
+// every key holding MaxVersions maximum-size values, plus churnVersions
+// extra value builds whose trimmed-and-freed predecessors may sit
+// unrecycled in per-thread limbo lists (the served front-end's churn;
+// the self-driving workload's version trims recycle fast enough that
+// it passes 0). Address-space words are virtual — untouched ones cost
+// nothing — so the headroom is cheap insurance.
+func (c Config) memConfig(churnVersions int) tm.MemConfig {
 	perBlock := BlockWords + brSize + 8 /* dedup entry + hash key */ + 4
 	perVersion := c.MaxBlocks*perBlock + objSize + 4 + c.MaxBlocks + 4 /* vector */ + 4 /* list node */
 	perKey := c.MaxVersions*perVersion + krSize + 8 /* index entry + key copy */ + c.KeyWords
-	words := c.Keys*perKey + 4*c.Keys /* buckets */ + (1 << 16)
+	words := c.Keys*perKey + churnVersions*perVersion + 4*c.Keys /* buckets */ + (1 << 16)
 	heap := 1 << 18
 	for heap < 2*words {
 		heap <<= 1
@@ -153,8 +161,7 @@ func (b *B) makeKey(tx *stm.Tx, id uint64) mem.Addr {
 // valueShape derives a value's block count deterministically from the
 // key and version, so re-inserting a deleted key regenerates identical
 // content and hits the dedup map.
-func (b *B) valueShape(id, version uint64) int {
-	c := b.cfg
+func (c Config) valueShape(id, version uint64) int {
 	span := c.MaxBlocks - c.MinBlocks + 1
 	mix := (id*0x9E3779B97F4A7C15 + version) >> 17
 	return c.MinBlocks + int(mix%uint64(span))
@@ -165,9 +172,10 @@ func (b *B) valueShape(id, version uint64) int {
 // blocks take a pattern from a small shared pool, so the dedup map
 // sees real sharing across keys; the rest are unique to (id, version,
 // block). Fills are fresh-provenance stores — the captured-heap writes
-// of the paper's Fig. 8.
-func (b *B) stageValue(tx *stm.Tx, id, version uint64) (mem.Addr, int) {
-	nblocks := b.valueShape(id, version)
+// of the paper's Fig. 8. Shared by the self-driving workload and the
+// served backend, so both generate bit-identical values.
+func (c Config) stageValue(tx *stm.Tx, id, version uint64) (mem.Addr, int) {
+	nblocks := c.valueShape(id, version)
 	words := nblocks * BlockWords
 	stage := tx.Alloc(words)
 	for blk := 0; blk < nblocks; blk++ {
@@ -204,7 +212,7 @@ func (b *B) Setup(trt *tm.Runtime) {
 		id := dist.RankToKey(i, c.Keys)
 		th.Atomic(func(tx *stm.Tx) {
 			kb := b.makeKey(tx, id)
-			stage, words := b.stageValue(tx, id, 1)
+			stage, words := b.cfg.stageValue(tx, id, 1)
 			if !b.store.insert(tx, kb, c.KeyWords, stage, words) {
 				panic("tmkv: preload collision")
 			}
@@ -291,14 +299,14 @@ func (b *B) opUpdate(th *stm.Thread, st *threadStats, id uint64) {
 		kb := b.makeKey(tx, id)
 		if kr, ok := b.store.lookup(tx, kb, b.cfg.KeyWords); ok {
 			version := tx.Load(kr+krLatest, txlib.TM) + 1
-			stage, words := b.stageValue(tx, id, version)
+			stage, words := b.cfg.stageValue(tx, id, version)
 			b.store.update(tx, kr, stage, words, b.cfg.MaxVersions)
 			tx.Free(stage)
 			did = true
 		} else {
 			// Update of an absent key falls back to an insert, like an
 			// upsert path would.
-			stage, words := b.stageValue(tx, id, 1)
+			stage, words := b.cfg.stageValue(tx, id, 1)
 			inserted = b.store.insert(tx, kb, b.cfg.KeyWords, stage, words)
 			tx.Free(stage)
 		}
@@ -314,7 +322,7 @@ func (b *B) opInsert(th *stm.Thread, st *threadStats, id uint64) {
 	var inserted bool
 	th.Atomic(func(tx *stm.Tx) {
 		kb := b.makeKey(tx, id)
-		stage, words := b.stageValue(tx, id, 1)
+		stage, words := b.cfg.stageValue(tx, id, 1)
 		inserted = b.store.insert(tx, kb, b.cfg.KeyWords, stage, words)
 		tx.Free(stage)
 	})

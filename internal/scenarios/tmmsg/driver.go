@@ -140,12 +140,19 @@ func (b *B) Name() string { return b.cfg.Name }
 // heap exhaustion in the 4-thread matrices.
 func (b *B) MemConfig() tm.MemConfig {
 	c := b.cfg
+	return c.memConfig(c.Topics*c.PreloadMsgs + c.Ops*c.MaxBatch)
+}
+
+// memConfig sizes the simulated address space for totalPublishes
+// messages ever published (as if none were recycled), shared by the
+// self-driving workload and the served backend.
+func (c Config) memConfig(totalPublishes int) tm.MemConfig {
 	perMsg := 1 + msgSize + 1 + c.MaxBlocks*BlockWords + 8 /* headers + class rounding */
 	perTopic := tpSize + 2 + c.RingCap /* ring */ +
 		c.Groups*(grSize+1) + c.Groups /* group records + array */ +
 		8 + c.KeyWords /* index entry + key copy */
 	live := c.Topics * (perTopic + c.RingCap*perMsg)
-	churn := (c.Topics*c.PreloadMsgs + c.Ops*c.MaxBatch) * perMsg
+	churn := totalPublishes * perMsg
 	words := live + churn +
 		32*8192 /* per-thread allocation-cache spans */ +
 		2*c.Topics /* buckets */ + (1 << 14)
@@ -173,8 +180,7 @@ func (b *B) makeKey(tx *stm.Tx, id uint64) mem.Addr {
 
 // payloadShape derives a message's block count deterministically from
 // (topic, sequence), so single-threaded runs are bit-reproducible.
-func (b *B) payloadShape(id, seq uint64) int {
-	c := b.cfg
+func (c Config) payloadShape(id, seq uint64) int {
 	span := c.MaxBlocks - c.MinBlocks + 1
 	mix := (id*0x9E3779B97F4A7C15 + seq*0x2545F4914F6CDD1D) >> 17
 	return (c.MinBlocks + int(mix%uint64(span))) * BlockWords
@@ -182,17 +188,34 @@ func (b *B) payloadShape(id, seq uint64) int {
 
 // fillPayload writes the deterministic content for (topic, sequence):
 // fresh-provenance stores into the just-allocated payload — the
-// captured-heap writes of the paper's Fig. 8.
-func (b *B) fillPayload(tx *stm.Tx, payload mem.Addr, id, seq uint64, words int) {
+// captured-heap writes of the paper's Fig. 8. Shared by the
+// self-driving workload and the served backend, so both generate
+// bit-identical messages.
+func (c Config) fillPayload(tx *stm.Tx, payload mem.Addr, id, seq uint64, words int) {
 	base := id*0x9E3779B97F4A7C15 + seq*0x2545F4914F6CDD1D
 	for j := 0; j < words; j++ {
 		tx.Store(payload+mem.Addr(j), base+uint64(j)*13, stm.AccFresh)
 	}
 }
 
+// publishN links n messages for the topic inside the current
+// transaction, each assembled entirely in captured memory with the
+// configuration's deterministic shape and content.
+func publishN(tx *stm.Tx, c Config, tp mem.Addr, id uint64, n int) (published, drops uint64) {
+	for i := 0; i < n; i++ {
+		_, dropped := publishOne(tx, tp,
+			func(seq uint64) int { return c.payloadShape(id, seq) },
+			func(payload mem.Addr, seq uint64, words int) { c.fillPayload(tx, payload, id, seq, words) })
+		published++
+		if dropped {
+			drops++
+		}
+	}
+	return published, drops
+}
+
 // publishBatch runs one batch-publish transaction: n messages for the
-// topic, each assembled entirely in captured memory, all linked into
-// the ring by the one commit.
+// topic, all linked into the ring by the one commit.
 func (b *B) publishBatch(th *stm.Thread, id uint64, n int) (published, drops uint64, ok bool) {
 	th.Atomic(func(tx *stm.Tx) {
 		published, drops, ok = 0, 0, false // retry-safe: judge only the committed attempt
@@ -202,15 +225,7 @@ func (b *B) publishBatch(th *stm.Thread, id uint64, n int) (published, drops uin
 			return
 		}
 		ok = true
-		for i := 0; i < n; i++ {
-			_, dropped := publishOne(tx, tp,
-				func(seq uint64) int { return b.payloadShape(id, seq) },
-				func(payload mem.Addr, seq uint64, words int) { b.fillPayload(tx, payload, id, seq, words) })
-			published++
-			if dropped {
-				drops++
-			}
-		}
+		published, drops = publishN(tx, b.cfg, tp, id, n)
 	})
 	return published, drops, ok
 }

@@ -57,6 +57,24 @@ func SweepMatrix(workload string, profiles []tm.Profile, threadCounts []int, run
 	return harness.SweepMatrix(workload, profiles, threadCounts, runs)
 }
 
+// OpenLoopSpec configures one open-loop latency measurement point: a
+// serve backend under a profile, a server shape (workers × merge
+// width), and an offered load in requests per second.
+type OpenLoopSpec = harness.OpenLoopSpec
+
+// LatencyStats is the open-loop service-time block of a Result:
+// nearest-rank p50/p95/p99, offered vs achieved load, and the
+// transaction-merging counters that explain them.
+type LatencyStats = harness.LatencyStats
+
+// RunOpenLoop drives an open-loop Poisson client population against a
+// served backend (tm/serve) and returns a Result whose Latency block
+// is populated.
+func RunOpenLoop(spec OpenLoopSpec) (Result, error) { return harness.RunOpenLoop(spec) }
+
+// WriteLatencyTable prints the human-readable open-loop latency table.
+func WriteLatencyTable(w io.Writer, results []Result) { harness.WriteLatencyTable(w, results) }
+
 // Report is the diffable JSON artifact of a benchmark run.
 type Report = harness.Report
 

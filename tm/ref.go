@@ -190,3 +190,15 @@ func (s Struct) At(off int) Struct {
 	}
 	return Struct{base: a, size: rest, acc: s.acc}
 }
+
+// Slice returns an n-word sub-view starting at word offset off — an
+// exact-size window into the block (e.g. one reply slot of a batch
+// buffer). It inherits the provenance; offsets past n are out of range
+// even if the parent block continues.
+func (s Struct) Slice(off, n int) Struct {
+	a := s.slot(off)
+	if n < 0 || (s.size > 0 && off+n > s.size) {
+		panic(fmt.Sprintf("tm: slice [%d,%d) out of range [0,%d)", off, off+n, s.size))
+	}
+	return Struct{base: a, size: n, acc: s.acc}
+}

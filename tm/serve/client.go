@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/prng"
+)
+
+// OpenLoop configures an open-loop client population: clients issue
+// requests at scheduled times drawn from a Poisson process, regardless
+// of whether earlier requests have completed. Latency is measured from
+// each request's *scheduled* arrival to its completion, so a stalled
+// server accrues the queueing delay of every request scheduled behind
+// the stall — the standard guard against coordinated omission that a
+// closed-loop (issue-after-reply) client would hide.
+type OpenLoop struct {
+	// Clients is the number of issuing goroutines; the offered load is
+	// split evenly across them. <1 defaults to 4.
+	Clients int
+	// Rate is the total offered load in requests per second. <=0 means
+	// no pacing: every request is scheduled at the start (peak stress).
+	Rate float64
+	// Requests is the total number of requests to issue.
+	Requests int
+	// Seed drives both the interarrival draws and the backend's
+	// deterministic request stream.
+	Seed uint64
+}
+
+// OpenLoopResult is the outcome of one open-loop run.
+type OpenLoopResult struct {
+	// LatenciesNs is the per-request service time in nanoseconds
+	// (completion − scheduled arrival), in request-index order.
+	LatenciesNs []int64
+	// ElapsedNs is the wall time from the first scheduled arrival to
+	// the last completion.
+	ElapsedNs int64
+	// Requests is the number of requests issued and completed.
+	Requests int
+	// Aborted counts requests whose Apply refused them.
+	Aborted int
+	// MergedReplies counts requests served from merged multi-request
+	// transactions; MergedReplies/Requests is the effective merge rate
+	// seen by clients.
+	MergedReplies int
+}
+
+// AchievedRPS returns the completed requests per wall-clock second.
+func (r OpenLoopResult) AchievedRPS() float64 {
+	if r.ElapsedNs <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / (float64(r.ElapsedNs) / 1e9)
+}
+
+// RunOpenLoop drives the population against a started server and
+// blocks until every request has completed. Request i of the stream is
+// backend.NewRequest(cfg.Seed, i), issued by client i%Clients at its
+// scheduled arrival, encoded through the wire codec, and submitted.
+func (s *Server) RunOpenLoop(cfg OpenLoop) OpenLoopResult {
+	clients := cfg.Clients
+	if clients < 1 {
+		clients = 4
+	}
+	n := cfg.Requests
+	if n < 1 {
+		n = 1
+	}
+	// One slot per request, written exactly once by its done callback;
+	// the WaitGroup publishes the writes to the aggregating reader.
+	type rec struct {
+		latNs           int64
+		aborted, merged bool
+	}
+	recs := make([]rec, n)
+	var done sync.WaitGroup
+	done.Add(n)
+
+	start := time.Now()
+	var issuers sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		issuers.Add(1)
+		go func(c int) {
+			defer issuers.Done()
+			r := prng.New(cfg.Seed + (uint64(c)+1)*0x9E3779B97F4A7C15)
+			perClient := cfg.Rate / float64(clients)
+			var offset time.Duration
+			var wire []byte
+			for i := c; i < n; i += clients {
+				if perClient > 0 {
+					offset += time.Duration(r.Exp(perClient) * float64(time.Second))
+				}
+				sched := start.Add(offset)
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				}
+				req := s.be.NewRequest(cfg.Seed, uint64(i))
+				req.Client = uint32(c)
+				wire = AppendRequest(wire[:0], req)
+				idx := i
+				if err := s.Submit(wire, func(rep Reply) {
+					recs[idx] = rec{
+						latNs:   time.Since(sched).Nanoseconds(),
+						aborted: rep.Aborted,
+						merged:  rep.Merged,
+					}
+					done.Done()
+				}); err != nil {
+					// The wire bytes were produced by AppendRequest one
+					// line up; a decode failure is a codec bug.
+					panic(err)
+				}
+			}
+		}(c)
+	}
+	issuers.Wait()
+	done.Wait()
+	elapsed := time.Since(start)
+
+	res := OpenLoopResult{
+		LatenciesNs: make([]int64, n),
+		ElapsedNs:   elapsed.Nanoseconds(),
+		Requests:    n,
+	}
+	for i := range recs {
+		res.LatenciesNs[i] = recs[i].latNs
+		if recs[i].aborted {
+			res.Aborted++
+		}
+		if recs[i].merged {
+			res.MergedReplies++
+		}
+	}
+	return res
+}

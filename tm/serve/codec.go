@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Request is one decoded client request. The fields are deliberately
+// generic — an opcode, the issuing client, and two operands — so one
+// codec serves every backend; each backend defines its own opcode
+// space and operand meaning.
+type Request struct {
+	Op     uint8  // backend-defined opcode
+	Client uint32 // issuing client id (reply routing, diagnostics)
+	Key    uint64 // primary operand: key id, topic id, …
+	Arg    uint64 // secondary operand: batch size, group id, …
+}
+
+// Wire-format errors returned by DecodeRequest.
+var (
+	ErrShortRequest = errors.New("serve: truncated request")
+	ErrBadRequest   = errors.New("serve: malformed request")
+)
+
+// AppendRequest appends the wire encoding of r to dst and returns the
+// extended slice: one opcode byte followed by the client, key, and
+// arg as unsigned varints (3–28 bytes total).
+func AppendRequest(dst []byte, r Request) []byte {
+	dst = append(dst, r.Op)
+	dst = binary.AppendUvarint(dst, uint64(r.Client))
+	dst = binary.AppendUvarint(dst, r.Key)
+	dst = binary.AppendUvarint(dst, r.Arg)
+	return dst
+}
+
+// DecodeRequest decodes one request from the front of src, returning
+// it and the number of bytes consumed.
+func DecodeRequest(src []byte) (Request, int, error) {
+	if len(src) < 1 {
+		return Request{}, 0, ErrShortRequest
+	}
+	r := Request{Op: src[0]}
+	pos := 1
+	client, n := binary.Uvarint(src[pos:])
+	if n <= 0 {
+		return Request{}, 0, uvarintErr(n)
+	}
+	if client > math.MaxUint32 {
+		return Request{}, 0, ErrBadRequest
+	}
+	r.Client = uint32(client)
+	pos += n
+	if r.Key, n = binary.Uvarint(src[pos:]); n <= 0 {
+		return Request{}, 0, uvarintErr(n)
+	}
+	pos += n
+	if r.Arg, n = binary.Uvarint(src[pos:]); n <= 0 {
+		return Request{}, 0, uvarintErr(n)
+	}
+	return r, pos + n, nil
+}
+
+// uvarintErr maps binary.Uvarint's failure convention (0 = truncated,
+// negative = overflow) to the codec's errors.
+func uvarintErr(n int) error {
+	if n == 0 {
+		return ErrShortRequest
+	}
+	return ErrBadRequest
+}

@@ -1,0 +1,351 @@
+package serve_test
+
+// Black-box tests of the serving front-end: codec round-trips, the
+// worker loop's merge behaviour, per-request fallback, the open-loop
+// client population, and a concurrent stress of Batcher admission and
+// fallback (run under -race in CI).
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/tm"
+	"repro/tm/serve"
+)
+
+// Opcodes of the test backend: a bank of counters.
+const (
+	opGet  = 0 // reply: [current value, key]
+	opAdd  = 1 // add Arg to cell Key; reply: [new value, key]
+	opFail = 2 // always refuses (abort)
+)
+
+// countBackend is a minimal backend over a global array of counters.
+type countBackend struct {
+	n     int
+	cells tm.Struct
+}
+
+func (b *countBackend) MemConfig(workers, total int) tm.MemConfig {
+	return tm.MemConfig{
+		GlobalWords: 1 << 10, HeapWords: 1 << 14, StackWords: 1 << 12,
+		MaxThreads: workers,
+	}
+}
+
+func (b *countBackend) Setup(rt *tm.Runtime) { b.cells = rt.AllocGlobal(b.n) }
+
+func (b *countBackend) ReplyWords() int { return 2 }
+
+func (b *countBackend) NewRequest(seed, i uint64) serve.Request {
+	h := (seed + i + 1) * 0x9E3779B97F4A7C15
+	op := uint8(opAdd)
+	if i%10 == 9 {
+		op = opGet
+	}
+	return serve.Request{Op: op, Key: h % uint64(b.n), Arg: 1 + h>>32%7}
+}
+
+func (b *countBackend) Item(req serve.Request) tm.BatchItem {
+	key := int(req.Key % uint64(b.n))
+	switch req.Op {
+	case opGet:
+		return tm.BatchItem{
+			Footprint: tm.Footprint{Reads: []uint64{uint64(key)}},
+			Apply: func(tx *tm.Tx, reply tm.Struct) bool {
+				reply.Word(0).Store(tx, b.cells.Word(key).Load(tx))
+				reply.Word(1).Store(tx, uint64(key))
+				return true
+			},
+		}
+	case opAdd:
+		arg := req.Arg
+		return tm.BatchItem{
+			Footprint: tm.Footprint{Writes: []uint64{uint64(key)}},
+			Apply: func(tx *tm.Tx, reply tm.Struct) bool {
+				reply.Word(0).Store(tx, b.cells.Word(key).Add(tx, arg))
+				reply.Word(1).Store(tx, uint64(key))
+				return true
+			},
+		}
+	default:
+		return tm.BatchItem{
+			Footprint: tm.Footprint{Writes: []uint64{uint64(key)}},
+			Apply: func(tx *tm.Tx, reply tm.Struct) bool {
+				b.cells.Word(key).Add(tx, 1) // must be rolled back
+				return false
+			},
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	cases := []serve.Request{
+		{},
+		{Op: 7, Client: 3, Key: 42, Arg: 5},
+		{Op: 255, Client: 1<<32 - 1, Key: 1<<64 - 1, Arg: 1 << 40},
+	}
+	var wire []byte
+	for _, want := range cases {
+		wire = serve.AppendRequest(wire[:0], want)
+		got, n, err := serve.DecodeRequest(wire)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if n != len(wire) {
+			t.Errorf("decode %+v consumed %d of %d bytes", want, n, len(wire))
+		}
+		if got != want {
+			t.Errorf("round-trip = %+v, want %+v", got, want)
+		}
+	}
+	// Two requests back to back decode one at a time.
+	wire = serve.AppendRequest(nil, cases[1])
+	wire = serve.AppendRequest(wire, cases[2])
+	first, n, err := serve.DecodeRequest(wire)
+	if err != nil || first != cases[1] {
+		t.Fatalf("first of stream = %+v, %v", first, err)
+	}
+	second, _, err := serve.DecodeRequest(wire[n:])
+	if err != nil || second != cases[2] {
+		t.Fatalf("second of stream = %+v, %v", second, err)
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	if _, _, err := serve.DecodeRequest(nil); err == nil {
+		t.Error("empty input decoded")
+	}
+	wire := serve.AppendRequest(nil, serve.Request{Op: 1, Client: 9, Key: 1 << 50, Arg: 3})
+	for cut := 1; cut < len(wire); cut++ {
+		if _, _, err := serve.DecodeRequest(wire[:cut]); err == nil {
+			t.Errorf("truncation at %d decoded", cut)
+		}
+	}
+	// A client id beyond uint32 is malformed.
+	bad := []byte{1}
+	bad = append(bad, bytes.Repeat([]byte{0xFF}, 5)...)
+	bad = append(bad, 0x1F, 0, 0)
+	if _, _, err := serve.DecodeRequest(bad); err == nil {
+		t.Error("oversized client id decoded")
+	}
+}
+
+// TestServerMergesQueuedRequests: requests queued before Start against
+// a single worker drain into one merged transaction.
+func TestServerMergesQueuedRequests(t *testing.T) {
+	be := &countBackend{n: 64}
+	s := serve.NewServer(be, serve.Config{Workers: 1, MergeWidth: 8, QueueDepth: 8})
+	var mu sync.Mutex
+	replies := make(map[uint64]serve.Reply)
+	for i := 0; i < 8; i++ {
+		key := uint64(i) // distinct keys: all compatible
+		s.SubmitRequest(serve.Request{Op: opAdd, Key: key, Arg: key + 1}, func(r serve.Reply) {
+			mu.Lock()
+			replies[key] = r
+			mu.Unlock()
+		})
+	}
+	s.Start()
+	s.Stop()
+
+	for i := uint64(0); i < 8; i++ {
+		r, ok := replies[i]
+		if !ok || r.Aborted {
+			t.Fatalf("request %d: reply %+v, ok=%v", i, r, ok)
+		}
+		if !r.Merged {
+			t.Errorf("request %d not served merged", i)
+		}
+		if r.Words[0] != i+1 || r.Words[1] != i {
+			t.Errorf("request %d reply words = %v", i, r.Words)
+		}
+		if v := be.cells.Word(int(i)).Peek(s.Runtime()); v != i+1 {
+			t.Errorf("cell %d = %d, want %d", i, v, i+1)
+		}
+	}
+	st := s.BatchStats()
+	if st.Requests != 8 || st.Merged != 1 || st.Txns != 1 {
+		t.Errorf("stats = %+v, want one merged batch of 8", st)
+	}
+	if r := st.MergeRatio(); r != 8 {
+		t.Errorf("merge ratio = %v, want 8", r)
+	}
+	s.Runtime().Validate()
+}
+
+// TestServerFallback: a refusing request in a queued batch aborts the
+// merged attempt; fallback serves the others and flags only the
+// refuser, losing no request.
+func TestServerFallback(t *testing.T) {
+	be := &countBackend{n: 8}
+	s := serve.NewServer(be, serve.Config{Workers: 1, MergeWidth: 4, QueueDepth: 4})
+	replies := make([]serve.Reply, 3)
+	var mu sync.Mutex
+	for i := 0; i < 3; i++ {
+		op := uint8(opAdd)
+		if i == 1 {
+			op = opFail
+		}
+		idx := i
+		s.SubmitRequest(serve.Request{Op: op, Key: uint64(i), Arg: 10}, func(r serve.Reply) {
+			mu.Lock()
+			replies[idx] = r
+			mu.Unlock()
+		})
+	}
+	s.Start()
+	s.Stop()
+
+	if replies[0].Aborted || replies[2].Aborted || !replies[1].Aborted {
+		t.Errorf("aborted flags = %v %v %v, want false true false",
+			replies[0].Aborted, replies[1].Aborted, replies[2].Aborted)
+	}
+	for _, i := range []int{0, 2} {
+		if replies[i].Merged {
+			t.Errorf("fallback reply %d claims merged", i)
+		}
+		if replies[i].Words[0] != 10 {
+			t.Errorf("reply %d = %v, want committed add", i, replies[i].Words)
+		}
+	}
+	if v := be.cells.Word(1).Peek(s.Runtime()); v != 0 {
+		t.Errorf("refused request's effect visible: cell 1 = %d", v)
+	}
+	st := s.BatchStats()
+	if st.Fallbacks != 1 || st.Merged != 0 || st.Requests != 3 {
+		t.Errorf("stats = %+v, want one fallback of 3", st)
+	}
+	s.Runtime().Validate()
+}
+
+// TestSubmitWire: the codec path end to end, including rejection of
+// malformed submissions.
+func TestSubmitWire(t *testing.T) {
+	be := &countBackend{n: 8}
+	s := serve.NewServer(be, serve.Config{Workers: 1, MergeWidth: 2})
+	s.Start()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got serve.Reply
+	wire := serve.AppendRequest(nil, serve.Request{Op: opAdd, Client: 5, Key: 3, Arg: 7})
+	if err := s.Submit(wire, func(r serve.Reply) { got = r; wg.Done() }); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	wg.Wait()
+	if got.Aborted || got.Words[0] != 7 {
+		t.Errorf("reply = %+v", got)
+	}
+	if err := s.Submit(wire[:2], func(serve.Reply) {}); err == nil {
+		t.Error("truncated wire accepted")
+	}
+	if err := s.Submit(append(wire, 0), func(serve.Reply) {}); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	s.Stop()
+	s.Runtime().Validate()
+}
+
+// TestOpenLoop drives the population against a small server and checks
+// the accounting: every request completes, latencies are measured, and
+// the committed state matches the deterministic request stream.
+func TestOpenLoop(t *testing.T) {
+	be := &countBackend{n: 64}
+	s := serve.NewServer(be, serve.Config{Workers: 2, MergeWidth: 4, Requests: 512})
+	s.Start()
+	res := s.RunOpenLoop(serve.OpenLoop{Clients: 4, Rate: 200000, Requests: 512, Seed: 11})
+	s.Stop()
+
+	if res.Requests != 512 || len(res.LatenciesNs) != 512 {
+		t.Fatalf("requests = %d, latencies = %d", res.Requests, len(res.LatenciesNs))
+	}
+	for i, l := range res.LatenciesNs {
+		if l <= 0 {
+			t.Fatalf("latency[%d] = %d", i, l)
+		}
+	}
+	if res.Aborted != 0 {
+		t.Errorf("aborted = %d, want 0 (stream has no refusing ops)", res.Aborted)
+	}
+	if res.AchievedRPS() <= 0 {
+		t.Errorf("achieved rps = %v", res.AchievedRPS())
+	}
+	// Replay the deterministic stream: every add's arg lands in its cell.
+	want := make([]uint64, be.n)
+	for i := 0; i < 512; i++ {
+		req := be.NewRequest(11, uint64(i))
+		if req.Op == opAdd {
+			want[req.Key%uint64(be.n)] += req.Arg
+		}
+	}
+	for k, w := range want {
+		if v := be.cells.Word(k).Peek(s.Runtime()); v != w {
+			t.Errorf("cell %d = %d, want %d", k, v, w)
+		}
+	}
+	if st := s.BatchStats(); st.Requests != 512 {
+		t.Errorf("served %d requests, want 512", st.Requests)
+	}
+	s.Runtime().Validate()
+}
+
+// TestServeStress hammers a server from many goroutines with
+// overlapping keys (admission conflicts force flushes) and refusing
+// ops (merged aborts force fallbacks); run under -race in CI. The
+// final counter sums must equal the committed adds exactly — no
+// request lost, no refused effect leaked.
+func TestServeStress(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 400
+		cells      = 4 // tiny key space: constant conflicts
+	)
+	be := &countBackend{n: cells}
+	s := serve.NewServer(be, serve.Config{
+		Workers: 4, MergeWidth: 4, Requests: goroutines * perG,
+	})
+	s.Start()
+	var done sync.WaitGroup
+	done.Add(goroutines * perG)
+	var issuers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		issuers.Add(1)
+		go func(g int) {
+			defer issuers.Done()
+			for i := 0; i < perG; i++ {
+				op := uint8(opAdd)
+				if i%10 == 3 {
+					op = opFail
+				}
+				s.SubmitRequest(serve.Request{
+					Op: op, Key: uint64(g*perG + i), Arg: 1,
+				}, func(serve.Reply) { done.Done() })
+			}
+		}(g)
+	}
+	issuers.Wait()
+	done.Wait()
+	s.Stop()
+
+	var total uint64
+	for k := 0; k < cells; k++ {
+		total += be.cells.Word(k).Peek(s.Runtime())
+	}
+	var want uint64
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if i%10 != 3 {
+				want++
+			}
+		}
+	}
+	if total != want {
+		t.Errorf("committed adds = %d, want %d", total, want)
+	}
+	st := s.BatchStats()
+	if st.Requests != goroutines*perG {
+		t.Errorf("served %d requests, want %d", st.Requests, goroutines*perG)
+	}
+	s.Runtime().Validate()
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/tm"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the worker-pool size; each worker owns one tm.Thread
+	// and one tm.Batcher. <1 defaults to runtime.NumCPU(), the top of
+	// the harness's DefaultThreadCounts grid.
+	Workers int
+	// MergeWidth is the maximum requests merged into one transaction;
+	// 1 disables merging (every request runs in its own transaction).
+	// <1 defaults to 1.
+	MergeWidth int
+	// QueueDepth is the accept-queue capacity; Submit blocks when it
+	// is full. <1 defaults to 4 × Workers × MergeWidth.
+	QueueDepth int
+	// Requests hints how many requests the server will execute, for
+	// memory sizing. <1 defaults to 1<<16.
+	Requests int
+	// Options configure the transactional runtime (a tm.Profile's
+	// Options(), typically). The backend's MemConfig is applied on
+	// top, so profile options need not size memory.
+	Options []tm.Option
+}
+
+// Reply is the application-visible outcome of one request.
+type Reply struct {
+	// Aborted reports that the request's Apply refused it in its own
+	// transaction (after merged fallback, if any).
+	Aborted bool
+	// Merged reports that the request committed inside a merged
+	// multi-request transaction.
+	Merged bool
+	// Words is the backend's ReplyWords-word reply block.
+	Words []uint64
+}
+
+// job is one accepted request traveling to a worker.
+type job struct {
+	item tm.BatchItem
+	done func(Reply)
+}
+
+// Server executes decoded requests on a pool of workers, merging
+// compatible ones into single transactions. Lifecycle: NewServer
+// (opens the runtime, runs the backend's Setup), Start, any number of
+// concurrent Submits, Stop (drains and joins). Submit must not be
+// called after Stop.
+type Server struct {
+	be       Backend
+	cfg      Config
+	rt       *tm.Runtime
+	jobs     chan job
+	wg       sync.WaitGroup
+	batchers []*tm.Batcher
+}
+
+// ErrStopped is returned by Submit after Stop has begun.
+var ErrStopped = errors.New("serve: server stopped")
+
+// NewServer opens a runtime sized by the backend and populated by its
+// Setup, ready to Start.
+func NewServer(be Backend, cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.MergeWidth < 1 {
+		cfg.MergeWidth = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 4 * cfg.Workers * cfg.MergeWidth
+	}
+	if cfg.Requests < 1 {
+		cfg.Requests = 1 << 16
+	}
+	opts := make([]tm.Option, 0, len(cfg.Options)+1)
+	opts = append(opts, cfg.Options...)
+	opts = append(opts, tm.WithMemory(be.MemConfig(cfg.Workers, cfg.Requests)))
+	rt := tm.Open(opts...)
+	be.Setup(rt)
+	s := &Server{
+		be:       be,
+		cfg:      cfg,
+		rt:       rt,
+		jobs:     make(chan job, cfg.QueueDepth),
+		batchers: make([]*tm.Batcher, cfg.Workers),
+	}
+	for i := range s.batchers {
+		s.batchers[i] = tm.NewBatcher(rt.Thread(i), cfg.MergeWidth, be.ReplyWords())
+	}
+	return s
+}
+
+// Runtime returns the server's transactional runtime (statistics,
+// validation).
+func (s *Server) Runtime() *tm.Runtime { return s.rt }
+
+// Backend returns the backend this server was built over.
+func (s *Server) Backend() Backend { return s.be }
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+}
+
+// Stop closes the accept queue and waits for the workers to drain it
+// and flush their batches. Every submitted request's done callback
+// has run when Stop returns.
+func (s *Server) Stop() {
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// Submit decodes one wire-encoded request and queues it; done is
+// invoked with the reply on the serving worker's goroutine. It blocks
+// while the accept queue is full, and returns a codec error (leaving
+// done uncalled) for a request that does not decode to exactly the
+// given bytes.
+func (s *Server) Submit(wire []byte, done func(Reply)) error {
+	req, n, err := DecodeRequest(wire)
+	if err != nil {
+		return err
+	}
+	if n != len(wire) {
+		return ErrBadRequest
+	}
+	s.SubmitRequest(req, done)
+	return nil
+}
+
+// SubmitRequest queues an already-decoded request (the in-process
+// shortcut past the codec).
+func (s *Server) SubmitRequest(req Request, done func(Reply)) {
+	s.jobs <- job{item: s.be.Item(req), done: done}
+}
+
+// BatchStats sums the workers' batcher counters: requests, batches,
+// merged commits, fallbacks, transactions. Call it after Stop (or
+// before Start); reading while workers run is racy.
+func (s *Server) BatchStats() tm.BatchStats {
+	var sum tm.BatchStats
+	for _, b := range s.batchers {
+		st := b.Stats()
+		sum.Requests += st.Requests
+		sum.Batches += st.Batches
+		sum.Merged += st.Merged
+		sum.Fallbacks += st.Fallbacks
+		sum.Txns += st.Txns
+	}
+	return sum
+}
+
+// worker is the per-thread serve loop: block for a request, then
+// greedily drain the queue into the batcher, flushing when the batch
+// fills, when an incompatible request arrives, or when the queue goes
+// momentarily idle — so merging never trades latency for width beyond
+// what the offered load sustains.
+func (s *Server) worker(i int) {
+	defer s.wg.Done()
+	b := s.batchers[i]
+	pending := make([]func(Reply), 0, b.Width())
+
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		res := b.Flush()
+		for j, done := range pending {
+			r := res.Replies[j]
+			done(Reply{Aborted: r.Aborted, Merged: res.Merged && !r.Aborted, Words: r.Words})
+		}
+		pending = pending[:0]
+	}
+	admit := func(j job) {
+		if !b.Admit(j.item) {
+			flush()
+			b.Admit(j.item) // an empty batch admits anything
+		}
+		pending = append(pending, j.done)
+		if b.Len() >= b.Width() {
+			flush()
+		}
+	}
+
+	for {
+		j, ok := <-s.jobs
+		if !ok {
+			flush()
+			return
+		}
+		admit(j)
+		for b.Len() > 0 {
+			select {
+			case j, ok := <-s.jobs:
+				if !ok {
+					flush()
+					return
+				}
+				admit(j)
+			default:
+				flush()
+			}
+		}
+	}
+}

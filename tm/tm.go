@@ -241,3 +241,9 @@ func (tx *Tx) Attempt() int { return tx.tx.Attempt() }
 
 // Depth returns the current nesting depth (1 = top level).
 func (tx *Tx) Depth() int { return tx.tx.Depth() }
+
+// Unwrap returns the low-level engine transaction, the per-transaction
+// counterpart of Runtime.Unwrap. It is the escape hatch adapters over
+// the in-tree scenarios use; code written against this package should
+// not need it.
+func (tx *Tx) Unwrap() *stm.Tx { return tx.tx }
