@@ -19,6 +19,14 @@
 //	tmsrv -backend all -mergewidths 1,4,8 -rates 100000,peak
 //	tmsrv -workers 1,4 -requests 8192 -stats # counters on (non-perf build)
 //	tmsrv -format json -o BENCH_sweep_latency.json
+//	tmsrv -adaptive -backend srv-tmmsg -o BENCH_sweep_adaptive.json
+//
+// -adaptive replaces the merge-width grid with a four-arm A/B at every
+// backend × workers × rate point: unmerged single-engine (mw1), fixed
+// merge width W = max(-mergewidths) single-engine (mwW), fixed width
+// with the hand-tuned per-phase engine declaration (+phases), and full
+// adaptation (+adaptive/amwW: online per-phase engine selection plus
+// adaptive merge width up to W).
 //
 // JSON output is the diffable repro/bench-report/v1 report of
 // tm/bench.WriteJSON: each sweep point is one result row whose config
@@ -55,6 +63,8 @@ func main() {
 	requests := flag.Int("requests", 1<<14, "requests per sweep point")
 	clients := flag.Int("clients", 8, "open-loop client goroutines")
 	seed := flag.Uint64("seed", 1, "seed for interarrivals and the request stream")
+	adaptive := flag.Bool("adaptive", false, "run the adaptive A/B sweep (mw1 vs mwW vs +phases vs +adaptive, W = max of -mergewidths) instead of the plain width grid")
+	adaptEpoch := flag.Int("adaptepoch", 0, "adaptive engine-selection sampling window in commits (0 = runtime default)")
 	format := flag.String("format", "text", "output format: text|json")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	flag.Usage = usage
@@ -108,7 +118,11 @@ func main() {
 		w = f
 	}
 
-	err = sweep(w, backends, profile, workers, widths, rates, *requests, *clients, *seed, *format == "json")
+	if *adaptive {
+		err = sweepAdaptive(w, backends, profile, workers, maxInt(widths), rates, *requests, *clients, *seed, *adaptEpoch, *format == "json")
+	} else {
+		err = sweep(w, backends, profile, workers, widths, rates, *requests, *clients, *seed, *format == "json")
+	}
 	// A failed flush at close must fail the run: CI diffs the written
 	// report, and a silently truncated artifact would pass as baseline.
 	if outFile != nil {
@@ -211,6 +225,55 @@ func sweep(w io.Writer, backends []string, p tm.Profile, workers, widths []int, 
 						Requests:   requests,
 						Seed:       seed,
 					})
+					if err != nil {
+						return err
+					}
+					all = append(all, res)
+				}
+			}
+		}
+	}
+	if asJSON {
+		return bench.WriteJSON(w, bench.NewReport(all))
+	}
+	bench.WriteLatencyTable(w, all)
+	return nil
+}
+
+func maxInt(xs []int) int {
+	m := 1
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// sweepAdaptive measures the adaptive A/B grid: at every backend ×
+// workers × rate point, four arms — unmerged single-engine, fixed
+// merge width W single-engine, fixed width under the hand-tuned
+// per-phase declaration, and full adaptation (online engine selection
+// plus adaptive merge width up to W). The arms share the request
+// stream and seed, so their rows differ only in the machinery under
+// test.
+func sweepAdaptive(w io.Writer, backends []string, p tm.Profile, workers []int, width int, rates []float64, requests, clients int, seed uint64, epoch int, asJSON bool) error {
+	arms := []bench.OpenLoopSpec{
+		{MergeWidth: 1},
+		{MergeWidth: width},
+		{MergeWidth: width, Phases: true},
+		{MergeWidth: width, Adaptive: true, AdaptiveEpoch: epoch},
+	}
+	var all []bench.Result
+	for _, be := range backends {
+		for _, nw := range workers {
+			for _, rate := range rates {
+				for _, arm := range arms {
+					spec := arm
+					spec.Backend, spec.Profile, spec.Workers = be, p, nw
+					spec.Clients, spec.Rate = clients, rate
+					spec.Requests, spec.Seed = requests, seed
+					res, err := bench.RunOpenLoop(spec)
 					if err != nil {
 						return err
 					}

@@ -30,6 +30,11 @@ type Result struct {
 	// only when the profile declares phases (tm.WithPhases).
 	PhaseStats []tm.PhaseStats
 
+	// Adaptive holds the final engine selection of every adaptive phase
+	// kind, populated only under online engine selection
+	// (tm.WithAdaptive).
+	Adaptive []tm.AdaptiveSelection
+
 	// Latency is the open-loop service-time block, populated only by
 	// RunOpenLoop (nil for throughput results).
 	Latency *LatencyStats

@@ -43,6 +43,10 @@ type ResultJSON struct {
 	// for profiles that declare phases (tm.WithPhases).
 	Phases []PhaseJSON `json:"phases,omitempty"`
 
+	// Adaptive is the final engine selection per adaptive phase kind;
+	// present only under online engine selection (tm.WithAdaptive).
+	Adaptive []AdaptiveJSON `json:"adaptive,omitempty"`
+
 	// Latency is the open-loop service-time block; present only for
 	// results produced by RunOpenLoop. Its addition does not bump
 	// ReportSchema: consumers that ignore it read the rest unchanged.
@@ -50,11 +54,21 @@ type ResultJSON struct {
 }
 
 // PhaseJSON is one per-phase statistics row of a result: the phase
-// kind ("" = default), the engine it compiled to, and its counters.
+// kind ("" = default), the adaptive variant ("" for manual/default
+// entries), the engine it compiled to, and its counters.
 type PhaseJSON struct {
-	Kind   string   `json:"kind"`
-	Engine string   `json:"engine"`
-	Stats  tm.Stats `json:"stats"`
+	Kind    string   `json:"kind"`
+	Variant string   `json:"variant,omitempty"`
+	Engine  string   `json:"engine"`
+	Stats   tm.Stats `json:"stats"`
+}
+
+// AdaptiveJSON is the final engine selection of one adaptive phase
+// kind.
+type AdaptiveJSON struct {
+	Kind    string `json:"kind"`
+	Variant string `json:"variant"`
+	Engine  string `json:"engine"`
 }
 
 // Report is the diffable artifact of a benchmark run: results and/or
@@ -97,7 +111,14 @@ func resultJSON(r Result) ResultJSON {
 		Latency:    r.Latency,
 	}
 	for _, ps := range r.PhaseStats {
-		out.Phases = append(out.Phases, PhaseJSON{Kind: ps.Kind, Engine: ps.Engine, Stats: ps.Stats})
+		out.Phases = append(out.Phases, PhaseJSON{
+			Kind: ps.Kind, Variant: ps.Variant, Engine: ps.Engine, Stats: ps.Stats,
+		})
+	}
+	for _, sel := range r.Adaptive {
+		out.Adaptive = append(out.Adaptive, AdaptiveJSON{
+			Kind: sel.Kind, Variant: sel.Variant, Engine: sel.Engine,
+		})
 	}
 	for _, t := range r.Times {
 		out.TimesNs = append(out.TimesNs, t.Nanoseconds())

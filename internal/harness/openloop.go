@@ -15,6 +15,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"text/tabwriter"
 	"time"
 
@@ -33,6 +34,18 @@ type OpenLoopSpec struct {
 	Rate       float64    // offered requests/sec; <=0 = unpaced (peak stress)
 	Requests   int        // total requests; <1 = 1
 	Seed       uint64     // drives interarrivals and the request stream
+
+	// Phases overlays the canonical hand-tuned per-phase engine
+	// declaration (PhaseRegimeSpecs) on the profile — the hinted arm of
+	// the adaptive/hinted/single-engine A/B.
+	Phases bool
+	// Adaptive turns on the runtime's online selection instead: adaptive
+	// per-phase engines (tm.WithAdaptive) and adaptive merge width
+	// (MergeWidth becomes the ceiling, each worker starting at width 1).
+	Adaptive bool
+	// AdaptiveEpoch overrides the engine-selection sampling window
+	// (0 = the stm default). Only meaningful with Adaptive.
+	AdaptiveEpoch int
 }
 
 // LatencyStats is the open-loop block of a result: the service-time
@@ -57,6 +70,11 @@ type LatencyStats struct {
 	MergedBatches uint64  `json:"merged_batches"`
 	Fallbacks     uint64  `json:"fallbacks"`
 	Txns          uint64  `json:"txns"`
+
+	// Adaptive-width trajectory (present only under OpenLoopSpec.Adaptive).
+	WidthGrows   uint64 `json:"width_grows,omitempty"`
+	WidthShrinks uint64 `json:"width_shrinks,omitempty"`
+	FinalWidths  []int  `json:"final_widths,omitempty"` // per worker, after Stop
 }
 
 // RunOpenLoop builds a server over the named backend, drives the
@@ -82,11 +100,19 @@ func RunOpenLoop(spec OpenLoopSpec) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	profile := spec.Profile
+	if spec.Phases {
+		profile = profile.With(tm.WithPhases(PhaseRegimeSpecs()...))
+	}
+	if spec.Adaptive {
+		profile = profile.With(tm.WithAdaptive(tm.AdaptiveConfig{Epoch: spec.AdaptiveEpoch}))
+	}
 	srv := serve.NewServer(be, serve.Config{
-		Workers:    spec.Workers,
-		MergeWidth: spec.MergeWidth,
-		Requests:   spec.Requests,
-		Options:    spec.Profile.Options(),
+		Workers:       spec.Workers,
+		MergeWidth:    spec.MergeWidth,
+		AdaptiveWidth: spec.Adaptive,
+		Requests:      spec.Requests,
+		Options:       profile.Options(),
 	})
 	rt := srv.Runtime()
 	res.Engine = rt.Engine()
@@ -106,17 +132,36 @@ func RunOpenLoop(spec OpenLoopSpec) (Result, error) {
 	if len(rt.Phases()) > 0 {
 		res.PhaseStats = rt.PhaseStats()
 	}
+	res.Adaptive = rt.AdaptiveSelections()
 	rt.Validate() // panics on a leaked orec — merged txns must release all
 	res.Latency = newLatencyStats(spec, olr, srv.BatchStats())
+	if spec.Adaptive {
+		res.Latency.FinalWidths = srv.Widths()
+	}
 	return res, nil
 }
 
 func openLoopConfig(spec OpenLoopSpec) string {
 	load := "peak"
 	if spec.Rate > 0 {
-		load = fmt.Sprintf("%grps", spec.Rate)
+		// Fixed notation, not %g: a 1e6 rate must key as "1000000rps",
+		// never "1e+06rps", or benchdiff baseline matching breaks at
+		// high-rate grid points.
+		load = strconv.FormatFloat(spec.Rate, 'f', -1, 64) + "rps"
 	}
-	return fmt.Sprintf("%s+mw%d@%s", spec.Profile.Name(), spec.MergeWidth, load)
+	name := spec.Profile.Name()
+	if spec.Phases {
+		name += "+phases"
+	}
+	mw := fmt.Sprintf("mw%d", spec.MergeWidth)
+	if spec.Adaptive {
+		// Adaptive selects engines and width online: the key must not
+		// collide with the fixed-width, fixed-engine point of the same
+		// profile.
+		name += "+adaptive"
+		mw = fmt.Sprintf("amw%d", spec.MergeWidth)
+	}
+	return fmt.Sprintf("%s+%s@%s", name, mw, load)
 }
 
 func newLatencyStats(spec OpenLoopSpec, olr serve.OpenLoopResult, bs tm.BatchStats) *LatencyStats {
@@ -137,6 +182,8 @@ func newLatencyStats(spec OpenLoopSpec, olr serve.OpenLoopResult, bs tm.BatchSta
 		MergedBatches: bs.Merged,
 		Fallbacks:     bs.Fallbacks,
 		Txns:          bs.Txns,
+		WidthGrows:    bs.WidthGrows,
+		WidthShrinks:  bs.WidthShrinks,
 	}
 	if spec.Rate > 0 {
 		ls.OfferedRPS = spec.Rate

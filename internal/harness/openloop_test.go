@@ -161,6 +161,83 @@ func TestRunOpenLoopUnpaced(t *testing.T) {
 	}
 }
 
+// TestOpenLoopConfigKeys pins the sweep-point key format. The rate must
+// render in fixed notation at every magnitude: %g would emit
+// "1e+06rps" from a million-rps point, giving this run a key no
+// baseline report contains and silently dropping the point from
+// benchdiff's matched set.
+func TestOpenLoopConfigKeys(t *testing.T) {
+	p := tm.Baseline()
+	cases := []struct {
+		spec OpenLoopSpec
+		want string
+	}{
+		{OpenLoopSpec{Profile: p, MergeWidth: 4}, "baseline+mw4@peak"},
+		{OpenLoopSpec{Profile: p, MergeWidth: 4, Rate: 1000}, "baseline+mw4@1000rps"},
+		{OpenLoopSpec{Profile: p, MergeWidth: 8, Rate: 250_000}, "baseline+mw8@250000rps"},
+		{OpenLoopSpec{Profile: p, MergeWidth: 8, Rate: 1e6}, "baseline+mw8@1000000rps"},
+		{OpenLoopSpec{Profile: p, MergeWidth: 8, Rate: 2.5e6}, "baseline+mw8@2500000rps"},
+		{OpenLoopSpec{Profile: p, MergeWidth: 1, Rate: 1e7}, "baseline+mw1@10000000rps"},
+		{OpenLoopSpec{Profile: p, MergeWidth: 2, Rate: 1500.5}, "baseline+mw2@1500.5rps"},
+		{OpenLoopSpec{Profile: p, MergeWidth: 8, Rate: 1e6, Phases: true},
+			"baseline+phases+mw8@1000000rps"},
+		{OpenLoopSpec{Profile: p, MergeWidth: 8, Rate: 1e6, Adaptive: true},
+			"baseline+adaptive+amw8@1000000rps"},
+		{OpenLoopSpec{Profile: p, MergeWidth: 8, Phases: true, Adaptive: true},
+			"baseline+phases+adaptive+amw8@peak"},
+	}
+	for _, c := range cases {
+		if got := openLoopConfig(c.spec); got != c.want {
+			t.Errorf("key = %q, want %q", got, c.want)
+		}
+		if strings.ContainsAny(openLoopConfig(c.spec), "eE+") != strings.ContainsAny(c.want, "eE+") {
+			t.Errorf("key %q leaked scientific notation", openLoopConfig(c.spec))
+		}
+	}
+}
+
+// TestRunOpenLoopAdaptive: the adaptive spec wires online engine
+// selection and adaptive width through the server, and the result rows
+// carry the trajectory (selections, width moves, final widths).
+func TestRunOpenLoopAdaptive(t *testing.T) {
+	res, err := RunOpenLoop(OpenLoopSpec{
+		Backend:       "srv-tmmsg",
+		Profile:       tm.RuntimeAll(tm.LogTree).Perf(),
+		Workers:       1,
+		MergeWidth:    8,
+		Clients:       2,
+		Requests:      2048,
+		Seed:          11,
+		Adaptive:      true,
+		AdaptiveEpoch: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "runtime-rw-stack-heap-tree+adaptive+amw8@peak"; res.Config != want {
+		t.Errorf("config = %q, want %q", res.Config, want)
+	}
+	if !strings.HasSuffix(res.Engine, "+adaptive") {
+		t.Errorf("engine = %q, want +adaptive marker", res.Engine)
+	}
+	if len(res.Adaptive) != 2 {
+		t.Fatalf("adaptive selections = %+v, want publish and cursor rows", res.Adaptive)
+	}
+	if len(res.PhaseStats) == 0 {
+		t.Error("no per-phase rows for an adaptive run")
+	}
+	l := res.Latency
+	if len(l.FinalWidths) != 1 {
+		t.Fatalf("final widths = %v, want one worker", l.FinalWidths)
+	}
+	if l.FinalWidths[0] < 1 || l.FinalWidths[0] > 8 {
+		t.Errorf("final width %d outside [1, 8]", l.FinalWidths[0])
+	}
+	if l.Requests != 2048 {
+		t.Errorf("requests = %d", l.Requests)
+	}
+}
+
 func TestRunOpenLoopUnknownBackend(t *testing.T) {
 	if _, err := RunOpenLoop(OpenLoopSpec{Backend: "no-such-backend", Profile: tm.Baseline()}); err == nil {
 		t.Fatal("expected error for unknown backend")

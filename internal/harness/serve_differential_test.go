@@ -70,22 +70,34 @@ type servedRun struct {
 // merge ratio — is reproducible at one worker.
 func runServed(t *testing.T, be serve.Backend, p tm.Profile, workers, width, requests int, seed uint64) servedRun {
 	t.Helper()
-	srv := serve.NewServer(be, serve.Config{
+	run, _ := runServedCfg(t, be, serve.Config{
 		Workers: workers, MergeWidth: width,
 		QueueDepth: requests, Requests: requests,
 		Options: p.Options(),
-	})
+	}, requests, seed)
+	return run
+}
+
+// runServedCfg is runServed under an explicit server configuration; it
+// also returns the stopped server, so differentials can interrogate the
+// runtime (engine selections, widths) behind the fingerprint.
+func runServedCfg(t *testing.T, be serve.Backend, cfg serve.Config, requests int, seed uint64) (servedRun, *serve.Server) {
+	t.Helper()
+	srv := serve.NewServer(be, cfg)
 	replies := make([][]uint64, requests)
 	aborted := make([]bool, requests)
 	var wg sync.WaitGroup
 	wg.Add(requests)
 	for i := 0; i < requests; i++ {
 		idx := i
-		srv.SubmitRequest(be.NewRequest(seed, uint64(i)), func(rep serve.Reply) {
+		err := srv.SubmitRequest(be.NewRequest(seed, uint64(i)), func(rep serve.Reply) {
 			replies[idx] = rep.Words
 			aborted[idx] = rep.Aborted
 			wg.Done()
 		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
 	}
 	srv.Start()
 	srv.Stop()
@@ -94,15 +106,15 @@ func runServed(t *testing.T, be serve.Backend, p tm.Profile, workers, width, req
 	rt.Validate() // no orec may stay locked after the pool joined
 	for i := range aborted {
 		if aborted[i] {
-			t.Fatalf("[%s, mw%d] request %d aborted: the differential mixes never refuse", p.Name(), width, i)
+			t.Fatalf("[mw%d] request %d aborted: the differential mixes never refuse", cfg.MergeWidth, i)
 		}
 	}
 	sp := rt.Unwrap().Space()
-	for tid := 0; tid < workers; tid++ {
+	for tid := 0; tid < cfg.Workers; tid++ {
 		lo, hi := sp.StackRange(tid)
 		sp.Zero(lo, int(hi-lo))
 	}
-	return servedRun{checksum: sp.Checksum(), replies: replies, stats: srv.BatchStats()}
+	return servedRun{checksum: sp.Checksum(), replies: replies, stats: srv.BatchStats()}, srv
 }
 
 func sameReplies(a, b [][]uint64) (int, bool) {

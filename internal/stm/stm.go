@@ -53,9 +53,21 @@ type Runtime struct {
 
 	// phases is the compiled engine table (phase.go): index 0 is the
 	// default phase's engine, compiled once from cfg; declared phases
-	// follow in declaration order. phaseIdx maps kind → table index.
+	// follow in declaration order, then the adaptive variant entries
+	// (adaptive.go). phaseIdx maps kind → table index (for an adaptive
+	// kind, its probe entry; phaseIndex follows the live selection).
 	phases   []compiledPhase
 	phaseIdx map[string]int
+	kinds    []string // declared kinds: manual then adaptive, once each
+	manual   int      // count of manually declared phases
+
+	// Adaptive engine selection (adaptive.go): acfg is the normalized
+	// configuration, adapt one shared selection state per adaptive kind,
+	// adaptByIdx the per-table-entry view of the same states (nil for
+	// non-adaptive entries) so the per-transaction tick is one load.
+	acfg       AdaptiveConfig
+	adapt      []*adaptState
+	adaptByIdx []*adaptState
 
 	// seqs[i] is thread i's quiescence counter: odd while inside a
 	// transaction, even otherwise. It drives the epoch-based deferred
@@ -79,26 +91,49 @@ func New(mcfg mem.Config, cfg OptConfig) *Runtime {
 		panic("stm: OrecBits out of range")
 	}
 	phases, phaseIdx := compilePhases(cfg)
+	manual := len(phases) - 1
+	acfg := normalizeAdaptive(cfg.Adaptive)
+	phases, adapt := compileAdaptive(acfg, phases, phaseIdx)
+	kinds := make([]string, 0, manual+len(adapt))
+	for _, p := range phases[1 : 1+manual] {
+		kinds = append(kinds, p.kind)
+	}
+	adaptByIdx := make([]*adaptState, len(phases))
+	for _, st := range adapt {
+		kinds = append(kinds, st.kind)
+		adaptByIdx[st.probe] = st
+		adaptByIdx[st.capture] = st
+		adaptByIdx[st.skip] = st
+	}
 	return &Runtime{
-		space:     mem.NewSpace(mcfg),
-		orecs:     make([]atomic.Uint64, 1<<bits),
-		orecShift: 64 - uint(bits),
-		cfg:       cfg,
-		phases:    phases,
-		phaseIdx:  phaseIdx,
-		seqs:      make([]atomic.Uint64, mcfg.MaxThreads),
-		threads:   make(map[int]*Thread),
+		space:      mem.NewSpace(mcfg),
+		orecs:      make([]atomic.Uint64, 1<<bits),
+		orecShift:  64 - uint(bits),
+		cfg:        cfg,
+		phases:     phases,
+		phaseIdx:   phaseIdx,
+		kinds:      kinds,
+		manual:     manual,
+		acfg:       acfg,
+		adapt:      adapt,
+		adaptByIdx: adaptByIdx,
+		seqs:       make([]atomic.Uint64, mcfg.MaxThreads),
+		threads:    make(map[int]*Thread),
 	}
 }
 
 // Engine names the barrier engine compiled for this runtime's default
 // phase ("generic", "counting", or a "perf-*" specialization). When
-// phases are declared the name carries a "+phases" marker — the
-// per-phase breakdown is EngineFor and PhaseStats.
+// phases are declared the name carries a "+phases" marker, and when
+// adaptive selection is on an "+adaptive" marker — the per-phase
+// breakdown is EngineFor, PhaseStats, and AdaptiveSelections.
 func (rt *Runtime) Engine() string {
 	name := rt.phases[0].eng.name
-	if len(rt.phases) > 1 {
+	if rt.manual > 0 {
 		name += "+phases"
+	}
+	if len(rt.adapt) > 0 {
+		name += "+adaptive"
 	}
 	return name
 }
@@ -148,6 +183,13 @@ type Thread struct {
 	phaseStats   []Stats
 	phase        int
 	pendingPhase int // deferred EnterPhase target; -1 = none
+
+	// Adaptive epoch sampling (adaptive.go), allocated only when the
+	// runtime adapts: adaptMark[i] snapshots phaseStats[i] at the start
+	// of this thread's current epoch on entry i; adaptFast[i] counts
+	// consecutive fast epochs since the last probe there.
+	adaptMark []Stats
+	adaptFast []uint32
 
 	limbo []limboBatch // committed frees awaiting quiescence
 }
@@ -220,6 +262,10 @@ func (rt *Runtime) Thread(id int) *Thread {
 		pendingPhase: -1,
 	}
 	th.stats = &th.phaseStats[0]
+	if rt.acfg.Enabled {
+		th.adaptMark = make([]Stats, len(rt.phases))
+		th.adaptFast = make([]uint32, len(rt.phases))
+	}
 	th.tx.init(th)
 	rt.threads[id] = th
 	return th
@@ -236,6 +282,12 @@ func (rt *Runtime) ResetStats() {
 	for _, th := range rt.threads {
 		for i := range th.phaseStats {
 			th.phaseStats[i] = Stats{}
+		}
+		// Epoch marks snapshot absolute counter values, so they must be
+		// cleared with them or the next adaptive epoch would compute
+		// deltas against pre-reset counts.
+		for i := range th.adaptMark {
+			th.adaptMark[i] = Stats{}
 		}
 	}
 }
@@ -339,6 +391,11 @@ func (th *Thread) Atomic(fn func(*Tx)) bool {
 		tx.attempts = 0
 		if th.pendingPhase >= 0 {
 			th.setPhase(th.pendingPhase)
+		}
+		// Adaptive runtimes sample at this boundary: one nil check for
+		// everyone else.
+		if th.adaptMark != nil {
+			th.adaptiveTick()
 		}
 		return !aborted
 	}

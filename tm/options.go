@@ -251,6 +251,32 @@ func WithPhases(specs ...PhaseSpec) Option {
 	return func(s *settings) { s.phases = append(s.phases, specs...) }
 }
 
+// AdaptiveConfig tunes online engine selection (WithAdaptive). The
+// zero value selects the defaults: adapt the two conventional phase
+// kinds with the package's epoch and threshold defaults.
+type AdaptiveConfig = stm.AdaptiveConfig
+
+// WithAdaptive enables online engine selection for phase kinds the
+// workload hints: instead of declaring each kind's engine by hand
+// (WithPhases), the runtime samples every listed kind on an
+// instrumented probe engine and promotes it to the capture-checking
+// fast path (mostly-captured epochs) or the definitely-shared bypass
+// (capture-free epochs), demoting back to the probe on abort-ratio
+// regression and on a re-probe schedule. Kinds an explicit WithPhases
+// declaration also covers keep their manual engine — hints stay ground
+// truth. An empty Kinds list adapts PhasePublish and PhaseCursor, the
+// two regimes the paper's workloads exhibit. Current selections are
+// observable via Runtime.AdaptiveSelections.
+func WithAdaptive(a AdaptiveConfig) Option {
+	return func(s *settings) {
+		a.Enabled = true
+		if len(a.Kinds) == 0 {
+			a.Kinds = []string{PhasePublish, PhaseCursor}
+		}
+		s.cfg.Adaptive = a
+	}
+}
+
 // --- Profiles ---
 
 // Profile is a named, reusable bundle of Options — one column of a

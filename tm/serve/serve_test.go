@@ -19,6 +19,7 @@ const (
 	opGet  = 0 // reply: [current value, key]
 	opAdd  = 1 // add Arg to cell Key; reply: [new value, key]
 	opFail = 2 // always refuses (abort)
+	opScan = 3 // exclusive whole-bank sum; reply: [sum, n]
 )
 
 // countBackend is a minimal backend over a global array of counters.
@@ -66,6 +67,19 @@ func (b *countBackend) Item(req serve.Request) tm.BatchItem {
 			Apply: func(tx *tm.Tx, reply tm.Struct) bool {
 				reply.Word(0).Store(tx, b.cells.Word(key).Add(tx, arg))
 				reply.Word(1).Store(tx, uint64(key))
+				return true
+			},
+		}
+	case opScan:
+		return tm.BatchItem{
+			Exclusive: true, // unbounded footprint: merges with nothing
+			Apply: func(tx *tm.Tx, reply tm.Struct) bool {
+				var sum uint64
+				for k := 0; k < b.n; k++ {
+					sum += b.cells.Word(k).Load(tx)
+				}
+				reply.Word(0).Store(tx, sum)
+				reply.Word(1).Store(tx, uint64(b.n))
 				return true
 			},
 		}
@@ -244,6 +258,147 @@ func TestSubmitWire(t *testing.T) {
 		t.Error("trailing bytes accepted")
 	}
 	s.Stop()
+	s.Runtime().Validate()
+}
+
+// TestSubmitAfterStop: submissions after Stop return ErrStopped with
+// the callback uncalled, instead of panicking on the closed queue; Stop
+// itself is idempotent.
+func TestSubmitAfterStop(t *testing.T) {
+	be := &countBackend{n: 8}
+	s := serve.NewServer(be, serve.Config{Workers: 1, MergeWidth: 2})
+	s.Start()
+	s.Stop()
+	s.Stop() // idempotent: second call must not close twice or hang
+
+	called := false
+	if err := s.SubmitRequest(serve.Request{Op: opAdd, Key: 1, Arg: 1}, func(serve.Reply) {
+		called = true
+	}); err != serve.ErrStopped {
+		t.Errorf("SubmitRequest after Stop = %v, want ErrStopped", err)
+	}
+	wire := serve.AppendRequest(nil, serve.Request{Op: opAdd, Key: 2, Arg: 1})
+	if err := s.Submit(wire, func(serve.Reply) { called = true }); err != serve.ErrStopped {
+		t.Errorf("Submit after Stop = %v, want ErrStopped", err)
+	}
+	if called {
+		t.Error("done callback ran for a rejected submission")
+	}
+	if v := be.cells.Word(1).Peek(s.Runtime()); v != 0 {
+		t.Errorf("rejected request's effect visible: %d", v)
+	}
+	s.Runtime().Validate()
+}
+
+// TestWorkerFlushOnIncompatible pins the worker's mid-batch flush: an
+// exclusive request arriving into a half-full batch flushes the queued
+// requests first, and every reply stays aligned with its own request
+// across the flush boundary.
+func TestWorkerFlushOnIncompatible(t *testing.T) {
+	be := &countBackend{n: 16}
+	s := serve.NewServer(be, serve.Config{Workers: 1, MergeWidth: 4, QueueDepth: 4})
+	type outcome struct {
+		r  serve.Reply
+		ok bool
+	}
+	var mu sync.Mutex
+	got := make([]outcome, 4)
+	submit := func(idx int, req serve.Request) {
+		if err := s.SubmitRequest(req, func(r serve.Reply) {
+			mu.Lock()
+			got[idx] = outcome{r: r, ok: true}
+			mu.Unlock()
+		}); err != nil {
+			t.Fatalf("submit %d: %v", idx, err)
+		}
+	}
+	// Two compatible adds half-fill the width-4 batch; the exclusive
+	// scan cannot join and must flush them; the final add cannot join
+	// the exclusive batch either.
+	submit(0, serve.Request{Op: opAdd, Key: 3, Arg: 30})
+	submit(1, serve.Request{Op: opAdd, Key: 5, Arg: 50})
+	submit(2, serve.Request{Op: opScan})
+	submit(3, serve.Request{Op: opAdd, Key: 7, Arg: 70})
+	s.Start()
+	s.Stop()
+
+	for i, o := range got {
+		if !o.ok {
+			t.Fatalf("request %d got no reply", i)
+		}
+		if o.r.Aborted {
+			t.Errorf("request %d aborted", i)
+		}
+	}
+	// The two adds flushed together (merged); the scan observed both of
+	// their effects and nothing from the add behind it.
+	if !got[0].r.Merged || !got[1].r.Merged {
+		t.Errorf("half-full batch did not merge: %v %v", got[0].r.Merged, got[1].r.Merged)
+	}
+	if got[2].r.Merged {
+		t.Error("exclusive scan reported merged")
+	}
+	if w := got[0].r.Words; w[0] != 30 || w[1] != 3 {
+		t.Errorf("reply 0 = %v, want [30 3]", w)
+	}
+	if w := got[1].r.Words; w[0] != 50 || w[1] != 5 {
+		t.Errorf("reply 1 = %v, want [50 5]", w)
+	}
+	if w := got[2].r.Words; w[0] != 80 || w[1] != 16 {
+		t.Errorf("scan reply = %v, want [80 16]", w)
+	}
+	if w := got[3].r.Words; w[0] != 70 || w[1] != 7 {
+		t.Errorf("reply 3 = %v, want [70 7]", w)
+	}
+	st := s.BatchStats()
+	if st.Batches != 3 || st.Merged != 1 || st.Requests != 4 {
+		t.Errorf("stats = %+v, want 3 batches (merged pair, scan, add)", st)
+	}
+	s.Runtime().Validate()
+}
+
+// TestServerAdaptiveWidth: under AdaptiveWidth a merge-friendly request
+// stream grows the worker's width from 1 toward the ceiling, and the
+// trajectory is visible in BatchStats and Widths.
+func TestServerAdaptiveWidth(t *testing.T) {
+	const requests = 64
+	be := &countBackend{n: requests}
+	s := serve.NewServer(be, serve.Config{
+		Workers: 1, MergeWidth: 8, QueueDepth: requests,
+		AdaptiveWidth: true, WidthPolicy: tm.WidthPolicy{Epoch: 2},
+	})
+	if w := s.Widths(); len(w) != 1 || w[0] != 1 {
+		t.Fatalf("initial widths = %v, want [1]", w)
+	}
+	var served sync.WaitGroup
+	served.Add(requests)
+	for i := 0; i < requests; i++ {
+		if err := s.SubmitRequest(serve.Request{Op: opAdd, Key: uint64(i), Arg: 1},
+			func(serve.Reply) { served.Done() }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	s.Start()
+	served.Wait()
+	s.Stop()
+
+	if w := s.Widths(); w[0] <= 1 {
+		t.Errorf("final width = %v, want growth above 1", w)
+	}
+	st := s.BatchStats()
+	if st.WidthGrows == 0 {
+		t.Errorf("no width grows recorded: %+v", st)
+	}
+	if st.Requests != requests {
+		t.Errorf("served %d requests, want %d", st.Requests, requests)
+	}
+	var total uint64
+	for k := 0; k < be.n; k++ {
+		total += be.cells.Word(k).Peek(s.Runtime())
+	}
+	if total != requests {
+		t.Errorf("committed adds = %d, want %d", total, requests)
+	}
 	s.Runtime().Validate()
 }
 

@@ -18,6 +18,15 @@ type Config struct {
 	// 1 disables merging (every request runs in its own transaction).
 	// <1 defaults to 1.
 	MergeWidth int
+	// AdaptiveWidth makes MergeWidth a ceiling instead of the fixed
+	// width: each worker's batcher starts at width 1 and adapts within
+	// [1, MergeWidth] from its own merge/fallback history
+	// (tm.NewAdaptiveBatcher). The workers' flush thresholds follow the
+	// live width automatically.
+	AdaptiveWidth bool
+	// WidthPolicy tunes adaptive width selection; the zero value uses
+	// the tm package defaults. Ignored unless AdaptiveWidth is set.
+	WidthPolicy tm.WidthPolicy
 	// QueueDepth is the accept-queue capacity; Submit blocks when it
 	// is full. <1 defaults to 4 × Workers × MergeWidth.
 	QueueDepth int
@@ -60,9 +69,17 @@ type Server struct {
 	jobs     chan job
 	wg       sync.WaitGroup
 	batchers []*tm.Batcher
+
+	// stopMu orders submissions against Stop: submitters hold the read
+	// side while sending, Stop takes the write side before closing the
+	// queue, so a late Submit returns ErrStopped instead of panicking on
+	// a closed channel.
+	stopMu  sync.RWMutex
+	stopped bool
 }
 
-// ErrStopped is returned by Submit after Stop has begun.
+// ErrStopped is returned by Submit and SubmitRequest after Stop has
+// begun.
 var ErrStopped = errors.New("serve: server stopped")
 
 // NewServer opens a runtime sized by the backend and populated by its
@@ -93,7 +110,11 @@ func NewServer(be Backend, cfg Config) *Server {
 		batchers: make([]*tm.Batcher, cfg.Workers),
 	}
 	for i := range s.batchers {
-		s.batchers[i] = tm.NewBatcher(rt.Thread(i), cfg.MergeWidth, be.ReplyWords())
+		if cfg.AdaptiveWidth {
+			s.batchers[i] = tm.NewAdaptiveBatcher(rt.Thread(i), cfg.MergeWidth, be.ReplyWords(), cfg.WidthPolicy)
+		} else {
+			s.batchers[i] = tm.NewBatcher(rt.Thread(i), cfg.MergeWidth, be.ReplyWords())
+		}
 	}
 	return s
 }
@@ -115,17 +136,24 @@ func (s *Server) Start() {
 
 // Stop closes the accept queue and waits for the workers to drain it
 // and flush their batches. Every submitted request's done callback
-// has run when Stop returns.
+// has run when Stop returns. Stop is idempotent; calls after the first
+// return once the first drain has finished.
 func (s *Server) Stop() {
-	close(s.jobs)
+	s.stopMu.Lock()
+	already := s.stopped
+	s.stopped = true
+	s.stopMu.Unlock()
+	if !already {
+		close(s.jobs)
+	}
 	s.wg.Wait()
 }
 
 // Submit decodes one wire-encoded request and queues it; done is
 // invoked with the reply on the serving worker's goroutine. It blocks
-// while the accept queue is full, and returns a codec error (leaving
-// done uncalled) for a request that does not decode to exactly the
-// given bytes.
+// while the accept queue is full, returns a codec error (leaving done
+// uncalled) for a request that does not decode to exactly the given
+// bytes, and ErrStopped after Stop has begun.
 func (s *Server) Submit(wire []byte, done func(Reply)) error {
 	req, n, err := DecodeRequest(wire)
 	if err != nil {
@@ -134,14 +162,24 @@ func (s *Server) Submit(wire []byte, done func(Reply)) error {
 	if n != len(wire) {
 		return ErrBadRequest
 	}
-	s.SubmitRequest(req, done)
-	return nil
+	return s.SubmitRequest(req, done)
 }
 
 // SubmitRequest queues an already-decoded request (the in-process
-// shortcut past the codec).
-func (s *Server) SubmitRequest(req Request, done func(Reply)) {
+// shortcut past the codec). It returns ErrStopped — leaving done
+// uncalled — once Stop has begun.
+func (s *Server) SubmitRequest(req Request, done func(Reply)) error {
+	// The read lock spans the send: Stop cannot close the queue while
+	// any submitter is between the stopped check and the send, and
+	// workers keep draining until the close, so the send never blocks
+	// against the drain.
+	s.stopMu.RLock()
+	defer s.stopMu.RUnlock()
+	if s.stopped {
+		return ErrStopped
+	}
 	s.jobs <- job{item: s.be.Item(req), done: done}
+	return nil
 }
 
 // BatchStats sums the workers' batcher counters: requests, batches,
@@ -156,8 +194,20 @@ func (s *Server) BatchStats() tm.BatchStats {
 		sum.Merged += st.Merged
 		sum.Fallbacks += st.Fallbacks
 		sum.Txns += st.Txns
+		sum.WidthGrows += st.WidthGrows
+		sum.WidthShrinks += st.WidthShrinks
 	}
 	return sum
+}
+
+// Widths returns each worker's current merge width, in worker order —
+// the final widths adaptive selection settled on when read after Stop.
+func (s *Server) Widths() []int {
+	out := make([]int, len(s.batchers))
+	for i, b := range s.batchers {
+		out[i] = b.Width()
+	}
+	return out
 }
 
 // worker is the per-thread serve loop: block for a request, then

@@ -110,6 +110,27 @@ type PhaseStats = stm.PhaseStats
 // after worker threads have joined, like Stats.
 func (rt *Runtime) PhaseStats() []PhaseStats { return rt.rt.PhaseStats() }
 
+// AdaptiveSelection is the current engine choice for one adaptive
+// phase kind: the kind, the selected variant ("probe", "capture", or
+// "skipshared"), and the engine name it runs on.
+type AdaptiveSelection = stm.AdaptiveSelection
+
+// Adaptive variant labels, as reported by AdaptiveSelection.Variant
+// and PhaseStats.Variant.
+const (
+	VariantProbe      = stm.VariantProbe
+	VariantCapture    = stm.VariantCapture
+	VariantSkipShared = stm.VariantSkipShared
+)
+
+// AdaptiveSelections reports the current engine selection of every
+// kind WithAdaptive adapts, in declaration order (empty without
+// adaptation). Reading it while workers run sees a momentary
+// selection; read after joining for the converged one.
+func (rt *Runtime) AdaptiveSelections() []AdaptiveSelection {
+	return rt.rt.AdaptiveSelections()
+}
+
 // ResetStats zeroes every thread's counters (e.g. between an untimed
 // setup phase and the timed parallel phase). Not safe to call while
 // worker threads are running.
