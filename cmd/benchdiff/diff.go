@@ -54,7 +54,8 @@ type Comparison struct {
 	OnlyCur  []Key // timed rows present only in the current report
 }
 
-// Regressions returns the flagged deltas, worst first.
+// Regressions returns the flagged deltas, worst first; equal slowdowns
+// keep their key order, so the listing is deterministic run to run.
 func (c Comparison) Regressions() []Delta {
 	var out []Delta
 	for _, d := range c.Deltas {
@@ -62,7 +63,7 @@ func (c Comparison) Regressions() []Delta {
 			out = append(out, d)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Pct > out[j].Pct })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pct > out[j].Pct })
 	return out
 }
 

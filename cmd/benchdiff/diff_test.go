@@ -347,3 +347,68 @@ func TestCompareSemantics(t *testing.T) {
 		t.Errorf("regressions: %+v", regs)
 	}
 }
+
+// TestRegressionsRankedWorstFirst pins the failure summary's ranking:
+// Regressions() orders flagged rows by slowdown (ties keep key order),
+// and diffReports lists the top worstShown with the tail summarized.
+func TestRegressionsRankedWorstFirst(t *testing.T) {
+	row := func(benchName string, minNs int64) bench.ResultJSON {
+		return bench.ResultJSON{Bench: benchName, Config: "baseline", Engine: "perf-noinstr",
+			Threads: 1, MinNs: minNs}
+	}
+	var baseRows, curRows []bench.ResultJSON
+	// Seven regressions with distinct slowdowns: g +80%, f +70%, ... a +20%.
+	names := []string{"a", "b", "c", "d", "e", "f", "g"}
+	for i, n := range names {
+		baseRows = append(baseRows, row(n, 1000))
+		curRows = append(curRows, row(n, int64(1200+i*100)))
+	}
+	base := bench.Report{Schema: bench.ReportSchema, Results: baseRows}
+	cur := bench.Report{Schema: bench.ReportSchema, Results: curRows}
+
+	c := Compare(base, cur, 10, 0)
+	regs := c.Regressions()
+	if len(regs) != len(names) {
+		t.Fatalf("regressions = %d, want %d", len(regs), len(names))
+	}
+	for i := 1; i < len(regs); i++ {
+		if regs[i].Pct > regs[i-1].Pct {
+			t.Fatalf("regressions not worst-first: %+v before %+v", regs[i-1], regs[i])
+		}
+	}
+	if regs[0].Bench != "g" || regs[len(regs)-1].Bench != "a" {
+		t.Errorf("ranking ends = %s..%s, want g..a", regs[0].Bench, regs[len(regs)-1].Bench)
+	}
+
+	var buf bytes.Buffer
+	if !(gate{thresholdPct: 10}).diffReports(base, cur, &buf) {
+		t.Fatal("gate did not fail")
+	}
+	out := buf.String()
+	fail := out[strings.Index(out, "FAIL:"):]
+	// The worst worstShown rows are listed in rank order; the rest are a count.
+	order := []string{"g/", "f/", "e/", "d/", "c/"}
+	pos := 0
+	for _, name := range order {
+		at := strings.Index(fail[pos:], name)
+		if at < 0 {
+			t.Fatalf("summary missing or misordered %q:\n%s", name, fail)
+		}
+		pos += at
+	}
+	if strings.Contains(fail, "b/") || strings.Contains(fail, "a/") {
+		t.Errorf("summary lists rows beyond the top %d:\n%s", worstShown, fail)
+	}
+	if !strings.Contains(fail, "... and 2 more") {
+		t.Errorf("summary missing the tail count:\n%s", fail)
+	}
+
+	// Ties keep key order, so equal slowdowns list deterministically.
+	tied := Compare(base, bench.Report{Schema: bench.ReportSchema, Results: []bench.ResultJSON{
+		row("c", 2000), row("a", 2000), row("b", 2000),
+	}}, 10, 0)
+	tregs := tied.Regressions()
+	if len(tregs) != 3 || tregs[0].Bench != "a" || tregs[1].Bench != "b" || tregs[2].Bench != "c" {
+		t.Errorf("tied ranking = %+v, want key order a, b, c", tregs)
+	}
+}

@@ -72,6 +72,11 @@ func splitNames(s string) map[string]bool {
 	return set
 }
 
+// worstShown caps the regressions listed in the failure summary: the
+// worst offenders ranked first tell a reviewer where to look without
+// scrolling, and the tail is summarized as a count.
+const worstShown = 5
+
 // gate bundles the comparison policy of one benchdiff invocation.
 type gate struct {
 	thresholdPct    float64
@@ -190,8 +195,17 @@ func (g gate) diffReports(base, cur bench.Report, w io.Writer) bool {
 	}
 	regs := c.Regressions()
 	if len(regs) > 0 {
-		fmt.Fprintf(w, "FAIL: %d of %d rows regressed beyond +%.0f%% (floor %v); worst: %s %+.1f%%\n",
-			len(regs), len(c.Deltas), thresholdPct, floor, regs[0].Key, regs[0].Pct)
+		fmt.Fprintf(w, "FAIL: %d of %d rows regressed beyond +%.0f%% (floor %v); worst first:\n",
+			len(regs), len(c.Deltas), thresholdPct, floor)
+		for i, d := range regs {
+			if i == worstShown {
+				fmt.Fprintf(w, "  ... and %d more\n", len(regs)-worstShown)
+				break
+			}
+			fmt.Fprintf(w, "  %s %+.1f%% (%v -> %v)\n", d.Key, d.Pct,
+				time.Duration(d.BaseNs).Round(time.Microsecond),
+				time.Duration(d.CurNs).Round(time.Microsecond))
+		}
 		failed = true
 	}
 	if !failed {

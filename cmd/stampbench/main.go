@@ -22,10 +22,11 @@
 //	stampbench -experiment sweep -bench vacation-low   # machine-sized scaling curves
 //	stampbench -experiment sweep -format json -o BENCH_sweep.json
 //	stampbench -experiment sweep -bench tmmsg -phases  # A/B phase hints on vs. off
+//	stampbench -experiment readmostly -format json -o BENCH_sweep_readmostly.json
 //
-// The sweep and capture experiments accept -format json, producing the
-// diffable report of tm/bench.WriteJSON; -o writes it to a file
-// (BENCH_*.json in CI) instead of stdout. The -phases toggle adds a
+// The sweep, capture, and readmostly experiments accept -format json,
+// producing the diffable report of tm/bench.WriteJSON; -o writes it to
+// a file (BENCH_*.json in CI) instead of stdout. The -phases toggle adds a
 // phase-hinted variant of every sweep profile (publish-shaped
 // transactions on the capture-checking engines, cursor-shaped ones on
 // the definitely-shared bypass), so a single report carries both sides
@@ -50,11 +51,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "fig10", "list|table1|table2|fig10|fig11a|fig11b|capture|sweep")
+	exp := flag.String("experiment", "fig10", "list|table1|table2|fig10|fig11a|fig11b|capture|sweep|readmostly")
 	threads := flag.Int("threads", 1, "worker threads for the parallel phase")
 	runs := flag.Int("runs", 3, "repetitions per data point")
 	benchFlag := flag.String("bench", "all", "comma-separated workload names or 'all'")
-	format := flag.String("format", "text", "output format: text|json (json: sweep and capture only)")
+	format := flag.String("format", "text", "output format: text|json (json: sweep, capture, readmostly)")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	threadList := flag.String("threadlist", "", "comma-separated thread counts for -experiment sweep (default: machine-sized)")
 	phases := flag.Bool("phases", false, "add phase-hinted variants of every sweep profile (A/B: hints on vs. off)")
@@ -80,8 +81,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stampbench: unknown format %q\n", *format)
 		os.Exit(1)
 	}
-	if *format == "json" && *exp != "sweep" && *exp != "capture" {
-		fmt.Fprintf(os.Stderr, "stampbench: -format json supports the sweep and capture experiments, not %q\n", *exp)
+	if *format == "json" && *exp != "sweep" && *exp != "capture" && *exp != "readmostly" {
+		fmt.Fprintf(os.Stderr, "stampbench: -format json supports the sweep, capture, and readmostly experiments, not %q\n", *exp)
 		os.Exit(1)
 	}
 
@@ -114,6 +115,11 @@ func main() {
 		var counts []int
 		if counts, err = parseThreadList(*threadList); err == nil {
 			err = sweep(w, benches, counts, *runs, *format == "json", *phases)
+		}
+	case "readmostly":
+		var counts []int
+		if counts, err = parseThreadList(*threadList); err == nil {
+			err = readMostlySweep(w, counts, *runs, *format == "json")
 		}
 	default:
 		err = fmt.Errorf("unknown experiment %q", *exp)
@@ -266,5 +272,59 @@ func sweep(w io.Writer, benches []string, counts []int, runs int, asJSON, phases
 		return bench.WriteJSON(w, bench.NewReport(all))
 	}
 	bench.WriteSweep(w, all)
+	return nil
+}
+
+// readMostlyBenches are the read-dominated workloads the read-mostly
+// engine targets: the 84%-read KV mix and the backlog-scan-heavy
+// message mix. Both drivers hint tm.PhaseScan on their read work, so
+// the "+phases" arms of the sweep run those transactions on the
+// read-mostly engine while the unphased arms are the status quo to
+// beat.
+var readMostlyBenches = []string{"tmkv-read", "tmmsg-lag"}
+
+// readMostlySweep is the focused evaluation of the read-mostly barrier
+// engine: the standard sweep profiles with and without the canonical
+// phase declaration over the read-dominated workloads, plus open-loop
+// latency rows for the scan-phased served KV read mix with and without
+// the declaration. One report holds both sides of every A/B, so
+// benchdiff can gate the engine's win directly.
+func readMostlySweep(w io.Writer, counts []int, runs int, asJSON bool) error {
+	if len(counts) == 0 {
+		counts = []int{1, 4} // the win condition's two contention points
+	}
+	var all []bench.Result
+	for _, b := range readMostlyBenches {
+		results, err := bench.SweepMatrix(b, sweepProfiles(true), counts, runs)
+		if err != nil {
+			return err
+		}
+		all = append(all, results...)
+	}
+	// Served side: the same engine question under open-loop load. The
+	// srv-tmkv-read backend tags its items with phases, so the Phases
+	// arm runs scan-shaped batches on the read-mostly engine while the
+	// plain arm commits everything through one engine.
+	for _, phased := range []bool{false, true} {
+		res, err := bench.RunOpenLoop(bench.OpenLoopSpec{
+			Backend:    "srv-tmkv-read",
+			Profile:    tm.RuntimeAll(tm.LogTree).Perf(),
+			Workers:    2,
+			MergeWidth: 8,
+			Clients:    4,
+			Requests:   4096,
+			Seed:       17,
+			Phases:     phased,
+		})
+		if err != nil {
+			return err
+		}
+		all = append(all, res)
+	}
+	if asJSON {
+		return bench.WriteJSON(w, bench.NewReport(all))
+	}
+	bench.WriteSweep(w, all)
+	bench.WriteLatencyTable(w, all)
 	return nil
 }

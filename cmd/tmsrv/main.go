@@ -16,6 +16,9 @@
 //
 //	tmsrv -list                              # registered backends
 //	tmsrv -backend srv-tmkv                  # default sweep, human table
+//	tmsrv -backend srv-tmkv-read -adaptive   # scan-phased read mix: +phases
+//	                                         # arm batches onto the
+//	                                         # read-mostly engine
 //	tmsrv -backend all -mergewidths 1,4,8 -rates 100000,peak
 //	tmsrv -workers 1,4 -requests 8192 -stats # counters on (non-perf build)
 //	tmsrv -format json -o BENCH_sweep_latency.json

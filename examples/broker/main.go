@@ -13,6 +13,13 @@
 // each worker hints its regime with EnterPhase: publish transactions
 // run on the capture-checking engine, consume transactions on the
 // definitely-shared bypass that skips checks which can never elide.
+// A final read-only audit walks the retained window under a third
+// regime: the scan phase declares the read-mostly engine
+// (WithReadMostly), whose transactions skip all write-path setup,
+// validate shared reads against their snapshot instead of logging
+// them, and would upgrade onto the full engine on a first shared
+// store — the audit never stores, so its stats line shows zero
+// upgrades.
 // The printed per-phase statistics show the publish phase eliding most
 // of its barriers and the cursor phase eliding none — the split the
 // internal/scenarios/tmmsg workload measures at full scale.
@@ -48,6 +55,9 @@ func main() {
 			tm.PhaseProfile(tm.PhaseCursor,
 				tm.WithRuntimeCapture(tm.NoChecks, tm.NoChecks),
 				tm.WithSkipSharedChecks()),
+			// Read-only audit: no write-path setup, no read logging; a
+			// shared store (none here) would upgrade onto the full engine.
+			tm.PhaseProfile(tm.PhaseScan, tm.WithReadMostly()),
 		),
 		tm.WithMemory(tm.MemConfig{
 			GlobalWords: 1 << 10, HeapWords: 1 << 20, StackWords: 1 << 10, MaxThreads: 8,
@@ -126,30 +136,69 @@ func main() {
 		}
 	})
 
+	// Phase 3 — a read-only audit of the retained window: re-verify
+	// every checksum still in the ring, one transaction per message.
+	// The scan phase's read-mostly engine gives each transaction a
+	// zero-cost begin and commit (no read set, write log, undo log, or
+	// lock-restore map); nothing here stores, so no transaction ever
+	// upgrades.
+	t, h := tail.Peek(rt), head.Peek(rt)
+	audited := 0
+	rt.Parallel(1, func(th *tm.Thread, _, _ int) {
+		th.EnterPhase(tm.PhaseScan)
+		for c := t; c < h; c++ {
+			th.Atomic(func(tx *tm.Tx) {
+				rec := ring.Ptr(int(c % ringCap)).Load(tx)
+				var sum uint64
+				for j := 0; j < payloadWords; j++ {
+					sum += rec.Word(1 + j).Load(tx)
+				}
+				if sum != rec.Word(recSum).Load(tx) {
+					fmt.Fprintln(os.Stderr, "broker: audit checksum mismatch")
+					os.Exit(1)
+				}
+			})
+			audited++
+		}
+	})
+
 	// The per-phase breakdown attributes each regime's barriers to the
 	// engine that ran them — no ResetStats between phases needed.
-	var pub, cur tm.Stats
+	var pub, cur, scan tm.Stats
 	for _, ps := range rt.PhaseStats() {
 		switch ps.Kind {
 		case tm.PhasePublish:
 			pub = ps.Stats
 		case tm.PhaseCursor:
 			cur = ps.Stats
+		case tm.PhaseScan:
+			scan = ps.Stats
 		}
 	}
 	report("publish (allocate-build-publish)", rt.EngineFor(tm.PhasePublish), pub)
 	report("consume (shared cursor)", rt.EngineFor(tm.PhaseCursor), cur)
+	report("scan (read-only audit)", rt.EngineFor(tm.PhaseScan), scan)
+	fmt.Printf("%-34s %-10s %7d commits  %8d upgrades (read-only: none)\n",
+		"", "", scan.Commits, scan.Upgrades)
 
 	published := head.Peek(rt)
 	retained := published - tail.Peek(rt)
-	fmt.Printf("\npublished %d messages, retained %d, consumed %d (rest dropped by retention)\n",
-		published, retained, consumed[0]+consumed[1])
+	fmt.Printf("\npublished %d messages, retained %d, consumed %d (rest dropped by retention), audited %d\n",
+		published, retained, consumed[0]+consumed[1], audited)
 	if cur.ReadElHeap+cur.WriteElHeap != 0 {
 		fmt.Fprintln(os.Stderr, "broker: consume phase should capture nothing")
 		os.Exit(1)
 	}
 	if cur.ReadSkipShared == 0 {
 		fmt.Fprintln(os.Stderr, "broker: cursor engine bypassed no definitely-shared checks")
+		os.Exit(1)
+	}
+	if scan.Upgrades != 0 {
+		fmt.Fprintln(os.Stderr, "broker: read-only audit upgraded off the read-mostly engine")
+		os.Exit(1)
+	}
+	if scan.Commits == 0 {
+		fmt.Fprintln(os.Stderr, "broker: audit committed nothing")
 		os.Exit(1)
 	}
 }

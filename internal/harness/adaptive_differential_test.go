@@ -4,10 +4,11 @@ package harness
 // per-phase engine declaration must converge, from its own epoch
 // samples, to the same engines the canonical hand-tuned declaration
 // (PhaseRegimeSpecs) assigns on the tmmsg mix — publish onto the
-// capture-checking fast path, cursor onto the definitely-shared bypass
-// — and the converged run must leave the address space bit-identical
-// to the hinted one. The manual hints stay ground truth; adaptation's
-// contract is to rediscover them, not to improve on them.
+// capture-checking fast path, cursor onto the definitely-shared
+// bypass, scan onto the read-mostly engine — and the converged run
+// must leave the address space bit-identical to the hinted one. The
+// manual hints stay ground truth; adaptation's contract is to
+// rediscover them, not to improve on them.
 
 import (
 	"testing"
@@ -43,6 +44,7 @@ func TestAdaptiveConvergesToHintedEngines(t *testing.T) {
 	hintedEngines := map[string]string{
 		tm.PhasePublish: hintedSrv.Runtime().EngineFor(tm.PhasePublish),
 		tm.PhaseCursor:  hintedSrv.Runtime().EngineFor(tm.PhaseCursor),
+		tm.PhaseScan:    hintedSrv.Runtime().EngineFor(tm.PhaseScan),
 	}
 
 	// ProbeEvery is pinned huge so a scheduled re-probe cannot land near
@@ -56,10 +58,11 @@ func TestAdaptiveConvergesToHintedEngines(t *testing.T) {
 	wantVariant := map[string]string{
 		tm.PhasePublish: tm.VariantCapture,
 		tm.PhaseCursor:  tm.VariantSkipShared,
+		tm.PhaseScan:    tm.VariantReadMostly,
 	}
 	sels := adaptSrv.Runtime().AdaptiveSelections()
-	if len(sels) != 2 {
-		t.Fatalf("adaptive selections = %+v, want publish and cursor rows", sels)
+	if len(sels) != 3 {
+		t.Fatalf("adaptive selections = %+v, want publish, cursor, and scan rows", sels)
 	}
 	for _, sel := range sels {
 		if sel.Variant != wantVariant[sel.Kind] {

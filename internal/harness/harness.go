@@ -206,19 +206,25 @@ func Improvement(base, opt Result) float64 {
 	return 100 * (float64(base.Min()) - float64(opt.Min())) / float64(base.Min())
 }
 
-// PhaseRegimeSpecs returns the canonical two-regime phase declaration:
-// publish-shaped transactions onto the capture-checking engines,
-// cursor-shaped ones onto the definitely-shared bypass — the mapping
-// the tmmsg driver's EnterPhase hints are written for. Everything that
+// PhaseRegimeSpecs returns the canonical three-regime phase
+// declaration: publish-shaped transactions onto the capture-checking
+// engines, cursor-shaped ones onto the definitely-shared bypass, and
+// scan-shaped ones onto the read-mostly engine — the mapping the
+// scenario drivers' EnterPhase hints are written for. Everything that
 // A/Bs phase hints (the phased engine-equivalence differential,
 // stampbench -phases, BenchmarkTMMSGPhased) must build on this one
 // declaration, or the certified mapping and the measured one drift
-// apart silently.
+// apart silently. The scan fragment carries the same capture shape as
+// publish so its upgrade target — and the adaptive readmostly
+// variant's configuration — match the capture engine exactly.
 func PhaseRegimeSpecs() []tm.PhaseSpec {
 	return []tm.PhaseSpec{
 		tm.PhaseProfile(tm.PhasePublish,
 			tm.WithRuntimeCapture(tm.StackAndHeap, tm.StackAndHeap), tm.WithLogKind(tm.LogTree)),
 		tm.PhaseProfile(tm.PhaseCursor, tm.WithSkipSharedChecks()),
+		tm.PhaseProfile(tm.PhaseScan,
+			tm.WithRuntimeCapture(tm.StackAndHeap, tm.StackAndHeap), tm.WithLogKind(tm.LogTree),
+			tm.WithReadMostly()),
 	}
 }
 

@@ -220,8 +220,8 @@ func TestRunOpenLoopAdaptive(t *testing.T) {
 	if !strings.HasSuffix(res.Engine, "+adaptive") {
 		t.Errorf("engine = %q, want +adaptive marker", res.Engine)
 	}
-	if len(res.Adaptive) != 2 {
-		t.Fatalf("adaptive selections = %+v, want publish and cursor rows", res.Adaptive)
+	if len(res.Adaptive) != 3 {
+		t.Fatalf("adaptive selections = %+v, want publish, cursor, and scan rows", res.Adaptive)
 	}
 	if len(res.PhaseStats) == 0 {
 		t.Error("no per-phase rows for an adaptive run")

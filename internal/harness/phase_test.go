@@ -162,8 +162,8 @@ func TestPhasedRunReportsPhaseRows(t *testing.T) {
 	if !strings.HasSuffix(res.Engine, "+phases") {
 		t.Errorf("engine label %q lacks the +phases marker", res.Engine)
 	}
-	if len(res.PhaseStats) != 3 {
-		t.Fatalf("PhaseStats rows = %d, want 3 (default, publish, cursor)", len(res.PhaseStats))
+	if len(res.PhaseStats) != 4 {
+		t.Fatalf("PhaseStats rows = %d, want 4 (default, publish, cursor, scan)", len(res.PhaseStats))
 	}
 	var pub, cur tm.Stats
 	for _, ps := range res.PhaseStats {

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/tm"
+
+	_ "repro/internal/scenarios/tmkv"
+	_ "repro/internal/scenarios/tmmsg"
+	_ "repro/internal/stamp/all"
+)
+
+// readMostly returns the profile with the read-mostly engine selected
+// runtime-wide, under the same report name. Every transaction then
+// starts on the zero-write-setup chain and upgrades in-flight on its
+// first shared store — the maximal-stress shape for the upgrade path,
+// since none of the workloads are read-only throughout.
+func readMostly(p tm.Profile) tm.Profile {
+	return p.With(tm.WithReadMostly()).Named(p.Name())
+}
+
+// TestReadMostlyEquivalence is the upgrade-path differential: every
+// registered workload under every named profile (instrumented and
+// perf) with the read-mostly knob on must reach a bit-identical final
+// state with the compiled read-mostly engine vs the forced generic
+// reference at one thread. Statistics are not compared — the upgrade
+// counter and post-upgrade chain attribution legitimately differ from
+// the reference — so a divergence here means the upgrade lost or
+// replayed a memory effect.
+func TestReadMostlyEquivalence(t *testing.T) {
+	profiles := namedProfiles()
+	for _, p := range perfProfiles() {
+		profiles = append(profiles, p)
+	}
+	benches := AllWorkloads()
+	if testing.Short() {
+		profiles = []tm.Profile{
+			tm.RuntimeAll(tm.LogTree), tm.RuntimeAll(tm.LogTree).Perf(), tm.CompilerElision().Perf(),
+		}
+		benches = []string{"ssca2", "tmkv"}
+	}
+	for _, bench := range benches {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			for _, p := range profiles {
+				rm := readMostly(p)
+				sum, _, eng := runEngine(t, bench, rm, 1)
+				gsum, _, geng := runEngine(t, bench, forceGeneric(rm), 1)
+				if geng != "generic" {
+					t.Fatalf("%s: forced engine is %q", p.Name(), geng)
+				}
+				if sum != gsum {
+					t.Errorf("%s: engine %s final state %#x, generic %#x",
+						p.Name(), eng, sum, gsum)
+				}
+			}
+		})
+	}
+}
+
+// TestReadMostlyParallelNoLeaks runs every workload contended at four
+// threads on the read-mostly perf engine: final states are
+// scheduling-dependent, but workload validation must pass and no orec
+// lock may leak across the repeated mid-transaction engine swaps.
+func TestReadMostlyParallelNoLeaks(t *testing.T) {
+	profiles := []tm.Profile{
+		readMostly(tm.RuntimeAll(tm.LogTree).Perf()),
+		readMostly(tm.RuntimeAll(tm.LogTree)),
+	}
+	benches := AllWorkloads()
+	if testing.Short() {
+		benches = []string{"ssca2", "tmkv"}
+	}
+	for _, bench := range benches {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			for _, p := range profiles {
+				runEngine(t, bench, p, 4)
+			}
+		})
+	}
+}

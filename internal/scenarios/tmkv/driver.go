@@ -29,6 +29,14 @@ type Config struct {
 	Zipf  bool    // Zipfian (true) or uniform (false) key choice
 	Theta float64 // Zipfian skew, in (0, 1)
 
+	// Phased makes the served adapter tag each request with its capture
+	// regime (reads/scans → PhaseScan, mutations → PhasePublish). Tagged
+	// items only merge with same-phase items, so this trades merge width
+	// for per-batch engine specialization — right for skewed mixes where
+	// one phase dominates, wrong for balanced ones. The self-driving
+	// workload always hints (hints are free without tm.WithPhases).
+	Phased bool
+
 	PreloadPct int // portion of the key space populated by Setup
 	Seed       uint64
 }
@@ -257,16 +265,28 @@ func (b *B) worker(th *stm.Thread, tid, nthreads int, thresholds [4]int) {
 	for i := 0; i < ops; i++ {
 		op := r.Intn(100)
 		id := b.pickKey(r)
+		// Each operation is tagged with its capture regime, like the
+		// tmmsg driver: reads and scans store only into captured memory
+		// (stack keys, result vectors) and are scan-shaped; mutations
+		// assemble their value in captured staging space and publish it
+		// to the shared index. The hints are unconditional — under a
+		// profile without tm.WithPhases they select the default engine
+		// and the run is byte-for-byte the classic single-engine one.
 		switch {
 		case op < thresholds[0]:
+			th.EnterPhase(tm.PhaseScan)
 			b.opRead(th, st, id)
 		case op < thresholds[1]:
+			th.EnterPhase(tm.PhasePublish)
 			b.opUpdate(th, st, id)
 		case op < thresholds[2]:
+			th.EnterPhase(tm.PhasePublish)
 			b.opInsert(th, st, id)
 		case op < thresholds[3]:
+			th.EnterPhase(tm.PhasePublish)
 			b.opDelete(th, st, id)
 		default:
+			th.EnterPhase(tm.PhaseScan)
 			b.opScan(th, st)
 		}
 	}
@@ -361,6 +381,7 @@ func (b *B) opScan(th *stm.Thread, st *threadStats) {
 func (b *B) Validate(trt *tm.Runtime) error {
 	rt := trt.Unwrap()
 	th := rt.Thread(0)
+	th.EnterPhase(tm.PhaseScan) // read-only verification walks
 
 	var inserts, deletes, badSum uint64
 	for i := range b.perTh {

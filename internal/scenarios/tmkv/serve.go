@@ -1,10 +1,11 @@
 package tmkv
 
 // Served front-end adapter: exposes the tmkv store as a serve.Backend
-// ("srv-tmkv"), translating compact wire requests into batchable
-// transactional operations. Point ops declare the key id as their
-// footprint, so a batch of requests on distinct keys merges into one
-// transaction; whole-store scans are exclusive.
+// ("srv-tmkv", and the phase-tagged read-heavy "srv-tmkv-read"),
+// translating compact wire requests into batchable transactional
+// operations. Point ops declare the key id as their footprint, so a
+// batch of requests on distinct keys merges into one transaction;
+// whole-store scans are exclusive.
 
 import (
 	"repro/internal/prng"
@@ -53,9 +54,25 @@ func ServeMix() Config {
 	return c
 }
 
+// ServeReadMix returns the request mix of the registered
+// "srv-tmkv-read" backend: the ReadHeavy blend with phase tagging on,
+// so read batches merge under the scan regime (the read-mostly engine
+// on a phased profile) and the rare mutations under publish. The mix
+// is skewed enough (84% scan-shaped) that same-phase runs stay long
+// and merging survives the phase split.
+func ServeReadMix() Config {
+	c := ReadHeavy()
+	c.Name = "srv-tmkv-read"
+	c.Phased = true
+	return c
+}
+
 func init() {
 	serve.Register("srv-tmkv", "served KV/object store: mixed OLTP blend, footprint = key id",
 		func() serve.Backend { return NewKVBackend(ServeMix()) })
+	serve.Register("srv-tmkv-read",
+		"served KV read heavy: scan-phased read batches for the read-mostly engine",
+		func() serve.Backend { return NewKVBackend(ServeReadMix()) })
 }
 
 // NewKVBackend creates a backend over cfg (the Ops field is unused:
@@ -141,9 +158,19 @@ func (k *KVBackend) NewRequest(seed, i uint64) serve.Request {
 func (k *KVBackend) Item(req serve.Request) tm.BatchItem {
 	c := k.cfg
 	id := req.Key
+	// Phase tags are opt-in per mix (Config.Phased): they buy per-batch
+	// engine specialization at the cost of splitting merged batches by
+	// regime.
+	phase := func(p tm.Phase) tm.Phase {
+		if c.Phased {
+			return p
+		}
+		return ""
+	}
 	switch req.Op {
 	case OpUpsert:
 		return tm.BatchItem{
+			Phase:     phase(tm.PhasePublish),
 			Footprint: tm.Footprint{Writes: []uint64{id}},
 			Apply: func(ttx *tm.Tx, reply tm.Struct) bool {
 				tx := ttx.Unwrap()
@@ -167,6 +194,7 @@ func (k *KVBackend) Item(req serve.Request) tm.BatchItem {
 		}
 	case OpInsert:
 		return tm.BatchItem{
+			Phase:     phase(tm.PhasePublish),
 			Footprint: tm.Footprint{Writes: []uint64{id}},
 			Apply: func(ttx *tm.Tx, reply tm.Struct) bool {
 				tx := ttx.Unwrap()
@@ -182,6 +210,7 @@ func (k *KVBackend) Item(req serve.Request) tm.BatchItem {
 		}
 	case OpDelete:
 		return tm.BatchItem{
+			Phase:     phase(tm.PhasePublish),
 			Footprint: tm.Footprint{Writes: []uint64{id}},
 			Apply: func(ttx *tm.Tx, reply tm.Struct) bool {
 				tx := ttx.Unwrap()
@@ -198,6 +227,7 @@ func (k *KVBackend) Item(req serve.Request) tm.BatchItem {
 			limit = 1
 		}
 		return tm.BatchItem{
+			Phase:     phase(tm.PhaseScan),
 			Exclusive: true,
 			Apply: func(ttx *tm.Tx, reply tm.Struct) bool {
 				seen := k.store.scan(ttx.Unwrap(), limit)
@@ -208,6 +238,7 @@ func (k *KVBackend) Item(req serve.Request) tm.BatchItem {
 		}
 	default: // OpRead
 		return tm.BatchItem{
+			Phase:     phase(tm.PhaseScan),
 			Footprint: tm.Footprint{Reads: []uint64{id}},
 			Apply: func(ttx *tm.Tx, reply tm.Struct) bool {
 				tx := ttx.Unwrap()

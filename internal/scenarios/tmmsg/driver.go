@@ -69,6 +69,18 @@ func SubHeavy() Config {
 		Zipf: true, Theta: 0.85, PreloadMsgs: 24, Seed: 3}
 }
 
+// LagHeavy returns "tmmsg-lag": backlog-scan dominated monitoring
+// traffic — read-only walks over many topics that store only into a
+// captured stack accumulator, the regime where the read-mostly
+// engine's zero write-path setup pays off.
+func LagHeavy() Config {
+	return Config{Name: "tmmsg-lag", Topics: 64, Ops: 8192,
+		KeyWords: 4, RingCap: 32, Groups: 2, MinBlocks: 1, MaxBlocks: 3,
+		PublishPct: 10, ConsumePct: 10, AckPct: 5, LagPct: 75,
+		MaxBatch: 4, ConsumeMax: 8, AckMax: 8, ScanLimit: 32,
+		Zipf: true, Theta: 0.85, PreloadMsgs: 16, Seed: 4}
+}
+
 // Small returns a fast fixed-seed configuration for tests; it is not
 // registered.
 func Small() Config {
@@ -87,6 +99,7 @@ func init() {
 		{Mixed(), "transactional message broker: mixed publish/consume/ack/lag blend"},
 		{PubHeavy(), "tmmsg batch-publish heavy: captured-memory assembly dominates"},
 		{SubHeavy(), "tmmsg consume/ack heavy: contended shared consumer cursors dominate"},
+		{LagHeavy(), "tmmsg backlog-scan heavy: read-only topic walks dominate"},
 	} {
 		cfg := reg.cfg
 		tm.RegisterWorkloadDesc(cfg.Name, reg.desc, func() tm.Workload { return New(cfg) })
@@ -324,7 +337,7 @@ func (b *B) worker(th *stm.Thread, tid, nthreads int, thresholds [3]int) {
 			th.EnterPhase(tm.PhaseCursor)
 			b.opAck(th, st, r, id)
 		default:
-			th.EnterPhase(tm.PhaseCursor)
+			th.EnterPhase(tm.PhaseScan)
 			b.opLag(th, st)
 		}
 	}
@@ -404,7 +417,7 @@ func (b *B) opLag(th *stm.Thread, st *threadStats) {
 func (b *B) Validate(trt *tm.Runtime) error {
 	rt := trt.Unwrap()
 	th := rt.Thread(0)
-	th.EnterPhase(tm.PhaseCursor) // walking topics is cursor-shaped work
+	th.EnterPhase(tm.PhaseScan) // walking topics is read-mostly scan work
 	c := b.cfg
 
 	var pub, drops, consumed, skipped, acked, badSum, misses uint64

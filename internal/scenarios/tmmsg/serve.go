@@ -4,10 +4,11 @@ package tmmsg
 // serve.Backend ("srv-tmmsg"). It is the adapter that exercises the
 // Batcher's phase discipline: publish requests carry tm.PhasePublish
 // and merge with each other (distinct topics), consume/ack requests
-// carry tm.PhaseCursor and merge per (topic, group), and the two kinds
-// never share a merged transaction — a publish-shaped batch runs on
-// the capture-checking engine, a cursor-shaped one on the
-// definitely-shared bypass.
+// carry tm.PhaseCursor and merge per (topic, group), backlog scans
+// carry tm.PhaseScan, and distinct kinds never share a merged
+// transaction — a publish-shaped batch runs on the capture-checking
+// engine, a cursor-shaped one on the definitely-shared bypass, a
+// scan-shaped one on the read-mostly engine.
 
 import (
 	"repro/internal/prng"
@@ -214,7 +215,7 @@ func (m *MsgBackend) Item(req serve.Request) tm.BatchItem {
 		}
 	default: // OpLag
 		return tm.BatchItem{
-			Phase:     tm.PhaseCursor,
+			Phase:     tm.PhaseScan,
 			Exclusive: true,
 			Apply: func(ttx *tm.Tx, reply tm.Struct) bool {
 				reply.Word(RepA).Store(ttx, m.broker.lagScan(ttx.Unwrap(), c.ScanLimit))

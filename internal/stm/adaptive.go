@@ -3,7 +3,7 @@ package stm
 // This file closes the loop the phase layer left open: instead of a
 // human declaring which engine each workload phase should run on
 // (OptConfig.Phases), an adaptive Runtime *measures* each declared kind
-// and re-selects its engine online. Every adaptive kind gets three
+// and re-selects its engine online. Every adaptive kind gets four
 // compiled variants in the engine table:
 //
 //	probe       the instrumented counting engine (capture checks on,
@@ -12,20 +12,26 @@ package stm
 //	            precise tree log), the paper's publish regime
 //	skipshared  the definitely-shared bypass prologue, the paper's
 //	            cursor regime
+//	readmostly  the read-mostly engine (zero write-path setup,
+//	            in-flight upgrade on first shared store), the scan
+//	            regime
 //
-// The capture and skipshared variants are compiled from exactly the
-// same fragments the canonical manual declaration
-// (harness.PhaseRegimeSpecs) overlays on the base profile, so an
-// adaptive runtime that converges is running the very engines the
-// hand-tuned hints would have chosen — that equivalence is pinned by
-// the adaptive-vs-hinted differential in internal/harness.
+// The fast variants are compiled from exactly the same fragments the
+// canonical manual declaration (harness.PhaseRegimeSpecs) overlays on
+// the base profile, so an adaptive runtime that converges is running
+// the very engines the hand-tuned hints would have chosen — that
+// equivalence is pinned by the adaptive-vs-hinted differential in
+// internal/harness.
 //
 // Sampling is epoch-based and thread-local: each thread snapshots the
 // phase's counters and, every Epoch completed top-level transactions
 // in that phase, decides from its own delta (no cross-thread counter
 // reads, so the Stats ownership rule is preserved). A probe epoch that
-// observes ≥ PromotePct captured accesses publishes the capture
-// variant; ≤ DemotePct publishes skipshared; anything between stays on
+// observes (almost) no shared writes publishes the read-mostly variant
+// — its unlogged snapshot-validated reads and zero write-path setup
+// dominate whatever the captured share is; otherwise ≥ PromotePct
+// captured accesses publishes the capture variant; ≤ DemotePct
+// publishes skipshared; anything between stays on
 // the probe (mixed regimes keep being measured). Fast variants demote
 // themselves back to the probe when an epoch's abort ratio regresses
 // by more than RegressPct over the probe baseline, and re-probe on a
@@ -48,6 +54,7 @@ const (
 	VariantProbe      = "probe"
 	VariantCapture    = "capture"
 	VariantSkipShared = "skipshared"
+	VariantReadMostly = "readmostly"
 )
 
 // Defaults for AdaptiveConfig's tuning knobs (0 selects them).
@@ -74,6 +81,23 @@ const (
 	// DefaultRegressPct: absolute abort-ratio increase over the probe
 	// baseline that demotes a fast variant back to the probe.
 	DefaultRegressPct = 0.50
+	// DefaultReadMostlyPct: shared-write share (writes the Counting
+	// classification could not prove captured, over all accesses) at or
+	// below which a probe epoch selects the read-mostly variant. ~0
+	// rather than exactly 0 so a scan regime with a stray shared write
+	// per thousand accesses (a hit counter, a sampled touch) still
+	// qualifies — the occasional upgrade costs two pointer swaps. The
+	// promotion additionally requires the epoch's shared-write *count*
+	// to stay at or below UpgradePct per commit: the share is per
+	// access, the upgrade toll is per transaction, and a regime whose
+	// every transaction buries one shared link store under hundreds of
+	// captured accesses would pass the share test only to upgrade on
+	// every commit and thrash straight back through the demotion.
+	DefaultReadMostlyPct = 0.01
+	// DefaultUpgradePct: first-store upgrades per commit above which a
+	// read-mostly epoch demotes back to the probe; the regime has
+	// started writing shared data, so measure it again.
+	DefaultUpgradePct = 0.05
 )
 
 // normalizeAdaptive fills zero tuning knobs with the defaults and
@@ -97,6 +121,12 @@ func normalizeAdaptive(a AdaptiveConfig) AdaptiveConfig {
 	if a.RegressPct <= 0 {
 		a.RegressPct = DefaultRegressPct
 	}
+	if a.ReadMostlyPct <= 0 {
+		a.ReadMostlyPct = DefaultReadMostlyPct
+	}
+	if a.UpgradePct <= 0 {
+		a.UpgradePct = DefaultUpgradePct
+	}
 	if a.DemotePct >= a.PromotePct {
 		panic("stm: adaptive DemotePct must be below PromotePct")
 	}
@@ -104,17 +134,17 @@ func normalizeAdaptive(a AdaptiveConfig) AdaptiveConfig {
 }
 
 // adaptState is the shared selection state of one adaptive kind: the
-// table indices of its three variants and the currently published
+// table indices of its four variants and the currently published
 // selection. cur is the only cross-thread word; everything a decision
 // reads is thread-local.
 type adaptState struct {
-	kind                 string
-	probe, capture, skip int           // engine-table indices
-	cur                  atomic.Int32  // currently selected table index
-	baseAbort            atomic.Uint64 // Float64bits of the last probe epoch's abort ratio
+	kind                     string
+	probe, capture, skip, rm int           // engine-table indices
+	cur                      atomic.Int32  // currently selected table index
+	baseAbort                atomic.Uint64 // Float64bits of the last probe epoch's abort ratio
 }
 
-// compileAdaptive appends the three variant entries per adaptive kind
+// compileAdaptive appends the four variant entries per adaptive kind
 // to the engine table. Kinds already declared manually are skipped:
 // the hand-tuned declaration is ground truth and adaptation must not
 // override it. Each variant overlays the base configuration the same
@@ -147,12 +177,19 @@ func compileAdaptive(a AdaptiveConfig, phases []compiledPhase, idx map[string]in
 		capt.LogKind = capture.KindTree
 		skip := base
 		skip.SkipSharedChecks = true
+		// The read-mostly variant overlays ReadMostly on the capture
+		// shape (not the bare base): its store path keeps the stack+heap
+		// capture dispatch, so the incidental captured stores of a scan
+		// regime do not force upgrades — and the cfg matches the
+		// canonical PhaseScan fragment exactly, name included.
+		rmc := capt
+		rmc.ReadMostly = true
 		probe := capt
 		probe.Counting = true  // classify captures (the training signal)
 		probe.PerfMode = false // the probe needs the counters perf builds drop
 		st := &adaptState{
 			kind:  kind,
-			probe: len(phases), capture: len(phases) + 1, skip: len(phases) + 2,
+			probe: len(phases), capture: len(phases) + 1, skip: len(phases) + 2, rm: len(phases) + 3,
 		}
 		st.cur.Store(int32(st.probe)) // start by measuring
 		idx[kind] = st.probe
@@ -160,6 +197,7 @@ func compileAdaptive(a AdaptiveConfig, phases []compiledPhase, idx map[string]in
 			compiledPhase{kind: kind, variant: VariantProbe, cfg: probe, eng: newEngine(probe)},
 			compiledPhase{kind: kind, variant: VariantCapture, cfg: capt, eng: newEngine(capt)},
 			compiledPhase{kind: kind, variant: VariantSkipShared, cfg: skip, eng: newEngine(skip)},
+			compiledPhase{kind: kind, variant: VariantReadMostly, cfg: rmc, eng: newEngine(rmc)},
 		)
 		states = append(states, st)
 	}
@@ -169,7 +207,7 @@ func compileAdaptive(a AdaptiveConfig, phases []compiledPhase, idx map[string]in
 // AdaptiveSelection is the current engine choice for one adaptive kind.
 type AdaptiveSelection struct {
 	Kind    string // adaptive phase kind
-	Variant string // VariantProbe, VariantCapture, or VariantSkipShared
+	Variant string // one of the Variant* labels
 	Engine  string // engine name of the selected variant
 }
 
@@ -233,14 +271,30 @@ func (th *Thread) adaptiveDecide(st *adaptState, idx int, s, mark *Stats) {
 		total := (s.ReadTotal - mark.ReadTotal) + (s.WriteTotal - mark.WriteTotal)
 		captured := (s.ReadCapStack - mark.ReadCapStack) + (s.ReadCapHeap - mark.ReadCapHeap) +
 			(s.WriteCapStack - mark.WriteCapStack) + (s.WriteCapHeap - mark.WriteCapHeap)
-		var share float64
+		// Shared writes: the stores the capture classification could not
+		// prove captured — exactly the stores that would force a
+		// read-mostly attempt to upgrade.
+		sharedWrites := (s.WriteTotal - mark.WriteTotal) -
+			(s.WriteCapStack - mark.WriteCapStack) - (s.WriteCapHeap - mark.WriteCapHeap)
+		var share, sharedWriteShare float64
 		if total > 0 {
 			share = float64(captured) / float64(total)
+			sharedWriteShare = float64(sharedWrites) / float64(total)
 		}
 		// The probe epoch is the regression baseline for the fast
 		// variants that follow it.
 		st.baseAbort.Store(math.Float64bits(abortRatio))
 		switch {
+		case total > 0 && sharedWriteShare <= acfg.ReadMostlyPct &&
+			float64(sharedWrites) <= acfg.UpgradePct*float64(commits):
+			// Nearly no shared writes — and few enough that even one per
+			// transaction could not push the upgrade rate past the
+			// UpgradePct demotion. The read-mostly variant keeps the
+			// capture elisions, never logs its full-barrier reads, and
+			// skips all write-path setup, so here it dominates the
+			// capture engine regardless of the captured share and is
+			// checked first.
+			target = st.rm
 		case share >= acfg.PromotePct:
 			target = st.capture
 		case share <= acfg.DemotePct:
@@ -250,10 +304,15 @@ func (th *Thread) adaptiveDecide(st *adaptState, idx int, s, mark *Stats) {
 	} else {
 		base := math.Float64frombits(st.baseAbort.Load())
 		th.adaptFast[idx]++
-		if abortRatio > base+acfg.RegressPct {
+		upgrades := float64(s.Upgrades-mark.Upgrades) / float64(commits)
+		switch {
+		case idx == st.rm && upgrades > acfg.UpgradePct:
+			target = st.probe // the regime started writing shared data
+			th.adaptFast[idx] = 0
+		case abortRatio > base+acfg.RegressPct:
 			target = st.probe // regression: this engine is losing; re-measure
 			th.adaptFast[idx] = 0
-		} else if th.adaptFast[idx] >= uint32(acfg.ProbeEvery) {
+		case th.adaptFast[idx] >= uint32(acfg.ProbeEvery):
 			target = st.probe // scheduled re-probe
 			th.adaptFast[idx] = 0
 		}

@@ -21,10 +21,14 @@ func adaptiveCfg(epoch int) OptConfig {
 	return cfg
 }
 
-// runCaptured executes one allocate-build transaction: every barrier
-// targets captured memory (a fresh allocation), so a probe epoch
-// observes ~100% captured share.
-func runCaptured(th *Thread) {
+// runCaptured executes one allocate-build-publish transaction: eight of
+// its nine barriers target captured memory (a fresh allocation), one
+// store links the record into a shared slot, so a probe epoch observes
+// ~89% captured share. The shared link is what keeps this regime off
+// the read-mostly variant — every transaction would upgrade on it — and
+// on the capture engine (a kind with no shared writes at all selects
+// read-mostly instead; see readmostly_test.go).
+func runCaptured(th *Thread, g mem.Addr) {
 	th.Atomic(func(tx *Tx) {
 		p := tx.Alloc(4)
 		for i := 0; i < 4; i++ {
@@ -33,6 +37,7 @@ func runCaptured(th *Thread) {
 		for i := 0; i < 4; i++ {
 			_ = tx.Load(p+mem.Addr(i), AccAuto)
 		}
+		tx.Store(g, uint64(p), AccShared)
 		tx.Free(p)
 	})
 }
@@ -45,15 +50,15 @@ func runShared(th *Thread, g mem.Addr) {
 	})
 }
 
-// TestAdaptiveCompilation pins the adaptive engine table: three variant
+// TestAdaptiveCompilation pins the adaptive engine table: four variant
 // entries per adaptive kind, probe selected initially, manual
 // declarations left alone, the "+adaptive" marker, and the variant
 // configurations matching what a manual fragment would compile to.
 func TestAdaptiveCompilation(t *testing.T) {
 	rt := newRT(adaptiveCfg(8))
-	// Table: default + 2 kinds x 3 variants.
-	if len(rt.phases) != 7 {
-		t.Fatalf("engine table has %d entries, want 7", len(rt.phases))
+	// Table: default + 2 kinds x 4 variants.
+	if len(rt.phases) != 9 {
+		t.Fatalf("engine table has %d entries, want 9", len(rt.phases))
 	}
 	if got := rt.Engine(); got != "perf-rw-stack-heap-tree+adaptive" {
 		t.Errorf("Engine() = %q", got)
@@ -83,13 +88,19 @@ func TestAdaptiveCompilation(t *testing.T) {
 	if got := rt.phases[st.skip].eng.name; got != "perf-rw-stack-heap-tree+skipshared" {
 		t.Errorf("skipshared variant engine = %q", got)
 	}
+	if got := rt.phases[st.rm].eng.name; got != "perf-readmostly" {
+		t.Errorf("readmostly variant engine = %q", got)
+	}
+	if up := rt.phases[st.rm].eng.up; up == nil || up.name != "perf-rw-stack-heap-tree" {
+		t.Errorf("readmostly upgrade target = %+v, want perf-rw-stack-heap-tree", up)
+	}
 
 	// A kind declared manually is ground truth: no variants for it.
 	mixed := adaptiveCfg(8)
 	mixed.Phases = []PhaseConfig{{Kind: "publish", Cfg: Baseline()}}
 	mrt := newRT(mixed)
-	if len(mrt.phases) != 5 { // default + manual publish + 3 cursor variants
-		t.Errorf("mixed table has %d entries, want 5", len(mrt.phases))
+	if len(mrt.phases) != 6 { // default + manual publish + 4 cursor variants
+		t.Errorf("mixed table has %d entries, want 6", len(mrt.phases))
 	}
 	if len(mrt.adapt) != 1 || mrt.adapt[0].kind != "cursor" {
 		t.Errorf("mixed adapt states = %+v", mrt.adapt)
@@ -137,7 +148,7 @@ func TestAdaptivePromotion(t *testing.T) {
 
 	th.EnterPhase("publish")
 	for i := 0; i < 3*epoch; i++ {
-		runCaptured(th)
+		runCaptured(th, g)
 	}
 	th.EnterPhase("cursor")
 	for i := 0; i < 3*epoch; i++ {
@@ -212,12 +223,13 @@ func TestAdaptiveReprobe(t *testing.T) {
 	cfg.Adaptive.ProbeEvery = 2
 	rt := newRT(cfg)
 	th := rt.Thread(0)
+	g := rt.Space().AllocGlobal(1)
 
 	th.EnterPhase("publish")
 	// 1 probe epoch + 2 fast + 1 probe + 2 fast + ... : ~1/3 of epochs
 	// probe after the first.
 	for i := 0; i < 12*epoch; i++ {
-		runCaptured(th)
+		runCaptured(th, g)
 	}
 	var probeCommits uint64
 	for _, row := range rt.PhaseStats() {

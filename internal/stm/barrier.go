@@ -230,6 +230,199 @@ func (tx *Tx) storeCounting(a mem.Addr, val uint64, ac Acc) {
 	tx.writeFull(a, val)
 }
 
+// --- The read-mostly instrumented chain ---
+//
+// loadReadMostly/storeReadMostly are the statistics-keeping chain of
+// the read-mostly engine (engine.go). Loads keep the profile's full
+// capture-elision dispatch (an elided read is cheaper than any
+// barrier), but the fallback is rmReadFull — validation against the
+// attempt's snapshot with NO read-set entry — instead of readFull.
+// Stores keep the capture dispatch, and the first store that falls
+// through upgrades onto the full engine — whose own chain then
+// accounts for every later access, so nothing is double-counted.
+
+func (tx *Tx) loadReadMostly(a mem.Addr, ac Acc) uint64 {
+	th := tx.th
+	st := th.stats
+	st.ReadTotal++
+	if ac.Manual {
+		st.ReadManual++
+	}
+	if tx.compiler && StaticElide(ac.Prov) {
+		st.ReadElStatic++
+		return th.rt.space.Load(a)
+	}
+	if tx.skipShared && ac.Prov == ProvShared {
+		st.ReadSkipShared++
+		st.ReadFull++
+		return tx.rmReadFull(a)
+	}
+	if tx.readStack && tx.onTxStack(a) {
+		st.ReadElStack++
+		return th.rt.space.Load(a)
+	}
+	if tx.readHeap && tx.alogContains(a) {
+		st.ReadElHeap++
+		return th.rt.space.Load(a)
+	}
+	if tx.annotations && th.priv.Contains(a, 1) {
+		st.ReadElPriv++
+		return th.rt.space.Load(a)
+	}
+	st.ReadFull++
+	return tx.rmReadFull(a)
+}
+
+func (tx *Tx) storeReadMostly(a mem.Addr, val uint64, ac Acc) {
+	st := tx.th.stats
+	if tx.compiler && StaticElide(ac.Prov) {
+		st.WriteTotal++
+		if ac.Manual {
+			st.WriteManual++
+		}
+		st.WriteElStatic++
+		tx.storeCaptured(a, val)
+		return
+	}
+	if tx.writeStack && tx.onTxStack(a) {
+		st.WriteTotal++
+		if ac.Manual {
+			st.WriteManual++
+		}
+		st.WriteElStack++
+		tx.storeCaptured(a, val)
+		return
+	}
+	if tx.writeHeap && tx.alogContains(a) {
+		st.WriteTotal++
+		if ac.Manual {
+			st.WriteManual++
+		}
+		st.WriteElHeap++
+		tx.storeCaptured(a, val)
+		return
+	}
+	// The upgrade target's chain counts this store (and all later
+	// accesses) itself.
+	tx.upgradeWrite(a, val, ac)
+}
+
+// loadGenericRM/storeGenericRM are the forced-generic reference chain
+// for a read-mostly profile (engine.go): the same chain shapes as
+// loadReadMostly/storeReadMostly — the profile's capture dispatch with
+// the rmReadFull fallback on loads and upgradeWrite on the first
+// shared store — with the generic chain's keepStats guards, and the
+// plain generic chain as the upgrade target. Differential runs against
+// the specialized read-mostly engines must produce identical counters
+// and identical upgrade decisions, so the reference interprets the
+// same specification.
+
+func (tx *Tx) loadGenericRM(a mem.Addr, ac Acc) uint64 {
+	th := tx.th
+	if tx.keepStats {
+		st := th.stats
+		st.ReadTotal++
+		if ac.Manual {
+			st.ReadManual++
+		}
+	}
+	if tx.compiler && StaticElide(ac.Prov) {
+		th.stats.ReadElStatic += tx.statInc()
+		return th.rt.space.Load(a)
+	}
+	if tx.skipShared && ac.Prov == ProvShared {
+		th.stats.ReadSkipShared += tx.statInc()
+		th.stats.ReadFull += tx.statInc()
+		return tx.rmReadFull(a)
+	}
+	if tx.readStack && tx.onTxStack(a) {
+		th.stats.ReadElStack += tx.statInc()
+		return th.rt.space.Load(a)
+	}
+	if tx.readHeap && tx.alogContains(a) {
+		th.stats.ReadElHeap += tx.statInc()
+		return th.rt.space.Load(a)
+	}
+	if tx.annotations && th.priv.Contains(a, 1) {
+		th.stats.ReadElPriv += tx.statInc()
+		return th.rt.space.Load(a)
+	}
+	th.stats.ReadFull += tx.statInc()
+	return tx.rmReadFull(a)
+}
+
+func (tx *Tx) storeGenericRM(a mem.Addr, val uint64, ac Acc) {
+	th := tx.th
+	if tx.compiler && StaticElide(ac.Prov) {
+		if tx.keepStats {
+			st := th.stats
+			st.WriteTotal++
+			if ac.Manual {
+				st.WriteManual++
+			}
+			st.WriteElStatic++
+		}
+		tx.storeCaptured(a, val)
+		return
+	}
+	if tx.writeStack && tx.onTxStack(a) {
+		if tx.keepStats {
+			st := th.stats
+			st.WriteTotal++
+			if ac.Manual {
+				st.WriteManual++
+			}
+			st.WriteElStack++
+		}
+		tx.storeCaptured(a, val)
+		return
+	}
+	if tx.writeHeap && tx.alogContains(a) {
+		if tx.keepStats {
+			st := th.stats
+			st.WriteTotal++
+			if ac.Manual {
+				st.WriteManual++
+			}
+			st.WriteElHeap++
+		}
+		tx.storeCaptured(a, val)
+		return
+	}
+	// The upgrade target's chain counts this store (and all later
+	// accesses) itself.
+	tx.upgradeWrite(a, val, ac)
+}
+
+// upgradeWrite is the read-mostly engine's one-time in-flight upgrade:
+// the first store that needs the full write barrier re-points the
+// descriptor's barrier pair at the full engine compiled from the same
+// profile and re-dispatches the store through it. The write machinery
+// (write/undo logs, lockedPrev) then materializes lazily as the full
+// paths touch it.
+//
+// The read-mostly loads before this point were never logged (rmReadFull
+// validates against rv and keeps no read set), so continuing in-flight
+// is sound only when nothing has committed since the attempt's
+// snapshot: then every unlogged read is provably still valid. The
+// clock==rv test proves exactly that. Otherwise the attempt restarts
+// with upNext set, and beginTop runs the retry on the full engine from
+// the start so every read is logged and normal validation applies.
+// finish() undoes the swap at the end of the attempt, so a later
+// transaction starts read-mostly again; that keeps the upgrade correct
+// under retry by construction.
+func (tx *Tx) upgradeWrite(a mem.Addr, val uint64, ac Acc) {
+	tx.th.stats.Upgrades++
+	if tx.th.rt.clock.Load() != tx.rv {
+		tx.upNext = true
+		tx.conflict()
+	}
+	up := tx.eng.up
+	tx.load, tx.store = up.load, up.store
+	tx.upgraded = true
+	tx.store(tx, a, val, ac)
+}
+
 // statInc returns 1 when statistics are kept, else 0, letting the
 // generic reference chain stay branch-light under PerfMode.
 func (tx *Tx) statInc() uint64 {
@@ -265,6 +458,36 @@ func (tx *Tx) readFull(a mem.Addr) uint64 {
 	}
 }
 
+// rmReadFull is the read-mostly full read barrier: the TL2 read-only
+// load. The orec is validated against the attempt's snapshot rv at read
+// time and NO read-set entry is appended — a transaction that never
+// upgrades therefore commits with no validation loop, no clock bump,
+// and no log traffic at all. The price is that the read set cannot
+// vouch for these reads later: extension and commit-time validation for
+// attempts containing unlogged reads are gated in lifecycle.go
+// (extend/commitTop) on proof that no other thread's commit intervened.
+// No owner check is needed: pre-upgrade the transaction holds no orecs
+// (post-upgrade loads run the full engine's readFull).
+func (tx *Tx) rmReadFull(a mem.Addr) uint64 {
+	rt := tx.th.rt
+	oi := rt.orecIndex(a)
+	for {
+		v1 := rt.orecs[oi].Load()
+		if orecLocked(v1) {
+			tx.conflict()
+		}
+		if orecVersion(v1) > tx.rv {
+			tx.extend()
+			continue
+		}
+		val := rt.space.Load(a)
+		if rt.orecs[oi].Load() != v1 {
+			tx.conflict()
+		}
+		return val
+	}
+}
+
 // storeCaptured writes captured memory directly. At nesting depth > 1
 // the location may be live-in for the nested transaction even though
 // it is transaction-local to the outer one, so partial abort requires
@@ -294,6 +517,12 @@ func (tx *Tx) writeFull(a mem.Addr, val uint64) {
 		}
 		if rt.orecs[oi].CompareAndSwap(v, orecLockWord(tx.th.id)) {
 			tx.writes = append(tx.writes, writeEntry{oi})
+			if tx.lockedPrev == nil {
+				// Allocated on the thread's first lock ever (then reused
+				// via clear in finish), not per Tx: transactions that
+				// never lock an orec never pay for the map.
+				tx.lockedPrev = make(map[uint64]uint64, 8)
+			}
 			tx.lockedPrev[oi] = v
 			break
 		}

@@ -156,6 +156,23 @@ type OptConfig struct {
 	// barrier, removing check overhead where elision cannot happen.
 	SkipSharedChecks bool
 
+	// ReadMostly compiles the read-mostly engine family (engine.go):
+	// captured reads keep the profile's elisions, full-barrier reads
+	// are validated against the attempt's snapshot at read time and
+	// never logged (no read set), stores to captured memory stay plain
+	// stores, and the first store that needs the full write barrier
+	// triggers a one-time in-flight upgrade onto the full engine
+	// compiled from the same profile (minus this knob) — or, when
+	// writers have committed past the snapshot, a restart of the
+	// attempt on that engine. A transaction that never upgrades never
+	// touches the read set, write log, undo log, or lockedPrev map,
+	// and commits without a validation loop or clock bump. The
+	// write-side capture dispatch still honors Write/Compiler, so
+	// incidental captured stores (stack probe keys, scan scratch) do
+	// not force the upgrade. Ignored under the Counting/VerifyElision
+	// debug oracles, whose instrumented chains are ground truth.
+	ReadMostly bool
+
 	// ForceGeneric forces the generic reference barrier engine instead
 	// of the specialized engine the profile would compile to. It is a
 	// debug/differential-testing knob (tm.WithEngine): the specialized
@@ -202,6 +219,17 @@ type AdaptiveConfig struct {
 	// RegressPct demotes a fast variant back to the probe when an
 	// epoch's abort ratio exceeds the probe baseline by more than this.
 	RegressPct float64
+	// ReadMostlyPct bounds the share of accesses that are *shared*
+	// writes (writes the capture classification could not prove
+	// captured): a probe epoch at or below it — and below PromotePct
+	// captured share — selects the read-mostly variant, whose loads
+	// skip the capture checks entirely and whose write machinery
+	// materializes only on an in-flight upgrade.
+	ReadMostlyPct float64
+	// UpgradePct demotes the read-mostly variant back to the probe when
+	// an epoch's first-store upgrades per commit exceed it — the regime
+	// has started writing shared data and the upgrade toll is real.
+	UpgradePct float64
 }
 
 // PhaseConfig binds a phase kind to the full optimization configuration

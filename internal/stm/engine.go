@@ -29,6 +29,13 @@ type engine struct {
 	name  string
 	load  loadFn
 	store storeFn
+
+	// up is the in-flight upgrade target of a read-mostly engine: the
+	// full engine compiled from the same profile with ReadMostly off.
+	// upgradeWrite re-points the Tx's barrier pair at it on the first
+	// store that needs the full write barrier; nil for every other
+	// engine family.
+	up *engine
 }
 
 // genericEngine is the reference chain: the original interpreting
@@ -44,11 +51,32 @@ func genericEngine() *engine {
 //   - "generic"   — the reference chain (forced, or rare debug combos)
 //   - "counting"  — full instrumentation, for every profile that keeps
 //     statistics (PerfMode off)
+//   - "readmostly" / "perf-readmostly" — the read-mostly family:
+//     unlogged snapshot-validated loads (no read set), shared stores
+//     upgrade in-flight onto the full engine (newReadMostlyEngine)
 //   - "perf-*"    — specialized fast paths with no statistics code and
 //     the capture probe inlined for the configured log kind
 func newEngine(cfg OptConfig) *engine {
 	if cfg.ForceGeneric {
+		if cfg.ReadMostly && !cfg.Counting && !cfg.VerifyElision {
+			// The reference for a read-mostly profile must interpret the
+			// same semantics — the generic capture dispatch with unlogged
+			// rmReadFull loads and in-flight upgrade onto the plain
+			// generic chain — or the differentials would compare two
+			// different specifications. Same selection condition as the
+			// specialized family below.
+			full := cfg
+			full.ReadMostly = false
+			return &engine{name: "generic",
+				load: (*Tx).loadGenericRM, store: (*Tx).storeGenericRM,
+				up: newEngine(full)}
+		}
 		return genericEngine()
+	}
+	if cfg.ReadMostly && !cfg.Counting && !cfg.VerifyElision {
+		// The counting/verification oracles need their instrumented
+		// chains to observe every access, so they win over ReadMostly.
+		return newReadMostlyEngine(cfg)
 	}
 	if !cfg.PerfMode {
 		// Statistics are on: the instrumented chain carries all the
@@ -89,6 +117,81 @@ func newPerfEngine(cfg OptConfig) *engine {
 		load, store = withStaticElide(load, store)
 	}
 	return &engine{name: name, load: load, store: store}
+}
+
+// newReadMostlyEngine builds the read-mostly family for cfg: a barrier
+// pair specialized for transactions that read shared data and write
+// (at most) captured memory. The Load chain keeps every capture
+// elision the profile compiles — even "read" operations load back
+// reply staging and scan scratch from captured memory, and an elided
+// captured read is strictly cheaper than any barrier — but the
+// full-barrier fallback is rmReadFull (barrier.go): the read is
+// validated against the attempt's snapshot at read time and NEVER
+// logged. A transaction that stays on this engine therefore commits
+// with no read-set traffic, no validation loop, and no clock bump at
+// all. The Store chain keeps the profile's capture dispatch; only a
+// store that would need the full write barrier falls through to
+// upgradeWrite (barrier.go), which continues in-flight on the full
+// engine when no writer has committed since the snapshot and restarts
+// the attempt on the full engine otherwise. Until that happens the
+// write log, undo log, and lockedPrev map are never touched.
+func newReadMostlyEngine(cfg OptConfig) *engine {
+	full := cfg
+	full.ReadMostly = false
+	e := &engine{up: newEngine(full)}
+	if !cfg.PerfMode {
+		// Statistics on: the instrumented read-mostly chain accounts for
+		// the elisions; post-upgrade accesses are counted by the upgrade
+		// target's own chain.
+		e.name = "readmostly"
+		e.load = (*Tx).loadReadMostly
+		e.store = (*Tx).storeReadMostly
+		return e
+	}
+	e.name = "perf-readmostly"
+	e.load = rmLoadPerf(cfg)
+	e.store = rmStorePerf(cfg)
+	return e
+}
+
+// rmLoadPerf is the stats-free read-mostly load: the profile's capture
+// dispatch with the full-barrier fallback replaced by the unlogged
+// snapshot-validated read. The composition mirrors newPerfEngine.
+func rmLoadPerf(cfg OptConfig) loadFn {
+	if cfg.Annotations {
+		return rmLoadChain(cfg)
+	}
+	load := rmLoadCore(cfg.Read, cfg.LogKind)
+	if cfg.SkipSharedChecks {
+		load = rmLoadSkipShared(load)
+	}
+	if cfg.Compiler {
+		load = rmLoadStaticElide(load)
+	}
+	return load
+}
+
+// rmStorePerf is the stats-free read-mostly store: the profile's
+// capture dispatch with the full-barrier fallback replaced by the
+// one-time in-flight upgrade.
+func rmStorePerf(cfg OptConfig) storeFn {
+	compiler := cfg.Compiler
+	wStack, wHeap := cfg.Write.Stack, cfg.Write.Heap
+	return func(tx *Tx, a mem.Addr, val uint64, ac Acc) {
+		if compiler && StaticElide(ac.Prov) {
+			tx.storeCaptured(a, val)
+			return
+		}
+		if wStack && tx.onTxStack(a) {
+			tx.storeCaptured(a, val)
+			return
+		}
+		if wHeap && tx.alogContains(a) {
+			tx.storeCaptured(a, val)
+			return
+		}
+		tx.upgradeWrite(a, val, ac)
+	}
 }
 
 // perfName derives the engine label from the profile shape.
@@ -216,6 +319,137 @@ func perfLoadCore(b BarrierOpt, k capture.Kind) loadFn {
 		return perfLoadStack
 	}
 	return perfLoadFull
+}
+
+// --- Read-mostly flat load fast paths ---
+//
+// Mirrors of the perfLoad* specializations with readFull replaced by
+// rmReadFull: the capture checks are identical, the full-barrier
+// fallback validates against the snapshot and keeps no read set.
+
+func rmLoadFull(tx *Tx, a mem.Addr, _ Acc) uint64 { return tx.rmReadFull(a) }
+
+func rmLoadStack(tx *Tx, a mem.Addr, _ Acc) uint64 {
+	if tx.onTxStack(a) {
+		return tx.th.rt.space.Load(a)
+	}
+	return tx.rmReadFull(a)
+}
+
+func rmLoadStackHeapTree(tx *Tx, a mem.Addr, _ Acc) uint64 {
+	if tx.onTxStack(a) || (tx.allocLive > 0 && tx.alogTree.Contains(a, 1)) {
+		return tx.th.rt.space.Load(a)
+	}
+	return tx.rmReadFull(a)
+}
+
+func rmLoadStackHeapArray(tx *Tx, a mem.Addr, _ Acc) uint64 {
+	if tx.onTxStack(a) || (tx.allocLive > 0 && tx.alogArr.Contains(a, 1)) {
+		return tx.th.rt.space.Load(a)
+	}
+	return tx.rmReadFull(a)
+}
+
+func rmLoadStackHeapFilter(tx *Tx, a mem.Addr, _ Acc) uint64 {
+	if tx.onTxStack(a) || (tx.allocLive > 0 && tx.alogFil.Contains(a, 1)) {
+		return tx.th.rt.space.Load(a)
+	}
+	return tx.rmReadFull(a)
+}
+
+func rmLoadHeapTree(tx *Tx, a mem.Addr, _ Acc) uint64 {
+	if tx.allocLive > 0 && tx.alogTree.Contains(a, 1) {
+		return tx.th.rt.space.Load(a)
+	}
+	return tx.rmReadFull(a)
+}
+
+func rmLoadHeapArray(tx *Tx, a mem.Addr, _ Acc) uint64 {
+	if tx.allocLive > 0 && tx.alogArr.Contains(a, 1) {
+		return tx.th.rt.space.Load(a)
+	}
+	return tx.rmReadFull(a)
+}
+
+func rmLoadHeapFilter(tx *Tx, a mem.Addr, _ Acc) uint64 {
+	if tx.allocLive > 0 && tx.alogFil.Contains(a, 1) {
+		return tx.th.rt.space.Load(a)
+	}
+	return tx.rmReadFull(a)
+}
+
+func rmLoadCore(b BarrierOpt, k capture.Kind) loadFn {
+	switch {
+	case b.Stack && b.Heap:
+		switch k {
+		case capture.KindArray:
+			return rmLoadStackHeapArray
+		case capture.KindFilter:
+			return rmLoadStackHeapFilter
+		default:
+			return rmLoadStackHeapTree
+		}
+	case b.Heap:
+		switch k {
+		case capture.KindArray:
+			return rmLoadHeapArray
+		case capture.KindFilter:
+			return rmLoadHeapFilter
+		default:
+			return rmLoadHeapTree
+		}
+	case b.Stack:
+		return rmLoadStack
+	}
+	return rmLoadFull
+}
+
+// rmLoadSkipShared and rmLoadStaticElide are the load halves of the
+// composable prologues below, with the definitely-shared fast path
+// routed to the unlogged read.
+func rmLoadSkipShared(load loadFn) loadFn {
+	return func(tx *Tx, a mem.Addr, ac Acc) uint64 {
+		if ac.Prov == ProvShared {
+			return tx.rmReadFull(a)
+		}
+		return load(tx, a, ac)
+	}
+}
+
+func rmLoadStaticElide(load loadFn) loadFn {
+	return func(tx *Tx, a mem.Addr, ac Acc) uint64 {
+		if StaticElide(ac.Prov) {
+			return tx.th.rt.space.Load(a)
+		}
+		return load(tx, a, ac)
+	}
+}
+
+// rmLoadChain is the stats-free interpreting read-mostly load for
+// long-tail profiles (annotations): perfLoadChain with the unlogged
+// fallback.
+func rmLoadChain(cfg OptConfig) loadFn {
+	compiler, skipShared := cfg.Compiler, cfg.SkipSharedChecks
+	readStack, readHeap := cfg.Read.Stack, cfg.Read.Heap
+	annotations := cfg.Annotations
+	return func(tx *Tx, a mem.Addr, ac Acc) uint64 {
+		if compiler && StaticElide(ac.Prov) {
+			return tx.th.rt.space.Load(a)
+		}
+		if skipShared && ac.Prov == ProvShared {
+			return tx.rmReadFull(a)
+		}
+		if readStack && tx.onTxStack(a) {
+			return tx.th.rt.space.Load(a)
+		}
+		if readHeap && tx.alogContains(a) {
+			return tx.th.rt.space.Load(a)
+		}
+		if annotations && tx.th.priv.Contains(a, 1) {
+			return tx.th.rt.space.Load(a)
+		}
+		return tx.rmReadFull(a)
+	}
 }
 
 // --- Flat store fast paths ---

@@ -60,6 +60,38 @@ func TestEngineSelection(t *testing.T) {
 	if got := newEngine(ann).name; got != "perf-mixed" {
 		t.Errorf("annotations: engine %q, want perf-mixed", got)
 	}
+
+	// The read-mostly family: one name per statistics mode, the upgrade
+	// target compiled from the same profile with the knob off, and the
+	// debug oracles (forced generic, counting) winning over the knob.
+	rm := RuntimeAll(capture.KindTree).Perf()
+	rm.ReadMostly = true
+	e := newEngine(rm)
+	if e.name != "perf-readmostly" {
+		t.Errorf("readmostly-perf: engine %q, want perf-readmostly", e.name)
+	}
+	if e.up == nil || e.up.name != "perf-rw-stack-heap-tree" {
+		t.Errorf("readmostly-perf upgrade target = %+v", e.up)
+	}
+	rmStats := rm
+	rmStats.PerfMode = false
+	e = newEngine(rmStats)
+	if e.name != "readmostly" {
+		t.Errorf("readmostly: engine %q, want readmostly", e.name)
+	}
+	if e.up == nil || e.up.name != "counting" {
+		t.Errorf("readmostly upgrade target = %+v", e.up)
+	}
+	rmForced := rm
+	rmForced.ForceGeneric = true
+	if got := newEngine(rmForced).name; got != "generic" {
+		t.Errorf("readmostly+forced: engine %q, want generic", got)
+	}
+	rmCount := rmStats
+	rmCount.Counting = true
+	if got := newEngine(rmCount).name; got != "counting" {
+		t.Errorf("readmostly+counting: engine %q, want counting", got)
+	}
 }
 
 // engineScenario drives one deterministic transaction mix touching
@@ -138,14 +170,19 @@ func TestEnginesAgreeWithGeneric(t *testing.T) {
 // full of every access flavor, only the lifecycle counters (commits,
 // allocator traffic) may be nonzero.
 func TestPerfEngineKeepsNoBarrierStats(t *testing.T) {
+	rm := RuntimeAll(capture.KindTree).Perf()
+	rm.ReadMostly = true
+	rm.Name = "readmostly"
 	for _, cfg := range []OptConfig{
 		Baseline().Perf(),
 		RuntimeAll(capture.KindTree).Perf(),
 		Compiler().Perf(),
+		rm,
 	} {
 		_, s := engineScenario(t, cfg)
 		barrier := s
 		barrier.Commits, barrier.Aborts, barrier.UserAborts = 0, 0, 0
+		barrier.Upgrades = 0 // lifecycle accounting, like the outcomes
 		barrier.TxAllocs, barrier.TxFrees = 0, 0
 		if barrier != (Stats{}) {
 			t.Errorf("%s: perf engine recorded barrier stats: %+v", cfg.Name, barrier)

@@ -30,7 +30,9 @@ type Tx struct {
 
 	// lockedPrev maps an orec index we own to the orec word our lock
 	// replaced, populated at lock time so validate never rescans the
-	// write log (see prevOrecWord in logs.go).
+	// write log (see prevOrecWord in logs.go). Allocated lazily on the
+	// first lock acquisition (writeFull) and reused via clear after
+	// that, so read-only transactions never pay for it.
 	lockedPrev map[uint64]uint64
 
 	allocs []allocRec
@@ -45,6 +47,27 @@ type Tx struct {
 	// the configuration booleans below.
 	load  loadFn
 	store storeFn
+
+	// eng is the current phase's compiled engine; upgraded is set while
+	// a read-mostly attempt has swapped load/store onto eng.up (the
+	// in-flight upgrade, barrier.go). finish restores the pair, so each
+	// attempt starts on the phase's own engine.
+	//
+	// rmUnlogged marks an attempt that began on the read-mostly loads:
+	// its pre-upgrade reads were validated at read time but never logged,
+	// so extend and commitTop must prove no foreign commit intervened
+	// instead of revalidating a read set. selfBumps counts the clock
+	// bumps this attempt itself performed (nested partial aborts release
+	// orecs with fresh versions): clock == rv+selfBumps proves exactly
+	// that. upNext asks beginTop to run the next attempt of this
+	// transaction on the full engine from the start — set when an
+	// upgrade or an unlogged-read revalidation finds foreign commits, so
+	// the retry logs its reads and proceeds normally.
+	eng        *engine
+	upgraded   bool
+	rmUnlogged bool
+	upNext     bool
+	selfBumps  uint64
 
 	// Devirtualized views of alog for the hot containment check, plus
 	// a live-range counter so the overwhelmingly common "transaction
@@ -88,7 +111,6 @@ type Tx struct {
 
 func (tx *Tx) init(th *Thread) {
 	tx.th = th
-	tx.lockedPrev = make(map[uint64]uint64)
 	tx.applyPhase(0)
 }
 
@@ -112,6 +134,9 @@ type phaseLogSet struct {
 func (tx *Tx) applyPhase(idx int) {
 	ph := &tx.th.rt.phases[idx]
 	cfg := &ph.cfg
+	tx.eng = ph.eng
+	tx.upgraded = false
+	tx.upNext = false
 	tx.load = ph.eng.load
 	tx.store = ph.eng.store
 	tx.trackAlog = cfg.Read.Heap || cfg.Write.Heap
@@ -176,6 +201,13 @@ func (tx *Tx) Depth() int { return int(tx.depth) }
 // transaction (>1 after conflicts).
 func (tx *Tx) Attempt() int { return tx.attempts }
 
+// rmFallbackAttempt bounds read-mostly retries: from this attempt on,
+// the transaction runs on the full engine, whose logged reads survive
+// concurrent commits via extension. Without the bound, a long unlogged
+// scan racing a steady writer could retry forever — rmReadFull cannot
+// extend past a foreign commit.
+const rmFallbackAttempt = 3
+
 func (tx *Tx) beginTop() {
 	tx.active = true
 	tx.attempts++
@@ -183,6 +215,17 @@ func (tx *Tx) beginTop() {
 	tx.depth = 1
 	tx.th.rt.seqs[tx.th.id].Add(1) // now odd: in transaction
 	tx.rv = tx.th.rt.clock.Load()
+	tx.selfBumps = 0
+	if up := tx.eng.up; up != nil && (tx.upNext || tx.attempts >= rmFallbackAttempt) {
+		// A previous attempt's upgrade found foreign commits past its
+		// snapshot (upNext), or retries keep failing: run this attempt
+		// on the full engine from the first access, so every read is
+		// logged and extension/validation work normally. finish()
+		// restores the read-mostly pair for the next transaction.
+		tx.load, tx.store = up.load, up.store
+		tx.upgraded = true
+	}
+	tx.rmUnlogged = tx.eng.up != nil && !tx.upgraded
 	tx.startSP = tx.th.stack.SP()
 	tx.curSP = tx.startSP
 }
@@ -220,8 +263,21 @@ func (tx *Tx) commitTop() {
 	rt := tx.th.rt
 	if len(tx.writes) > 0 {
 		wv := rt.clock.Add(1)
-		if wv != tx.rv+1 && !tx.validate(rt) {
-			tx.conflict() // unwinds into abortTop
+		if wv != tx.rv+1 {
+			if tx.rmUnlogged {
+				// The attempt upgraded in-flight from read-mostly loads:
+				// its pre-upgrade reads are unlogged, so the read set
+				// cannot vouch for them. Committing is sound exactly when
+				// every clock bump since the snapshot was this attempt's
+				// own (nested partial aborts); otherwise retry on the
+				// full engine.
+				if wv != tx.rv+tx.selfBumps+1 {
+					tx.upNext = true
+					tx.conflict() // unwinds into abortTop
+				}
+			} else if !tx.validate(rt) {
+				tx.conflict() // unwinds into abortTop
+			}
 		}
 		rel := wv << 1
 		for i := range tx.writes {
@@ -279,6 +335,13 @@ func (tx *Tx) abortTop(retried bool) {
 func (tx *Tx) finish() {
 	tx.active = false
 	tx.depth = 0
+	if tx.upgraded {
+		// Undo the read-mostly in-flight upgrade: the next attempt (a
+		// retry of this transaction or a fresh one) starts back on the
+		// phase's own engine and re-upgrades on its first shared store.
+		tx.upgraded = false
+		tx.load, tx.store = tx.eng.load, tx.eng.store
+	}
 	tx.readset = tx.readset[:0]
 	tx.writes = tx.writes[:0]
 	tx.undo = tx.undo[:0]
@@ -296,10 +359,25 @@ func (tx *Tx) finish() {
 }
 
 // extend revalidates the read set against the current clock, raising
-// rv (TL2-style timestamp extension).
+// rv (TL2-style timestamp extension). An attempt that began on the
+// read-mostly loads has unlogged reads the read set cannot vouch for:
+// it may extend only past its own clock bumps (nested partial aborts
+// re-version the orecs it released, but the undo replay restored the
+// exact values, so unlogged reads of them stay valid); any foreign
+// commit in the window forces a retry — on the full engine if the
+// attempt had already upgraded, since it would hit the same wall again.
 func (tx *Tx) extend() {
 	rt := tx.th.rt
 	newRv := rt.clock.Load()
+	if tx.rmUnlogged {
+		if newRv != tx.rv+tx.selfBumps {
+			tx.upNext = tx.upgraded
+			tx.conflict()
+		}
+		tx.rv = newRv
+		tx.selfBumps = 0
+		return
+	}
 	if !tx.validate(rt) {
 		tx.conflict()
 	}
@@ -336,6 +414,7 @@ func (tx *Tx) abortNested() {
 	}
 	if len(tx.writes) > sp.write {
 		rel := rt.clock.Add(1) << 1
+		tx.selfBumps++ // our own bump: unlogged-read revalidation allows it
 		for i := sp.write; i < len(tx.writes); i++ {
 			rt.orecs[tx.writes[i].oi].Store(rel)
 			delete(tx.lockedPrev, tx.writes[i].oi)

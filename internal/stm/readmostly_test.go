@@ -1,0 +1,308 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/mem"
+)
+
+// rmCfg returns the canonical read-mostly perf profile: the full
+// runtime-capture base with the ReadMostly knob on, so the upgrade
+// target is the rw-stack-heap-tree specialization.
+func rmCfg() OptConfig {
+	cfg := RuntimeAll(capture.KindTree).Perf()
+	cfg.ReadMostly = true
+	return cfg
+}
+
+// TestReadMostlyZeroWriteActivity is the zero-setup acceptance pin: a
+// phase that never stores to shared memory must leave the write-side
+// machinery untouched — no write-log or undo-log capacity ever
+// allocated, no lockedPrev map materialized, zero upgrades — and,
+// because read-mostly full reads validate against the snapshot instead
+// of logging, no read-set capacity either.
+func TestReadMostlyZeroWriteActivity(t *testing.T) {
+	for _, perf := range []bool{false, true} {
+		cfg := rmCfg()
+		cfg.PerfMode = perf
+		rt := newRT(cfg)
+		th := rt.Thread(0)
+		g := rt.Space().AllocGlobal(8)
+		for i := 0; i < 8; i++ {
+			rt.Space().Store(g+mem.Addr(i), uint64(i*3))
+		}
+		var sum uint64
+		for iter := 0; iter < 50; iter++ {
+			th.Atomic(func(tx *Tx) {
+				// Captured stores (stack accumulator) must not upgrade.
+				f := tx.StackAlloc(1)
+				tx.Store(f, 0, AccStack)
+				for i := 0; i < 8; i++ {
+					tx.Store(f, tx.Load(f, AccStack)+tx.Load(g+mem.Addr(i), AccShared), AccStack)
+				}
+				sum = tx.Load(f, AccStack)
+			})
+		}
+		if sum != 0+3+6+9+12+15+18+21 {
+			t.Errorf("perf=%v: sum = %d", perf, sum)
+		}
+		s := rt.Stats()
+		if s.Upgrades != 0 {
+			t.Errorf("perf=%v: %d upgrades on a never-storing phase", perf, s.Upgrades)
+		}
+		if s.Commits != 50 {
+			t.Errorf("perf=%v: commits = %d, want 50", perf, s.Commits)
+		}
+		tx := th.tx
+		if cap(tx.writes) != 0 || cap(tx.undo) != 0 {
+			t.Errorf("perf=%v: write machinery allocated: writes cap %d, undo cap %d",
+				perf, cap(tx.writes), cap(tx.undo))
+		}
+		if cap(tx.readset) != 0 {
+			t.Errorf("perf=%v: read set allocated (cap %d) on unlogged loads", perf, cap(tx.readset))
+		}
+		if tx.lockedPrev != nil {
+			t.Errorf("perf=%v: lockedPrev materialized with %d entries", perf, len(tx.lockedPrev))
+		}
+		rt.Validate()
+	}
+}
+
+// TestReadMostlyUpgrade covers the in-flight upgrade: the first shared
+// store swaps the transaction onto the full engine mid-flight, the
+// store and everything after it behaves exactly like the full engine,
+// and finish() restores the read-mostly pair so the next transaction
+// starts fresh.
+func TestReadMostlyUpgrade(t *testing.T) {
+	for _, perf := range []bool{false, true} {
+		cfg := rmCfg()
+		cfg.PerfMode = perf
+		rt := newRT(cfg)
+		th := rt.Thread(0)
+		g := rt.Space().AllocGlobal(2)
+		rt.Space().Store(g, 40)
+		th.Atomic(func(tx *Tx) {
+			v := tx.Load(g, AccShared)
+			tx.Store(g, v+2, AccShared) // first shared store: upgrade here
+			if !tx.upgraded {
+				t.Error("tx not marked upgraded after shared store")
+			}
+			// Read-after-write and a second store run on the full engine.
+			tx.Store(g+1, tx.Load(g, AccShared), AccShared)
+		})
+		if got := rt.Space().Load(g); got != 42 {
+			t.Errorf("perf=%v: g = %d, want 42", perf, got)
+		}
+		if got := rt.Space().Load(g + 1); got != 42 {
+			t.Errorf("perf=%v: g+1 = %d, want 42", perf, got)
+		}
+		if s := rt.Stats(); s.Upgrades != 1 {
+			t.Errorf("perf=%v: upgrades = %d, want 1", perf, s.Upgrades)
+		}
+		// The barrier pair is restored: a following read-only transaction
+		// reports no further upgrades.
+		th.Atomic(func(tx *Tx) {
+			if tx.upgraded {
+				t.Error("upgraded flag leaked into next transaction")
+			}
+			_ = tx.Load(g, AccShared)
+		})
+		if s := rt.Stats(); s.Upgrades != 1 {
+			t.Errorf("perf=%v: upgrades after read-only tx = %d, want 1", perf, s.Upgrades)
+		}
+		rt.Validate()
+	}
+}
+
+// TestReadMostlyUpgradeRestart pins the restart half of the upgrade
+// contract: when a writer commits between a read-mostly attempt's
+// snapshot and its first shared store, the unlogged reads cannot be
+// revalidated, so the in-flight path must refuse and the retry must
+// run the full engine from its first access (upNext).
+func TestReadMostlyUpgradeRestart(t *testing.T) {
+	rt := newRT(rmCfg())
+	th := rt.Thread(0)
+	wr := rt.Thread(1)
+	g := rt.Space().AllocGlobal(2)
+	attempts := 0
+	th.Atomic(func(tx *Tx) {
+		attempts++
+		v := tx.Load(g, AccShared)
+		if attempts == 1 {
+			// A concurrent writer commits after the snapshot.
+			wr.Atomic(func(wtx *Tx) {
+				wtx.Store(g+1, 7, AccShared)
+			})
+			if tx.upgraded {
+				t.Error("attempt 1 started upgraded")
+			}
+		} else if !tx.upgraded {
+			t.Error("retry did not start on the full engine")
+		}
+		tx.Store(g, v+1, AccShared)
+	})
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2", attempts)
+	}
+	if got := rt.Space().Load(g); got != 1 {
+		t.Errorf("g = %d, want 1", got)
+	}
+	// Two upgrade events: the interfering writer's (in-flight, it saw a
+	// clean clock) and the refused one that forced the restart. The
+	// retried attempt runs the full engine from the start, so it does
+	// not count a third.
+	if s := rt.Stats(); s.Upgrades != 2 {
+		t.Errorf("upgrades = %d, want 2", s.Upgrades)
+	}
+	rt.Validate()
+}
+
+// TestReadMostlyUpgradeNestedAbort drives the upgrade inside a nested
+// transaction that partially aborts: the inner stores roll back, the
+// upgrade sticks for the rest of the outer transaction (the engine swap
+// is per-attempt, not per-nesting-level), and the outer commit is
+// intact.
+func TestReadMostlyUpgradeNestedAbort(t *testing.T) {
+	rt := newRT(rmCfg())
+	th := rt.Thread(0)
+	g := rt.Space().AllocGlobal(2)
+	rt.Space().Store(g, 7)
+	th.Atomic(func(tx *Tx) {
+		_ = tx.Load(g, AccShared)
+		th.Atomic(func(tx2 *Tx) {
+			tx2.Store(g+1, 99, AccShared) // upgrade fires inside the nested tx
+			tx2.UserAbort()
+		})
+		if !tx.upgraded {
+			t.Error("upgrade did not survive the nested abort")
+		}
+		tx.Store(g, tx.Load(g, AccShared)+1, AccShared)
+	})
+	if got := rt.Space().Load(g); got != 8 {
+		t.Errorf("g = %d, want 8", got)
+	}
+	if got := rt.Space().Load(g + 1); got != 0 {
+		t.Errorf("aborted nested store leaked: g+1 = %d", got)
+	}
+	rt.Validate()
+}
+
+// TestReadMostlyMatchesGeneric runs the full engine scenario (every
+// barrier mechanism, including shared stores that force upgrades) under
+// the read-mostly family and under the forced-generic reference, and
+// demands identical memory effects. Statistics legitimately differ
+// (the upgrade counter, and the post-upgrade chain attribution), so
+// only values are compared.
+func TestReadMostlyMatchesGeneric(t *testing.T) {
+	for _, perf := range []bool{false, true} {
+		cfg := rmCfg()
+		cfg.PerfMode = perf
+		gen := cfg
+		gen.ForceGeneric = true
+		wantVals, _ := engineScenario(t, gen)
+		gotVals, gotStats := engineScenario(t, cfg)
+		for i, v := range gotVals {
+			if v != wantVals[i] {
+				t.Errorf("perf=%v: word %d = %d, want %d (generic)", perf, i, v, wantVals[i])
+			}
+		}
+		if gotStats.Upgrades == 0 {
+			t.Errorf("perf=%v: scenario has shared stores but no upgrades recorded", perf)
+		}
+	}
+}
+
+// TestReadMostlyUpgradeStress is the -race pin for the upgrade path:
+// threads run a mix of read-only scans and upgrading increments against
+// the same counter line, so retried attempts repeatedly re-enter the
+// read-mostly chain and re-upgrade. The final sum must be exact and no
+// orec may stay locked.
+func TestReadMostlyUpgradeStress(t *testing.T) {
+	const threads, perThread = 4, 1500
+	rt := newRT(rmCfg())
+	g := rt.Space().AllocGlobal(2)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			th := rt.Thread(tid)
+			for i := 0; i < perThread; i++ {
+				if i%3 == 0 {
+					// Read-only: stays on the read-mostly chain end to end.
+					th.Atomic(func(tx *Tx) {
+						_ = tx.Load(g, AccShared) + tx.Load(g+1, AccShared)
+					})
+				} else {
+					// Upgrading increment: contended, so aborted attempts
+					// restart on the read-mostly pair and upgrade again.
+					th.Atomic(func(tx *Tx) {
+						tx.Store(g, tx.Load(g, AccShared)+1, AccShared)
+					})
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	want := uint64(threads * perThread * 2 / 3)
+	if got := rt.Space().Load(g); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	rt.Validate()
+}
+
+// runScanHeavy executes one read-dominated transaction: many shared
+// reads plus a couple of captured stack stores, the shape a scan phase
+// presents to the adaptive probe (captured share well under the
+// promote threshold, zero shared writes).
+func runScanHeavy(th *Thread, g mem.Addr) {
+	th.Atomic(func(tx *Tx) {
+		f := tx.StackAlloc(1)
+		tx.Store(f, 0, AccStack)
+		var sum uint64
+		for i := 0; i < 16; i++ {
+			sum += tx.Load(g+mem.Addr(i), AccShared)
+		}
+		tx.Store(f, sum, AccStack)
+	})
+}
+
+// TestAdaptiveReadMostlyConvergence pins the fourth variant's promotion
+// rule: a kind whose probe epochs observe zero shared writes converges
+// to the read-mostly engine with no hints, and a later shift to
+// write-heavy work demotes it back to the probe via the upgrade-rate
+// fast check.
+func TestAdaptiveReadMostlyConvergence(t *testing.T) {
+	const epoch = 8
+	cfg := adaptiveCfg(epoch)
+	cfg.Adaptive.ProbeEvery = 1 << 20 // isolate the upgrade-rate demotion
+	rt := newRT(cfg)
+	th := rt.Thread(0)
+	g := rt.Space().AllocGlobal(16)
+
+	th.EnterPhase("publish")
+	for i := 0; i < 3*epoch; i++ {
+		runScanHeavy(th, g)
+	}
+	sel := rt.AdaptiveSelections()
+	if sel[0].Variant != VariantReadMostly {
+		t.Fatalf("scan-shaped kind selected %q, want %q", sel[0].Variant, VariantReadMostly)
+	}
+	if got := rt.EngineFor("publish"); got != "perf-readmostly" {
+		t.Errorf("EngineFor(publish) = %q", got)
+	}
+
+	// The workload turns write-heavy: every transaction now upgrades, so
+	// the upgrade-per-commit rate blows through UpgradePct and the kind
+	// returns to the probe for remeasurement.
+	for i := 0; i < 3*epoch; i++ {
+		runShared(th, g)
+	}
+	sel = rt.AdaptiveSelections()
+	if sel[0].Variant == VariantReadMostly {
+		t.Errorf("write-heavy shift left kind on %q, want demotion", sel[0].Variant)
+	}
+	rt.Validate()
+}

@@ -9,6 +9,12 @@ type Stats struct {
 	Aborts     uint64 // conflict aborts followed by retry (Table 1's metric)
 	UserAborts uint64 // explicit user aborts (rolled back, not retried)
 
+	// Upgrades counts read-mostly attempts that hit their first shared
+	// store and swapped in-flight onto the full engine (engine.go). Like
+	// the outcome counters it is lifecycle accounting, kept under
+	// PerfMode — the adaptive sampler demotes a read-mostly kind on it.
+	Upgrades uint64
+
 	// Barrier totals: every read/write access a naive STM compiler
 	// would instrument inside a transaction, including those elided
 	// statically or at runtime.
@@ -61,6 +67,7 @@ func (s *Stats) Add(o *Stats) {
 	s.Commits += o.Commits
 	s.Aborts += o.Aborts
 	s.UserAborts += o.UserAborts
+	s.Upgrades += o.Upgrades
 	s.ReadTotal += o.ReadTotal
 	s.WriteTotal += o.WriteTotal
 	s.ReadManual += o.ReadManual

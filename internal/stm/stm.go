@@ -104,6 +104,7 @@ func New(mcfg mem.Config, cfg OptConfig) *Runtime {
 		adaptByIdx[st.probe] = st
 		adaptByIdx[st.capture] = st
 		adaptByIdx[st.skip] = st
+		adaptByIdx[st.rm] = st
 	}
 	return &Runtime{
 		space:      mem.NewSpace(mcfg),
@@ -389,6 +390,7 @@ func (th *Thread) Atomic(fn func(*Tx)) bool {
 			continue
 		}
 		tx.attempts = 0
+		tx.upNext = false // full-engine fallback is per transaction
 		if th.pendingPhase >= 0 {
 			th.setPhase(th.pendingPhase)
 		}

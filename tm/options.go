@@ -161,6 +161,26 @@ func WithSkipSharedChecks() Option {
 	return func(s *settings) { s.cfg.SkipSharedChecks = true }
 }
 
+// WithReadMostly selects the read-mostly barrier engine: the
+// begin/commit lifecycle performs zero write-path setup (no write-log,
+// undo-log, or lock-lookup initialization), captured reads keep the
+// profile's elisions, and full-barrier reads are validated against the
+// transaction's snapshot at read time without maintaining a read set —
+// so a transaction that never writes shared memory commits with no log
+// traffic, no validation loop, and no clock bump. Captured stores —
+// stack frames, fresh allocations, compiler-elided accesses — stay
+// plain in-place writes; the first *shared* store upgrades the
+// transaction onto the profile's full engine (counted in
+// Stats.Upgrades): in-flight when no writer has committed since the
+// snapshot, else by restarting the attempt on the full engine. Right
+// for scan/report phases; usually declared per-phase (PhaseScan)
+// rather than runtime-wide. Ignored under
+// WithCounting/WithVerifyElision, whose oracles need the instrumented
+// chain.
+func WithReadMostly() Option {
+	return func(s *settings) { s.cfg.ReadMostly = true }
+}
+
 // WithoutWAWFilter disables the baseline's cheap write-after-write
 // undo-log filtering (on by default; its presence explains the
 // paper's yada results).
@@ -208,6 +228,11 @@ const (
 	// transactions that capture nothing, where capture checks are pure
 	// overhead and the definitely-shared bypass is the right engine.
 	PhaseCursor Phase = "cursor"
+	// PhaseScan is the read-dominated regime: transactions that read
+	// broadly and store only into captured memory (accumulators, result
+	// vectors), where the read-mostly engine's unlogged
+	// snapshot-validated reads and zero write-path setup win.
+	PhaseScan Phase = "scan"
 )
 
 // PhaseSpec maps one phase kind to the profile fragment its barrier
@@ -264,14 +289,14 @@ type AdaptiveConfig = stm.AdaptiveConfig
 // (capture-free epochs), demoting back to the probe on abort-ratio
 // regression and on a re-probe schedule. Kinds an explicit WithPhases
 // declaration also covers keep their manual engine — hints stay ground
-// truth. An empty Kinds list adapts PhasePublish and PhaseCursor, the
-// two regimes the paper's workloads exhibit. Current selections are
-// observable via Runtime.AdaptiveSelections.
+// truth. An empty Kinds list adapts PhasePublish, PhaseCursor, and
+// PhaseScan, the three regimes the paper's workloads exhibit. Current
+// selections are observable via Runtime.AdaptiveSelections.
 func WithAdaptive(a AdaptiveConfig) Option {
 	return func(s *settings) {
 		a.Enabled = true
 		if len(a.Kinds) == 0 {
-			a.Kinds = []string{PhasePublish, PhaseCursor}
+			a.Kinds = []string{PhasePublish, PhaseCursor, PhaseScan}
 		}
 		s.cfg.Adaptive = a
 	}

@@ -111,8 +111,8 @@ type PhaseStats = stm.PhaseStats
 func (rt *Runtime) PhaseStats() []PhaseStats { return rt.rt.PhaseStats() }
 
 // AdaptiveSelection is the current engine choice for one adaptive
-// phase kind: the kind, the selected variant ("probe", "capture", or
-// "skipshared"), and the engine name it runs on.
+// phase kind: the kind, the selected variant ("probe", "capture",
+// "skipshared", or "readmostly"), and the engine name it runs on.
 type AdaptiveSelection = stm.AdaptiveSelection
 
 // Adaptive variant labels, as reported by AdaptiveSelection.Variant
@@ -121,6 +121,7 @@ const (
 	VariantProbe      = stm.VariantProbe
 	VariantCapture    = stm.VariantCapture
 	VariantSkipShared = stm.VariantSkipShared
+	VariantReadMostly = stm.VariantReadMostly
 )
 
 // AdaptiveSelections reports the current engine selection of every
