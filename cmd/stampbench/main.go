@@ -23,8 +23,9 @@
 //	stampbench -experiment sweep -format json -o BENCH_sweep.json
 //	stampbench -experiment sweep -bench tmmsg -phases  # A/B phase hints on vs. off
 //	stampbench -experiment readmostly -format json -o BENCH_sweep_readmostly.json
+//	stampbench -experiment durability -format json -o BENCH_sweep_durability.json
 //
-// The sweep, capture, and readmostly experiments accept -format json,
+// The sweep, capture, readmostly, and durability experiments accept -format json,
 // producing the diffable report of tm/bench.WriteJSON; -o writes it to
 // a file (BENCH_*.json in CI) instead of stdout. The -phases toggle adds a
 // phase-hinted variant of every sweep profile (publish-shaped
@@ -41,6 +42,7 @@ import (
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"repro/tm"
 	"repro/tm/bench"
@@ -51,7 +53,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "fig10", "list|table1|table2|fig10|fig11a|fig11b|capture|sweep|readmostly")
+	exp := flag.String("experiment", "fig10", "list|table1|table2|fig10|fig11a|fig11b|capture|sweep|readmostly|durability")
 	threads := flag.Int("threads", 1, "worker threads for the parallel phase")
 	runs := flag.Int("runs", 3, "repetitions per data point")
 	benchFlag := flag.String("bench", "all", "comma-separated workload names or 'all'")
@@ -59,6 +61,7 @@ func main() {
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	threadList := flag.String("threadlist", "", "comma-separated thread counts for -experiment sweep (default: machine-sized)")
 	phases := flag.Bool("phases", false, "add phase-hinted variants of every sweep profile (A/B: hints on vs. off)")
+	fsync := flag.Bool("fsync", false, "add real-fsync arms to -experiment durability (slow on disks with slow fsync)")
 	flag.Parse()
 
 	benches := bench.AllWorkloads()
@@ -81,8 +84,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stampbench: unknown format %q\n", *format)
 		os.Exit(1)
 	}
-	if *format == "json" && *exp != "sweep" && *exp != "capture" && *exp != "readmostly" {
-		fmt.Fprintf(os.Stderr, "stampbench: -format json supports the sweep, capture, and readmostly experiments, not %q\n", *exp)
+	jsonExps := map[string]bool{"sweep": true, "capture": true, "readmostly": true, "durability": true}
+	if *format == "json" && !jsonExps[*exp] {
+		fmt.Fprintf(os.Stderr, "stampbench: -format json supports the sweep, capture, readmostly, and durability experiments, not %q\n", *exp)
 		os.Exit(1)
 	}
 
@@ -120,6 +124,15 @@ func main() {
 		var counts []int
 		if counts, err = parseThreadList(*threadList); err == nil {
 			err = readMostlySweep(w, counts, *runs, *format == "json")
+		}
+	case "durability":
+		db := benches
+		if *benchFlag == "all" {
+			db = durabilityBenches
+		}
+		var counts []int
+		if counts, err = parseThreadList(*threadList); err == nil {
+			err = durabilitySweep(w, db, counts, *runs, *format == "json", *fsync)
 		}
 	default:
 		err = fmt.Errorf("unknown experiment %q", *exp)
@@ -263,6 +276,59 @@ func sweep(w io.Writer, benches []string, counts []int, runs int, asJSON, phases
 	var all []bench.Result
 	for _, b := range benches {
 		results, err := bench.SweepMatrix(b, sweepProfiles(phases), counts, runs)
+		if err != nil {
+			return err
+		}
+		all = append(all, results...)
+	}
+	if asJSON {
+		return bench.WriteJSON(w, bench.NewReport(all))
+	}
+	bench.WriteSweep(w, all)
+	return nil
+}
+
+// durabilityBenches are the write-heavy scenario packs whose redo
+// volume makes durability cost visible; ssca2 adds a STAMP graph build
+// whose commit records are large but rare.
+var durabilityBenches = []string{"tmkv", "tmmsg", "ssca2"}
+
+// durabilityProfiles are the pay-as-you-go arms: the optimized engine
+// with durability off (the baseline to beat) and with the log on but
+// unsynced — the pure record-serialization + batched-write cost, which
+// is the part the runtime controls. The default arms skip fsync so the
+// sweep stays bounded on slow disks; -fsync adds the real group-commit
+// arms (immediate and 200µs-lingering cadence), whose cost is
+// dominated by the device's fsync latency and whose linger only pays
+// off when several threads share each fsync. All durable arms use
+// scratch directories so every repetition opens a fresh log.
+func durabilityProfiles(fsync bool) []tm.Profile {
+	base := tm.RuntimeAll(tm.LogTree).Perf()
+	out := []tm.Profile{
+		base,
+		base.With(tm.WithDurabilityScratch(tm.DurNoFsync())).Named(base.Name() + "+dur-nosync"),
+	}
+	if fsync {
+		out = append(out,
+			base.With(tm.WithDurabilityScratch()).Named(base.Name()+"+dur-fsync"),
+			base.With(tm.WithDurabilityScratch(tm.DurGroupInterval(200*time.Microsecond))).
+				Named(base.Name()+"+dur-fsync-group200us"),
+		)
+	}
+	return out
+}
+
+// durabilitySweep measures the durability tier's overhead: throughput
+// of the durable arms against the identical non-durable engine, with
+// the per-arm log/checkpoint counters (records, batches, fsyncs, bytes)
+// carried in each JSON row's durability block.
+func durabilitySweep(w io.Writer, benches []string, counts []int, runs int, asJSON, fsync bool) error {
+	if len(counts) == 0 {
+		counts = []int{1, 4} // uncontended cost and group-commit batching
+	}
+	var all []bench.Result
+	for _, b := range benches {
+		results, err := bench.SweepMatrix(b, durabilityProfiles(fsync), counts, runs)
 		if err != nil {
 			return err
 		}

@@ -73,6 +73,7 @@ func main() {
 		p = p.With(tm.WithVerifyElision())
 	}
 	rt := tm.Open(append(p.Options(), tm.WithMemory(c.DefaultMemConfig()))...)
+	defer rt.Close()
 	// The TL interpreter drives the engine directly; Unwrap is the
 	// documented escape hatch for in-tree tooling.
 	in := tlc.NewInterp(c, rt.Unwrap())

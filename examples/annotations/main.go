@@ -28,6 +28,7 @@ func run(annotate bool) tm.Stats {
 			GlobalWords: 1 << 8, HeapWords: 1 << 18, StackWords: 1 << 10, MaxThreads: 8,
 		}),
 	)
+	defer rt.Close()
 	shared := rt.AllocGlobal(1).Word(0)
 
 	const threads, rounds = 4, 500

@@ -63,6 +63,7 @@ func main() {
 			GlobalWords: 1 << 10, HeapWords: 1 << 20, StackWords: 1 << 10, MaxThreads: 8,
 		}),
 	)
+	defer rt.Close()
 
 	// The topic state is definitely shared: the ring's message slots
 	// and the head/tail/cursor sequences.

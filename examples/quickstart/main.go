@@ -29,6 +29,7 @@ func main() {
 			MaxThreads:  8,
 		}),
 	)
+	defer rt.Close()
 
 	// Accounts live in the globals region: definitely shared, so their
 	// references carry shared provenance and keep full barriers.

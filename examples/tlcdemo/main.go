@@ -92,6 +92,7 @@ func main() {
 		s := rt.Stats()
 		fmt.Printf("\n[%s] main() = %d; reads: %d (%d elided), writes: %d (%d elided)\n",
 			p.Name(), ret, s.ReadTotal, s.ReadElided(), s.WriteTotal, s.WriteElided())
+		rt.Close()
 	}
 	fmt.Println("\nEvery elided access was proven transaction-local by the")
 	fmt.Println("intraprocedural pointer analysis after inlining; the tests in")

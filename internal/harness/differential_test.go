@@ -46,7 +46,11 @@ func runChecksum(t *testing.T, bench string, p tm.Profile, threads int) uint64 {
 		t.Fatalf("%s [%s, %d threads]: %v", bench, p.Name(), threads, err)
 	}
 	rt.Validate() // no orec may stay locked after the threads joined
-	return rt.Unwrap().Space().Checksum()
+	sum := rt.Unwrap().Space().Checksum()
+	if err := rt.Close(); err != nil {
+		t.Fatalf("%s [%s]: closing runtime: %v", bench, p.Name(), err)
+	}
+	return sum
 }
 
 // TestDifferentialProfiles runs every registered workload (the STAMP

@@ -38,6 +38,10 @@ type Result struct {
 	// Latency is the open-loop service-time block, populated only by
 	// RunOpenLoop (nil for throughput results).
 	Latency *LatencyStats
+
+	// Durability holds the redo-log and checkpoint counters of the last
+	// run, populated only under tm.WithDurability.
+	Durability *tm.DurabilityStats
 }
 
 // Run executes the workload `runs` times (fresh instance each run;
@@ -53,19 +57,26 @@ func Run(bench string, p tm.Profile, threads, runs int) (Result, error) {
 			return res, err
 		}
 		rt := tm.Open(append(p.Options(), tm.WithMemory(w.MemConfig()))...)
-		res.Engine = rt.Engine()
 		w.Setup(rt)
 		rt.ResetStats() // report the timed phase only
 		res.Times = append(res.Times, timedRun(w, rt, threads))
 		// Snapshot before Validate: validation may itself transact
 		// (tmmsg walks every topic, vacation re-reads every table), and
 		// that work must not leak into the reported counters.
-		res.Stats = rt.Stats()
+		snap := rt.Snapshot()
+		res.Engine = snap.Engine
+		res.Stats = snap.Stats
+		res.Durability = snap.Durability
 		if len(rt.Phases()) > 0 {
-			res.PhaseStats = rt.PhaseStats()
+			res.PhaseStats = snap.Phases
 		}
+		res.Adaptive = snap.Adaptive
 		if err := w.Validate(rt); err != nil {
+			rt.Close()
 			return res, fmt.Errorf("%s [%s, %d threads]: %w", bench, p.Name(), threads, err)
+		}
+		if err := rt.Close(); err != nil {
+			return res, fmt.Errorf("%s [%s, %d threads]: closing runtime: %w", bench, p.Name(), threads, err)
 		}
 	}
 	return res, nil
@@ -104,6 +115,8 @@ func RunMatrix(bench string, profiles []tm.Profile, threads, runs int) ([]Result
 			results[i].Times = append(results[i].Times, one.Times[0])
 			results[i].Stats = one.Stats
 			results[i].PhaseStats = one.PhaseStats
+			results[i].Adaptive = one.Adaptive
+			results[i].Durability = one.Durability
 		}
 	}
 	return results, nil

@@ -51,6 +51,24 @@ type ResultJSON struct {
 	// results produced by RunOpenLoop. Its addition does not bump
 	// ReportSchema: consumers that ignore it read the rest unchanged.
 	Latency *LatencyStats `json:"latency,omitempty"`
+
+	// Durability is the redo-log and checkpoint counter block; present
+	// only for profiles run under tm.WithDurability. Like Latency, its
+	// addition does not bump ReportSchema.
+	Durability *DurabilityJSON `json:"durability,omitempty"`
+}
+
+// DurabilityJSON flattens tm.DurabilityStats for the report.
+type DurabilityJSON struct {
+	Records       uint64 `json:"records"`
+	LogBytes      uint64 `json:"log_bytes"`
+	Batches       uint64 `json:"batches"`
+	Fsyncs        uint64 `json:"fsyncs"`
+	Segments      uint64 `json:"segments"`
+	Checkpoints   uint64 `json:"checkpoints"`
+	ChunksWritten uint64 `json:"chunks_written"`
+	ChunksDeduped uint64 `json:"chunks_deduped"`
+	PackBytes     uint64 `json:"pack_bytes"`
 }
 
 // PhaseJSON is one per-phase statistics row of a result: the phase
@@ -119,6 +137,19 @@ func resultJSON(r Result) ResultJSON {
 		out.Adaptive = append(out.Adaptive, AdaptiveJSON{
 			Kind: sel.Kind, Variant: sel.Variant, Engine: sel.Engine,
 		})
+	}
+	if d := r.Durability; d != nil {
+		out.Durability = &DurabilityJSON{
+			Records:       d.Records,
+			LogBytes:      d.LogBytes,
+			Batches:       d.Batches,
+			Fsyncs:        d.Fsyncs,
+			Segments:      d.Segments,
+			Checkpoints:   d.Checkpoints,
+			ChunksWritten: d.ChunksWritten,
+			ChunksDeduped: d.ChunksDeduped,
+			PackBytes:     d.PackBytes,
+		}
 	}
 	for _, t := range r.Times {
 		out.TimesNs = append(out.TimesNs, t.Nanoseconds())

@@ -124,15 +124,20 @@ func RunOpenLoop(spec OpenLoopSpec) (Result, error) {
 		Requests: spec.Requests,
 		Seed:     spec.Seed,
 	})
-	srv.Stop()
-	// Snapshot before Validate, like Run: validation must not leak into
-	// the reported counters.
-	res.Times = []time.Duration{time.Duration(olr.ElapsedNs)}
-	res.Stats = rt.Stats()
-	if len(rt.Phases()) > 0 {
-		res.PhaseStats = rt.PhaseStats()
+	if err := srv.Stop(); err != nil {
+		return res, fmt.Errorf("open-loop %s: stopping server: %w", spec.Backend, err)
 	}
-	res.Adaptive = rt.AdaptiveSelections()
+	// Snapshot after the workers joined but before Validate, like Run:
+	// validation must not leak into the reported counters. Counter reads
+	// (and durability stats) stay valid after Stop's runtime Close.
+	snap := rt.Snapshot()
+	res.Times = []time.Duration{time.Duration(olr.ElapsedNs)}
+	res.Stats = snap.Stats
+	res.Durability = snap.Durability
+	if len(rt.Phases()) > 0 {
+		res.PhaseStats = snap.Phases
+	}
+	res.Adaptive = snap.Adaptive
 	rt.Validate() // panics on a leaked orec — merged txns must release all
 	res.Latency = newLatencyStats(spec, olr, srv.BatchStats())
 	if spec.Adaptive {

@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // The heap allocator is a size-class segregated allocator in the
@@ -44,11 +45,15 @@ type central struct {
 	mu    sync.Mutex
 	next  Addr
 	limit Addr
+	// hi mirrors next so the durability tier can read the bump pointer
+	// lock-free on every redo record (Space.HeapNext).
+	hi atomic.Uint64
 }
 
 func (c *central) init(start, end Addr) {
 	c.next = start
 	c.limit = end
+	c.hi.Store(uint64(start))
 }
 
 // grab carves n words from the central region.
@@ -60,6 +65,7 @@ func (c *central) grab(n int) Addr {
 	}
 	a := c.next
 	c.next += Addr(n)
+	c.hi.Store(uint64(c.next))
 	return a
 }
 

@@ -1,0 +1,59 @@
+package mem
+
+import "sync/atomic"
+
+// Snapshot and restore support for the durability tier. A checkpoint
+// needs a word-for-word copy of the space plus the two allocation bump
+// pointers (globals and central heap); recovery writes them back into a
+// freshly sized space. Both directions use atomic word accesses, so a
+// fuzzy snapshot taken while transactions run is well defined — every
+// word read is some committed-or-in-flight value, and redo-tail replay
+// from the checkpoint's log cut repairs any in-flight ones.
+
+// Snapshot copies every word of the space into dst (grown as needed)
+// and returns it.
+func (s *Space) Snapshot(dst []uint64) []uint64 {
+	if cap(dst) < len(s.words) {
+		dst = make([]uint64, len(s.words))
+	}
+	dst = dst[:len(s.words)]
+	for i := range s.words {
+		dst[i] = atomic.LoadUint64(&s.words[i])
+	}
+	return dst
+}
+
+// SetWords overwrites the space with the recovered image, which must
+// have exactly the space's word count.
+func (s *Space) SetWords(words []uint64) {
+	if len(words) != len(s.words) {
+		panic("mem: SetWords image size mismatch")
+	}
+	for i, w := range words {
+		atomic.StoreUint64(&s.words[i], w)
+	}
+}
+
+// GlobalsNext reports the globals-region bump pointer.
+func (s *Space) GlobalsNext() uint64 { return s.globalsNext.Load() }
+
+// SetGlobalsNext restores the globals-region bump pointer. Only valid
+// during recovery, before any allocation.
+func (s *Space) SetGlobalsNext(v uint64) { s.globalsNext.Store(v) }
+
+// HeapNext reports the central heap bump pointer (lock-free; the
+// durability tier reads it on every redo record).
+func (s *Space) HeapNext() uint64 { return s.central.hi.Load() }
+
+// SetHeapNext restores the central heap bump pointer. Only valid during
+// recovery, before any allocation. Per-thread free lists and bump spans
+// from the previous incarnation are not reconstructed: the words they
+// covered were already carved out of central, so the recovered runtime
+// simply never reuses them. Recovery trades that bounded leak for not
+// having to serialize allocator caches.
+func (s *Space) SetHeapNext(v uint64) {
+	s.central.mu.Lock()
+	defer s.central.mu.Unlock()
+	s.central.next = Addr(v)
+	s.central.hi.Store(v)
+}

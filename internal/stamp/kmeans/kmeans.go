@@ -135,8 +135,13 @@ func (b *B) Run(rt *stm.Runtime, nthreads int) {
 				})
 			}
 		})
-		// Single-threaded center recomputation between iterations.
+		// Single-threaded center recomputation between iterations. The
+		// stores go through the journaled Thread operations — this is the
+		// only workload that mutates the space non-transactionally during
+		// Run, and under a durable runtime those writes must reach the
+		// redo log (reads need no journaling).
 		s := rt.Space()
+		th := rt.Thread(0)
 		for c := 0; c < b.cfg.Clusters; c++ {
 			n := s.Load(b.newLens + mem.Addr(c))
 			if n == 0 {
@@ -144,10 +149,10 @@ func (b *B) Run(rt *stm.Runtime, nthreads int) {
 			}
 			for d := 0; d < dims; d++ {
 				sum := s.LoadFloat(b.newCenters + mem.Addr(c*dims+d))
-				s.StoreFloat(b.centers+mem.Addr(c*dims+d), sum/float64(n))
-				s.StoreFloat(b.newCenters+mem.Addr(c*dims+d), 0)
+				th.StoreFloat(b.centers+mem.Addr(c*dims+d), sum/float64(n))
+				th.StoreFloat(b.newCenters+mem.Addr(c*dims+d), 0)
 			}
-			s.Store(b.newLens+mem.Addr(c), 0)
+			th.Store(b.newLens+mem.Addr(c), 0)
 		}
 	}
 }

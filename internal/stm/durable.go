@@ -1,0 +1,182 @@
+package stm
+
+import (
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/wal"
+)
+
+// Durability glue: when a redo log is attached (SetDurable), the
+// lifecycle layer serializes the effects of every state-changing event
+// into wal records. The contract is word-for-word: replaying the log
+// over a checkpoint must reproduce the exact space image — including
+// the "garbage" an abort leaves in freed blocks and popped stack
+// frames, because mem.Space.Checksum covers every word.
+//
+// Coverage argument. Every word a transaction attempt changes is in at
+// least one of:
+//
+//   - the undo log: writeFull always logs before storing, annotated
+//     private writes log (without locking), and captured stores log at
+//     nesting depth > 1;
+//   - a block in the allocation log (captured stores at depth 1 —
+//     including compiler-elided ones, whose provenance confines them to
+//     captured memory);
+//   - the transaction-local stack region [curSP, startSP) — curSP only
+//     decreases within an attempt, so the range also covers frames a
+//     partial abort popped.
+//
+// Record build therefore reads the *current* space at the undo-logged
+// addresses and dumps the alloc blocks and stack region verbatim; every
+// source is either orec-locked by us or thread-private at that point,
+// so the reads are race-free.
+//
+// Ordering argument. A commit or abort record is enqueued (assigning
+// its log position under the log mutex) after the undo replay /
+// validation but *before* the ownership records are released, so no
+// conflicting transaction can obtain a later position with an earlier
+// conflict order. A nested partial abort also releases orecs, so it
+// emits its replayed undo range as its own record at the same point —
+// deferring those words to the top-level record would let a foreign
+// commit slip between the nested release and our top-level record and
+// then be overwritten at replay. Thread-private residue (alloc block
+// contents, stack scribbles) cannot race foreign commits and is
+// covered once, by the top-level record.
+//
+// Commit durability: commitTop waits for the group-commit ack after
+// releasing ownership and draining limbo, so the fsync wait overlaps
+// other threads' progress. Aborts never wait.
+
+// SetDurable attaches (or detaches, with nil) the redo log. Must be
+// called before worker threads run. With no log attached every hook
+// below is a single nil check.
+func (rt *Runtime) SetDurable(l *wal.Log) { rt.durable = l }
+
+// Durable returns the attached redo log, or nil.
+func (rt *Runtime) Durable() *wal.Log { return rt.durable }
+
+// Clock reads the global version clock (for checkpoint manifests).
+func (rt *Runtime) Clock() uint64 { return rt.clock.Load() }
+
+// SetClock restores the global version clock during recovery. The orec
+// table of a recovered runtime is fresh (all version 0), so any clock
+// at or above the highest logged version is consistent.
+func (rt *Runtime) SetClock(v uint64) { rt.clock.Store(v) }
+
+// StoreFloat writes a float64 word non-transactionally, journaling it
+// like Store when durable.
+func (th *Thread) StoreFloat(a mem.Addr, f float64) {
+	th.Store(a, math.Float64bits(f))
+}
+
+// journal appends a KindNonTx record covering [addr, addr+n) with the
+// space's current contents. Non-transactional mutations must journal
+// eagerly, one record per operation: buffering per thread would break
+// cross-thread ordering (a barrier-synchronized writer's reset must
+// reach the log before other threads' subsequent commits).
+func (th *Thread) journal(addr mem.Addr, n int) {
+	rt := th.rt
+	rec := &th.drec
+	rec.Kind = wal.KindNonTx
+	rec.Version = rt.clock.Load()
+	rec.GlobalsNext = rt.space.GlobalsNext()
+	rec.HeapNext = rt.space.HeapNext()
+	if cap(th.dvals) < n {
+		th.dvals = make([]uint64, 0, n)
+	}
+	vals := th.dvals[:n]
+	for i := 0; i < n; i++ {
+		vals[i] = rt.space.Load(addr + mem.Addr(i))
+	}
+	rec.Spans = append(rec.Spans[:0], wal.Span{Addr: uint64(addr), Vals: vals})
+	rt.durable.Append(rec) // ack ignored: Sync/Close surface sticky errors
+}
+
+// durableDirty reports whether a transaction with no acquired orecs
+// still changed memory: annotated-private writes (undo without locks),
+// allocations, or stack growth.
+func (tx *Tx) durableDirty() bool {
+	return len(tx.undo) > 0 || len(tx.allocs) > 0 || tx.curSP != tx.startSP
+}
+
+// durableCommit emits the top-level commit record and returns the
+// group-commit ack to wait on.
+func (tx *Tx) durableCommit(version uint64) wal.Ack {
+	return tx.emitDurable(wal.KindCommit, version, 0, 0, true)
+}
+
+// durableAbort emits the top-level abort record: the undo-restored
+// values plus the thread-private residue of the failed attempt.
+func (tx *Tx) durableAbort() {
+	tx.emitDurable(wal.KindAbort, tx.th.rt.clock.Load(), 0, 0, true)
+}
+
+// durableNestedAbort emits the partial abort's record: the replayed
+// undo range plus the scope's allocation blocks, whose zeroed contents
+// and headers vanish from tx.allocs when the scope truncates. Called
+// after the replay and before the scope's ownership records are
+// released.
+func (tx *Tx) durableNestedAbort(undoFrom, allocFrom int) {
+	if undoFrom >= len(tx.undo) && allocFrom >= len(tx.allocs) {
+		return
+	}
+	tx.emitDurable(wal.KindAbort, tx.th.rt.clock.Load(), undoFrom, allocFrom, false)
+}
+
+// emitDurable builds and enqueues one record covering the undo entries
+// at or above undoFrom (current space values) and the allocation-log
+// blocks at or above allocFrom — dead ones included: an in-transaction
+// free changes no words, and if the block was recycled by a later Alloc
+// of the same transaction both spans read the same current contents.
+// With withStack set (top-level records) it also dumps the stack region
+// [curSP, startSP). Values are carved out of one pre-sized scratch
+// buffer so the span slices stay valid while the log copies them.
+func (tx *Tx) emitDurable(kind wal.Kind, version uint64, undoFrom, allocFrom int, withStack bool) wal.Ack {
+	th := tx.th
+	rt := th.rt
+	space := rt.space
+	rec := &th.drec
+	rec.Kind = kind
+	rec.Version = version
+	rec.GlobalsNext = space.GlobalsNext()
+	rec.HeapNext = space.HeapNext()
+
+	need := len(tx.undo) - undoFrom
+	for i := allocFrom; i < len(tx.allocs); i++ {
+		need += tx.allocs[i].size + 1 // header word at addr-1
+	}
+	stackWords := 0
+	if withStack {
+		stackWords = int(tx.startSP - tx.curSP)
+		need += stackWords
+	}
+	if cap(th.dvals) < need {
+		th.dvals = make([]uint64, 0, need)
+	}
+	vals := th.dvals[:0]
+	spans := rec.Spans[:0]
+
+	carve := func(addr mem.Addr, n int) {
+		start := len(vals)
+		for i := 0; i < n; i++ {
+			vals = append(vals, space.Load(addr+mem.Addr(i)))
+		}
+		spans = append(spans, wal.Span{Addr: uint64(addr), Vals: vals[start:len(vals):len(vals)]})
+	}
+
+	for i := undoFrom; i < len(tx.undo); i++ {
+		carve(tx.undo[i].addr, 1)
+	}
+	for i := allocFrom; i < len(tx.allocs); i++ {
+		a := &tx.allocs[i]
+		carve(a.addr-1, a.size+1)
+	}
+	if stackWords > 0 {
+		carve(tx.curSP, stackWords)
+	}
+	rec.Spans = spans
+	th.dvals = vals[:0]
+	ack, _ := rt.durable.Append(rec) // sticky errors surface at Sync/Close
+	return ack
+}

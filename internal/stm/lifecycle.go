@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/mem"
+	"repro/internal/wal"
 )
 
 // This file is the transaction lifecycle layer: the Tx descriptor, top-
@@ -261,6 +262,8 @@ func (tx *Tx) verifyCaptured(a mem.Addr) {
 
 func (tx *Tx) commitTop() {
 	rt := tx.th.rt
+	var ack wal.Ack
+	durable := false
 	if len(tx.writes) > 0 {
 		wv := rt.clock.Add(1)
 		if wv != tx.rv+1 {
@@ -279,10 +282,22 @@ func (tx *Tx) commitTop() {
 				tx.conflict() // unwinds into abortTop
 			}
 		}
+		if rt.durable != nil {
+			// Enqueue the redo record while we still own every orec, so
+			// log order respects conflict order; the fsync wait happens
+			// after release (end of this function).
+			ack = tx.durableCommit(wv)
+			durable = true
+		}
 		rel := wv << 1
 		for i := range tx.writes {
 			rt.orecs[tx.writes[i].oi].Store(rel)
 		}
+	} else if rt.durable != nil && tx.durableDirty() {
+		// No orecs acquired, but memory changed anyway: annotated-private
+		// writes, captured allocations, or stack growth.
+		ack = tx.durableCommit(rt.clock.Load())
+		durable = true
 	}
 	// Deferred frees become effective now that the transaction is
 	// durable, but the blocks are recycled only after every in-flight
@@ -296,6 +311,12 @@ func (tx *Tx) commitTop() {
 	tx.finish()
 	tx.th.rt.seqs[tx.th.id].Add(1) // now even: quiescent
 	tx.th.drainLimbo()
+	if durable {
+		// Group-commit barrier: return to the application only once the
+		// record (batched with everything the flusher accumulated) is on
+		// disk. Sticky log errors surface at Sync/Close.
+		ack.Wait()
+	}
 }
 
 // abortTop rolls the whole transaction back. retried distinguishes
@@ -306,6 +327,12 @@ func (tx *Tx) abortTop(retried bool) {
 	// Roll back in-place updates in reverse order.
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		rt.space.Store(tx.undo[i].addr, tx.undo[i].val)
+	}
+	if rt.durable != nil && tx.durableDirty() {
+		// The attempt's residue (restored words, alloc-block scribbles,
+		// stack garbage) is checksum-visible state; record it before the
+		// orecs are released so no conflicting commit can order ahead.
+		tx.durableAbort()
 	}
 	// Release ownership with a fresh version so concurrent optimistic
 	// readers of our speculative values cannot validate (ABA safety).
@@ -411,6 +438,15 @@ func (tx *Tx) abortNested() {
 	sp := tx.saves[len(tx.saves)-1]
 	for i := len(tx.undo) - 1; i >= sp.undo; i-- {
 		rt.space.Store(tx.undo[i].addr, tx.undo[i].val)
+	}
+	if rt.durable != nil {
+		// The scope's orecs are released below, so a foreign commit could
+		// otherwise overwrite these words and still log *before* our
+		// eventual top-level record; emit the replayed range now, while
+		// we still hold them. Thread-private residue (scope allocations,
+		// popped frames) cannot race and is left to the top-level record,
+		// whose stack span [curSP, startSP) and allocation dump cover it.
+		tx.durableNestedAbort(sp.undo, sp.alloc)
 	}
 	if len(tx.writes) > sp.write {
 		rel := rt.clock.Add(1) << 1

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/mem"
+	"repro/internal/wal"
 )
 
 // DefaultOrecBits sizes the ownership-record table at 1<<18 entries.
@@ -76,6 +77,11 @@ type Runtime struct {
 	// odd count has since finished that transaction, so no optimistic
 	// (zombie) reader can still dereference into it.
 	seqs []atomic.Uint64
+
+	// durable, when non-nil, is the redo log every state-changing event
+	// is serialized into (durable.go). Off, every durability hook is one
+	// nil check — the commit path is otherwise unchanged.
+	durable *wal.Log
 
 	mu      sync.Mutex
 	threads map[int]*Thread
@@ -193,6 +199,11 @@ type Thread struct {
 	adaptFast []uint32
 
 	limbo []limboBatch // committed frees awaiting quiescence
+
+	// Redo-record scratch (durable.go): the record descriptor and the
+	// flat value buffer its spans are carved from, reused per thread.
+	drec  wal.Record
+	dvals []uint64
 }
 
 // limboBatch holds blocks freed by one committed transaction plus the
@@ -321,23 +332,40 @@ func (th *Thread) Runtime() *Runtime { return th.rt }
 // --- Non-transactional operations (setup/teardown phases) ---
 
 // Alloc allocates n words outside any transaction.
-func (th *Thread) Alloc(n int) mem.Addr { return th.alloc.Alloc(n) }
+func (th *Thread) Alloc(n int) mem.Addr {
+	p := th.alloc.Alloc(n)
+	if th.rt.durable != nil {
+		// The allocation wrote the header word and zeroed the payload.
+		th.journal(p-1, th.alloc.BlockSize(p)+1)
+	}
+	return p
+}
 
-// Free frees a block outside any transaction.
+// Free frees a block outside any transaction. Freeing changes no words
+// (headers and contents stay in place), so nothing is journaled.
 func (th *Thread) Free(p mem.Addr) { th.alloc.Free(p) }
 
 // Load reads a word non-transactionally.
 func (th *Thread) Load(a mem.Addr) uint64 { return th.rt.space.Load(a) }
 
 // Store writes a word non-transactionally.
-func (th *Thread) Store(a mem.Addr, v uint64) { th.rt.space.Store(a, v) }
+func (th *Thread) Store(a mem.Addr, v uint64) {
+	th.rt.space.Store(a, v)
+	if th.rt.durable != nil {
+		th.journal(a, 1)
+	}
+}
 
 // StackPush allocates an n-word frame on the simulated stack outside a
 // transaction (live-in data for later transactions). The returned mark
 // must be passed to StackPop.
 func (th *Thread) StackPush(n int) (frame mem.Addr, mark mem.Addr) {
 	mark = th.stack.SP()
-	return th.stack.Push(n), mark
+	frame = th.stack.Push(n)
+	if th.rt.durable != nil {
+		th.journal(frame, n) // Push zeroed the frame
+	}
+	return frame, mark
 }
 
 // StackPop releases the stack down to mark.

@@ -1,0 +1,382 @@
+package wal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Checkpoints are content-addressed, venti-style: the snapshot is split
+// into fixed-size chunks of words, each chunk is keyed by the SHA-256
+// of its bytes (its "score"), and only chunks whose score is not
+// already stored are appended to a pack file. A sorted fixed-width
+// index file per pack maps scores to pack offsets, and a small JSON
+// manifest per checkpoint lists the score sequence plus the runtime
+// metadata (clock, bump pointers, geometry, log cut) recovery needs.
+// Successive checkpoints of a mostly-idle space therefore cost almost
+// nothing: unchanged chunks dedup against the index.
+const (
+	packEntryHdr  = scoreLen + 4 // score + u32 word count
+	idxEntryLen   = scoreLen + 8 + 8 + 4
+	scoreLen      = 32
+	manifestKind  = "repro/wal-checkpoint/v1"
+	defaultChunkW = 1 << 12
+)
+
+// PackName, IndexName, and ManifestName name the on-disk artifacts of
+// pack p / checkpoint n.
+func PackName(p uint64) string     { return fmt.Sprintf("pack-%06d.pack", p) }
+func IndexName(p uint64) string    { return fmt.Sprintf("pack-%06d.idx", p) }
+func ManifestName(n uint64) string { return fmt.Sprintf("cp-%08d.json", n) }
+
+// Score is the content address of one chunk.
+type Score [scoreLen]byte
+
+func (s Score) String() string { return hex.EncodeToString(s[:]) }
+
+// Geometry mirrors mem.Config so a manifest fully determines the shape
+// of the space being restored. wal stays a stdlib-only leaf package, so
+// the fields are copied rather than importing internal/mem.
+type Geometry struct {
+	GlobalWords int `json:"globalWords"`
+	HeapWords   int `json:"heapWords"`
+	StackWords  int `json:"stackWords"`
+	MaxThreads  int `json:"maxThreads"`
+}
+
+// Manifest is the JSON descriptor of one checkpoint.
+type Manifest struct {
+	Format      string   `json:"format"`
+	Seq         uint64   `json:"seq"`
+	Clock       uint64   `json:"clock"`
+	GlobalsNext uint64   `json:"globalsNext"`
+	HeapNext    uint64   `json:"heapNext"`
+	Geometry    Geometry `json:"geometry"`
+	SpaceWords  int      `json:"spaceWords"`
+	ChunkWords  int      `json:"chunkWords"`
+	// CutSeg/CutOff are the log position at snapshot time: every record
+	// before the cut is reflected in the snapshot; replay starts here.
+	CutSeg uint64 `json:"cutSeg"`
+	CutOff uint64 `json:"cutOff"`
+	// Scores lists the chunk scores in space order (hex).
+	Scores []string `json:"scores"`
+	// Sum is an FNV-1a 64 checksum of the raw words, verified at load.
+	Sum uint64 `json:"sum"`
+}
+
+// Snapshot is the input to WriteCheckpoint.
+type Snapshot struct {
+	Words       []uint64
+	Clock       uint64
+	GlobalsNext uint64
+	HeapNext    uint64
+	Geometry    Geometry
+	CutSeg      uint64
+	CutOff      uint64
+}
+
+// StoreStats counts checkpoint activity.
+type StoreStats struct {
+	Checkpoints   uint64
+	ChunksWritten uint64 // chunks appended to packs
+	ChunksDeduped uint64 // chunks already present
+	BytesWritten  uint64 // pack bytes appended
+}
+
+type chunkLoc struct {
+	pack   uint64
+	off    int64 // offset of the entry header within the pack
+	nwords int
+}
+
+// CheckpointStore owns the packs, indexes, and manifests of one
+// durability directory (shared with the log's segments).
+type CheckpointStore struct {
+	dir        string
+	chunkWords int
+
+	mu       sync.Mutex
+	index    map[Score]chunkLoc
+	nextPack uint64
+	nextCP   uint64
+	stats    StoreStats
+}
+
+// OpenStore opens dir's checkpoint store, loading every existing pack
+// index so new checkpoints dedup against chunks written by earlier
+// incarnations. chunkWords <= 0 selects the default (4096 words).
+func OpenStore(dir string, chunkWords int) (*CheckpointStore, error) {
+	if chunkWords <= 0 {
+		chunkWords = defaultChunkW
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	st := &CheckpointStore{dir: dir, chunkWords: chunkWords, index: make(map[Score]chunkLoc)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		var n uint64
+		switch {
+		case matchName(e.Name(), "pack-%06d.idx", &n):
+			if err := st.loadIndex(n); err != nil {
+				return nil, err
+			}
+			if n+1 > st.nextPack {
+				st.nextPack = n + 1
+			}
+		case matchName(e.Name(), "pack-%06d.pack", &n):
+			if n+1 > st.nextPack {
+				st.nextPack = n + 1
+			}
+		case matchName(e.Name(), "cp-%08d.json", &n):
+			if n+1 > st.nextCP {
+				st.nextCP = n + 1
+			}
+		}
+	}
+	return st, nil
+}
+
+func matchName(name, format string, out *uint64) bool {
+	var n uint64
+	if _, err := fmt.Sscanf(name, format, &n); err != nil {
+		return false
+	}
+	if fmt.Sprintf(format, n) != name {
+		return false
+	}
+	*out = n
+	return true
+}
+
+func (st *CheckpointStore) loadIndex(pack uint64) error {
+	b, err := os.ReadFile(filepath.Join(st.dir, IndexName(pack)))
+	if err != nil {
+		return err
+	}
+	if len(b)%idxEntryLen != 0 {
+		return fmt.Errorf("wal: index %s: size %d not a multiple of %d", IndexName(pack), len(b), idxEntryLen)
+	}
+	for off := 0; off < len(b); off += idxEntryLen {
+		var sc Score
+		copy(sc[:], b[off:])
+		st.index[sc] = chunkLoc{
+			pack:   binary.LittleEndian.Uint64(b[off+scoreLen:]),
+			off:    int64(binary.LittleEndian.Uint64(b[off+scoreLen+8:])),
+			nwords: int(binary.LittleEndian.Uint32(b[off+scoreLen+16:])),
+		}
+	}
+	return nil
+}
+
+// ChunkWords reports the chunking granularity.
+func (st *CheckpointStore) ChunkWords() int { return st.chunkWords }
+
+// Stats returns a snapshot of the store counters.
+func (st *CheckpointStore) Stats() StoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
+}
+
+func wordBytes(words []uint64, buf []byte) []byte {
+	if cap(buf) < 8*len(words) {
+		buf = make([]byte, 8*len(words))
+	}
+	buf = buf[:8*len(words)]
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	return buf
+}
+
+// fnvWords hashes words with FNV-1a 64 for manifest integrity.
+func fnvWords(words []uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, w := range words {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// WriteCheckpoint chunks snap.Words, appends every novel chunk to a new
+// pack (with its sorted index), and finalizes the manifest with a
+// tmp+rename so a crash mid-checkpoint leaves no partial manifest for
+// recovery to trust.
+func (st *CheckpointStore) WriteCheckpoint(snap Snapshot) (*Manifest, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	cw := st.chunkWords
+	nchunks := (len(snap.Words) + cw - 1) / cw
+	m := &Manifest{
+		Format:      manifestKind,
+		Seq:         st.nextCP,
+		Clock:       snap.Clock,
+		GlobalsNext: snap.GlobalsNext,
+		HeapNext:    snap.HeapNext,
+		Geometry:    snap.Geometry,
+		SpaceWords:  len(snap.Words),
+		ChunkWords:  cw,
+		CutSeg:      snap.CutSeg,
+		CutOff:      snap.CutOff,
+		Scores:      make([]string, 0, nchunks),
+		Sum:         fnvWords(snap.Words),
+	}
+
+	type novel struct {
+		score  Score
+		chunk  []uint64
+		offset int64
+	}
+	var fresh []novel
+	var scratch []byte
+	for c := 0; c < nchunks; c++ {
+		lo := c * cw
+		hi := lo + cw
+		if hi > len(snap.Words) {
+			hi = len(snap.Words)
+		}
+		chunk := snap.Words[lo:hi]
+		scratch = wordBytes(chunk, scratch)
+		sc := Score(sha256.Sum256(scratch))
+		m.Scores = append(m.Scores, sc.String())
+		if _, ok := st.index[sc]; ok {
+			st.stats.ChunksDeduped++
+			continue
+		}
+		already := false
+		for i := range fresh {
+			if fresh[i].score == sc {
+				already = true
+				break
+			}
+		}
+		if already {
+			st.stats.ChunksDeduped++
+			continue
+		}
+		fresh = append(fresh, novel{score: sc, chunk: chunk})
+	}
+
+	if len(fresh) > 0 {
+		packID := st.nextPack
+		var pack bytes.Buffer
+		for i := range fresh {
+			fresh[i].offset = int64(pack.Len())
+			pack.Write(fresh[i].score[:])
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(len(fresh[i].chunk)))
+			pack.Write(hdr[:])
+			pack.Write(wordBytes(fresh[i].chunk, nil))
+		}
+		if err := writeFileSync(filepath.Join(st.dir, PackName(packID)), pack.Bytes()); err != nil {
+			return nil, err
+		}
+		sort.Slice(fresh, func(i, j int) bool {
+			return bytes.Compare(fresh[i].score[:], fresh[j].score[:]) < 0
+		})
+		idx := make([]byte, 0, len(fresh)*idxEntryLen)
+		for i := range fresh {
+			idx = append(idx, fresh[i].score[:]...)
+			var tail [20]byte
+			binary.LittleEndian.PutUint64(tail[0:], packID)
+			binary.LittleEndian.PutUint64(tail[8:], uint64(fresh[i].offset))
+			binary.LittleEndian.PutUint32(tail[16:], uint32(len(fresh[i].chunk)))
+			idx = append(idx, tail[:]...)
+		}
+		if err := writeFileSync(filepath.Join(st.dir, IndexName(packID)), idx); err != nil {
+			return nil, err
+		}
+		for i := range fresh {
+			st.index[fresh[i].score] = chunkLoc{pack: packID, off: fresh[i].offset, nwords: len(fresh[i].chunk)}
+		}
+		st.nextPack++
+		st.stats.ChunksWritten += uint64(len(fresh))
+		st.stats.BytesWritten += uint64(pack.Len())
+	}
+
+	mj, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(st.dir, ManifestName(m.Seq))
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, append(mj, '\n')); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	st.nextCP = m.Seq + 1
+	st.stats.Checkpoints++
+	return m, nil
+}
+
+// ReadChunk resolves a score to its words.
+func (st *CheckpointStore) ReadChunk(sc Score) ([]uint64, error) {
+	st.mu.Lock()
+	loc, ok := st.index[sc]
+	st.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("wal: chunk %s not indexed", sc)
+	}
+	f, err := os.Open(filepath.Join(st.dir, PackName(loc.pack)))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	hdr := make([]byte, packEntryHdr)
+	if _, err := f.ReadAt(hdr, loc.off); err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(hdr[:scoreLen], sc[:]) {
+		return nil, fmt.Errorf("wal: pack %d offset %d holds score %x, want %s", loc.pack, loc.off, hdr[:scoreLen], sc)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[scoreLen:]))
+	if n != loc.nwords {
+		return nil, fmt.Errorf("wal: chunk %s: pack says %d words, index says %d", sc, n, loc.nwords)
+	}
+	raw := make([]byte, 8*n)
+	if _, err := f.ReadAt(raw, loc.off+packEntryHdr); err != nil {
+		return nil, err
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(raw[8*i:])
+	}
+	return words, nil
+}
+
+func writeFileSync(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,333 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: KindCommit, Version: 7, GlobalsNext: 100, HeapNext: 2000, Spans: []Span{
+			{Addr: 42, Vals: []uint64{1, 2, 3}},
+			{Addr: 9000, Vals: []uint64{0xdeadbeef}},
+		}},
+		{Kind: KindAbort, Version: 9, Spans: []Span{{Addr: 5, Vals: []uint64{0}}}},
+		{Kind: KindNonTx, Version: 9, GlobalsNext: 101, Spans: []Span{{Addr: 77, Vals: []uint64{123, 456}}}},
+		{Kind: KindSeal, Version: 12, GlobalsNext: 101, HeapNext: 2048},
+		{Kind: KindCommit, Version: 13, Spans: []Span{{Addr: 1, Vals: nil}}},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf []byte
+	recs := sampleRecords()
+	for i := range recs {
+		recs[i].Seq = uint64(i)
+		buf = AppendRecord(buf, &recs[i])
+	}
+	var got Record
+	off := 0
+	for i := range recs {
+		n, err := DecodeRecord(buf[off:], &got)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		off += n
+		want := recs[i]
+		if got.Kind != want.Kind || got.Seq != want.Seq || got.Version != want.Version ||
+			got.GlobalsNext != want.GlobalsNext || got.HeapNext != want.HeapNext ||
+			len(got.Spans) != len(want.Spans) {
+			t.Fatalf("record %d mismatch: got %+v", i, got)
+		}
+		for j := range want.Spans {
+			if got.Spans[j].Addr != want.Spans[j].Addr ||
+				!reflect.DeepEqual(append([]uint64{}, got.Spans[j].Vals...), append([]uint64{}, want.Spans[j].Vals...)) {
+				t.Fatalf("record %d span %d: got %+v want %+v", i, j, got.Spans[j], want.Spans[j])
+			}
+		}
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestDecodeTruncationIsTorn(t *testing.T) {
+	rec := sampleRecords()[0]
+	full := AppendRecord(nil, &rec)
+	var out Record
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeRecord(full[:cut], &out); !errors.Is(err, ErrTorn) {
+			t.Fatalf("cut %d: got %v, want ErrTorn", cut, err)
+		}
+	}
+	// Flipping a payload byte breaks the CRC, which also reads as torn.
+	mut := append([]byte(nil), full...)
+	mut[len(mut)-1] ^= 0xff
+	if _, err := DecodeRecord(mut, &out); !errors.Is(err, ErrTorn) {
+		t.Fatalf("bit flip: got %v, want ErrTorn", err)
+	}
+}
+
+func TestLogAppendSyncReadBack(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 0, 0, Options{GroupInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	var lastAck Ack
+	for i := range recs {
+		ack, err := l.Append(&recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastAck = ack
+	}
+	if err := lastAck.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Records != uint64(len(recs)) {
+		t.Fatalf("Records = %d, want %d", st.Records, len(recs))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&recs[0]); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+
+	b, err := os.ReadFile(filepath.Join(dir, SegName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b[:8]) != segMagic {
+		t.Fatalf("bad segment magic %q", b[:8])
+	}
+	var rec Record
+	off := segHdrLen
+	for i := 0; off < len(b); i++ {
+		n, err := DecodeRecord(b[off:], &rec)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.Seq != uint64(i) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+		off += n
+	}
+}
+
+func TestLogRotationAndTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 0, 0, Options{SegmentBytes: 256, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Kind: KindCommit, Spans: []Span{{Addr: 1, Vals: make([]uint64, 16)}}}
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	seg, off := l.Position()
+	if seg == 0 {
+		t.Fatalf("expected rotation, still on segment 0 (off %d)", off)
+	}
+	if err := l.TruncateBefore(seg); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < seg; i++ {
+		if _, err := os.Stat(filepath.Join(dir, SegName(i))); !os.IsNotExist(err) {
+			t.Fatalf("segment %d survived TruncateBefore(%d)", i, seg)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, SegName(seg))); err != nil {
+		t.Fatalf("tail segment missing: %v", err)
+	}
+}
+
+// writeState drives a log + store pair over a synthetic word image and
+// returns the final image.
+func writeState(t *testing.T, dir string, spaceWords int) []uint64 {
+	t.Helper()
+	words := make([]uint64, spaceWords)
+	store, err := OpenStore(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLog(dir, 0, 0, Options{SegmentBytes: 4 << 10, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(seed uint64, n int) *Record {
+		rec := &Record{Kind: KindCommit, Version: seed, GlobalsNext: seed, HeapNext: 2 * seed}
+		for i := 0; i < n; i++ {
+			addr := (seed*31 + uint64(i)*17) % uint64(spaceWords)
+			val := seed<<16 | uint64(i)
+			words[addr] = val
+			rec.Spans = append(rec.Spans, Span{Addr: addr, Vals: []uint64{val}})
+		}
+		return rec
+	}
+	for seed := uint64(1); seed <= 50; seed++ {
+		if _, err := l.Append(mutate(seed, 8)); err != nil {
+			t.Fatal(err)
+		}
+		if seed == 25 {
+			if err := l.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			cutSeg, cutOff := l.Position()
+			if _, err := store.WriteCheckpoint(Snapshot{
+				Words:       append([]uint64(nil), words...),
+				Clock:       seed,
+				GlobalsNext: seed,
+				HeapNext:    2 * seed,
+				Geometry:    Geometry{GlobalWords: 1, HeapWords: 1, StackWords: 1, MaxThreads: 1},
+				CutSeg:      cutSeg,
+				CutOff:      cutOff,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.TruncateBefore(cutSeg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Crash: flush but do not seal.
+	l.Kill()
+	return words
+}
+
+func TestRecoverCheckpointPlusTail(t *testing.T) {
+	dir := t.TempDir()
+	want := writeState(t, dir, 4096)
+	st, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Words, want) {
+		t.Fatal("recovered words differ from live image")
+	}
+	if st.Clock != 50 || st.GlobalsNext != 50 || st.HeapNext != 100 {
+		t.Fatalf("metadata: clock=%d gn=%d hn=%d", st.Clock, st.GlobalsNext, st.HeapNext)
+	}
+	if st.Records == 0 || st.Truncated {
+		t.Fatalf("records=%d truncated=%v", st.Records, st.Truncated)
+	}
+}
+
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	writeState(t, dir, 4096)
+
+	// Chop bytes off the last segment, mid-record.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastSeg uint64
+	found := false
+	for _, e := range entries {
+		var n uint64
+		if matchName(e.Name(), "seg-%08d.wal", &n) {
+			if !found || n > lastSeg {
+				lastSeg = n
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no segments on disk")
+	}
+	path := filepath.Join(dir, SegName(lastSeg))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("recovery failed on torn tail: %v", err)
+	}
+	if !st.Truncated {
+		t.Fatal("recovery did not report truncation")
+	}
+	// Recovery must be repeatable: the torn record is gone now.
+	st2, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Truncated {
+		t.Fatal("second recovery still sees a torn tail")
+	}
+	if !reflect.DeepEqual(st.Words, st2.Words) {
+		t.Fatal("recover-after-truncate changed state")
+	}
+}
+
+func TestRecoverNoCheckpoint(t *testing.T) {
+	if _, err := Recover(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("got %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestCheckpointDedup(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([]uint64, 256)
+	for i := range words {
+		words[i] = uint64(i)
+	}
+	snap := Snapshot{Words: words, Geometry: Geometry{GlobalWords: 1, HeapWords: 1, StackWords: 1, MaxThreads: 1}}
+	if _, err := store.WriteCheckpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	first := store.Stats()
+	if first.ChunksWritten == 0 {
+		t.Fatal("first checkpoint wrote nothing")
+	}
+	words[3] = 0xabcdef // dirty exactly one chunk
+	if _, err := store.WriteCheckpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	second := store.Stats()
+	if w := second.ChunksWritten - first.ChunksWritten; w != 1 {
+		t.Fatalf("second checkpoint wrote %d chunks, want 1", w)
+	}
+	if second.ChunksDeduped == first.ChunksDeduped {
+		t.Fatal("second checkpoint deduped nothing")
+	}
+
+	// A store reopened on the same dir dedups against disk state.
+	store2, err := OpenStore(dir, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store2.WriteCheckpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	if st := store2.Stats(); st.ChunksWritten != 0 {
+		t.Fatalf("reopened store rewrote %d chunks", st.ChunksWritten)
+	}
+}

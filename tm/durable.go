@@ -1,0 +1,391 @@
+package tm
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/wal"
+)
+
+// Durability tier. WithDurability(dir) attaches a segmented redo log
+// with group commit and a content-addressed checkpoint store to the
+// runtime: every committed transaction's effects are serialized into
+// the log before Atomic returns (batched across threads, acked after
+// fsync), and Checkpoint writes the whole space as deduplicated,
+// SHA-256-addressed pack chunks. Recover(dir) rebuilds a runtime from
+// the newest checkpoint plus the redo tail — bit-identical
+// (mem.Space.Checksum) to the crashed instance at its last enqueued
+// record.
+//
+// Recovery contract:
+//
+//   - Non-transactional writes through Runtime.Space() (typical
+//     workload setup code) are NOT journaled. Call Runtime.Checkpoint
+//     once setup is done; everything after that — Atomic transactions
+//     and the journaled Thread operations (Store, StoreFloat, Alloc,
+//     StackPush) — is replayable.
+//   - Recovered runtimes do not reconstruct per-thread allocator free
+//     lists or bump spans; blocks that were on a free list at the crash
+//     leak (their words are preserved, they are just never reused).
+//   - The global clock restores to the maximum logged version, which is
+//     consistent because the ownership-record table restarts fresh.
+
+// durSettings is the configuration WithDurability accumulates.
+type durSettings struct {
+	dir        string
+	scratch    bool // dir is created fresh at Open and removed at Close
+	group      time.Duration
+	noFsync    bool
+	segBytes   int
+	chunkWords int
+	autoBytes  uint64
+}
+
+// DurOption tunes WithDurability.
+type DurOption func(*durSettings)
+
+// DurGroupInterval sets how long the log flusher lingers to accumulate
+// records from other threads into one write+fsync (0, the default,
+// flushes as soon as the flusher observes pending records — which still
+// batches whatever arrived during the previous fsync).
+func DurGroupInterval(d time.Duration) DurOption {
+	return func(ds *durSettings) { ds.group = d }
+}
+
+// DurNoFsync skips fsync on log batches and is intended for tests: the
+// crash-replay differential simulates crashes in-process, where the
+// page cache survives.
+func DurNoFsync() DurOption {
+	return func(ds *durSettings) { ds.noFsync = true }
+}
+
+// DurSegmentBytes sets the log segment rotation size (default 8 MiB).
+func DurSegmentBytes(n int) DurOption {
+	return func(ds *durSettings) { ds.segBytes = n }
+}
+
+// DurChunkWords sets the checkpoint chunking granularity (default 4096
+// words per content-addressed chunk).
+func DurChunkWords(n int) DurOption {
+	return func(ds *durSettings) { ds.chunkWords = n }
+}
+
+// DurAutoCheckpoint checkpoints in the background whenever roughly n
+// bytes of redo records have accumulated since the last checkpoint
+// (0, the default, checkpoints only on explicit Runtime.Checkpoint).
+func DurAutoCheckpoint(n uint64) DurOption {
+	return func(ds *durSettings) { ds.autoBytes = n }
+}
+
+// WithDurability persists the runtime into dir: a segmented redo log
+// with group commit plus content-addressed checkpoints. See the
+// recovery contract above; with this option absent the commit path is
+// completely unchanged (pay-as-you-go).
+func WithDurability(dir string, tune ...DurOption) Option {
+	return func(s *settings) {
+		ds := &durSettings{dir: dir}
+		for _, o := range tune {
+			if o != nil {
+				o(ds)
+			}
+		}
+		s.dur = ds
+	}
+}
+
+// WithDurabilityScratch persists the runtime into a fresh directory
+// under the system temp dir, deleted again on Close. Benchmarks use it
+// to measure the durability tier's overhead: tm/bench reopens the same
+// profile for every repetition, so a fixed directory would collide with
+// the previous run's log. Real deployments want WithDurability with a
+// stable directory — a scratch runtime leaves nothing to Recover.
+func WithDurabilityScratch(tune ...DurOption) Option {
+	return func(s *settings) {
+		ds := &durSettings{scratch: true}
+		for _, o := range tune {
+			if o != nil {
+				o(ds)
+			}
+		}
+		s.dur = ds
+	}
+}
+
+// durRuntime is the live durability state of one Runtime.
+type durRuntime struct {
+	dir     string
+	scratch bool
+	log     *wal.Log
+	store   *wal.CheckpointStore
+
+	cpMu    sync.Mutex // serializes checkpoints; also guards snapBuf
+	snapBuf []uint64
+	cpBytes uint64 // log bytes at the last checkpoint (auto trigger)
+
+	auto      uint64
+	stopAuto  chan struct{}
+	autoDone  chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// openDurable wires a fresh (or recovered) runtime to its log and
+// checkpoint store. startSeg/startSeq are zero for a fresh directory
+// and the recovered continuation point otherwise.
+func openDurable(rt *Runtime, ds *durSettings, startSeg, startSeq uint64, initialCP bool) error {
+	if ds.scratch && ds.dir == "" {
+		dir, err := os.MkdirTemp("", "tmdur-")
+		if err != nil {
+			return err
+		}
+		ds.dir = dir
+	}
+	log, err := wal.OpenLog(ds.dir, startSeg, startSeq, wal.Options{
+		SegmentBytes:  ds.segBytes,
+		GroupInterval: ds.group,
+		NoFsync:       ds.noFsync,
+	})
+	if err != nil {
+		return err
+	}
+	store, err := wal.OpenStore(ds.dir, ds.chunkWords)
+	if err != nil {
+		log.Close()
+		return err
+	}
+	d := &durRuntime{dir: ds.dir, scratch: ds.scratch, log: log, store: store, auto: ds.autoBytes}
+	rt.dur = d
+	rt.rt.SetDurable(log)
+	if initialCP {
+		// An initial checkpoint makes Recover total: any directory that
+		// ever hosted a durable runtime has at least one manifest.
+		if err := rt.Checkpoint(); err != nil {
+			log.Close()
+			rt.dur = nil
+			rt.rt.SetDurable(nil)
+			return err
+		}
+	}
+	if d.auto > 0 {
+		d.stopAuto = make(chan struct{})
+		d.autoDone = make(chan struct{})
+		go d.autoLoop(rt)
+	}
+	return nil
+}
+
+func (d *durRuntime) autoLoop(rt *Runtime) {
+	defer close(d.autoDone)
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stopAuto:
+			return
+		case <-t.C:
+		}
+		d.cpMu.Lock()
+		due := d.log.Stats().Bytes-d.cpBytes >= d.auto
+		d.cpMu.Unlock()
+		if due {
+			rt.Checkpoint() // errors stick in the log and surface at Close
+		}
+	}
+}
+
+// geometryOf converts the space geometry for a checkpoint manifest.
+func geometryOf(mc mem.Config) wal.Geometry {
+	return wal.Geometry{
+		GlobalWords: mc.GlobalWords,
+		HeapWords:   mc.HeapWords,
+		StackWords:  mc.StackWords,
+		MaxThreads:  mc.MaxThreads,
+	}
+}
+
+// Checkpoint writes a content-addressed snapshot of the whole space and
+// prunes redo segments wholly below its log cut. Safe to call while
+// transactions run (the snapshot is fuzzy; the redo tail repairs any
+// in-flight effects at recovery) — but after non-journaled setup writes
+// via Space(), a checkpoint is *required* for those to survive a crash.
+// Without WithDurability it is a no-op.
+func (rt *Runtime) Checkpoint() error {
+	d := rt.dur
+	if d == nil {
+		return nil
+	}
+	d.cpMu.Lock()
+	defer d.cpMu.Unlock()
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	cutSeg, cutOff := d.log.Position()
+	space := rt.rt.Space()
+	d.snapBuf = space.Snapshot(d.snapBuf)
+	_, err := d.store.WriteCheckpoint(wal.Snapshot{
+		Words:       d.snapBuf,
+		Clock:       rt.rt.Clock(),
+		GlobalsNext: space.GlobalsNext(),
+		HeapNext:    space.HeapNext(),
+		Geometry:    geometryOf(rt.mc),
+		CutSeg:      cutSeg,
+		CutOff:      cutOff,
+	})
+	if err != nil {
+		return err
+	}
+	d.cpBytes = d.log.Stats().Bytes
+	return d.log.TruncateBefore(cutSeg)
+}
+
+// Sync blocks until every record appended so far is durable. A no-op
+// without WithDurability.
+func (rt *Runtime) Sync() error {
+	if rt.dur == nil {
+		return nil
+	}
+	return rt.dur.log.Sync()
+}
+
+// Close shuts the runtime down. When durable it flushes and fsyncs the
+// redo log, appends a seal record, and closes the segment files; it is
+// idempotent and a no-op for non-durable runtimes. Call it after worker
+// threads have joined.
+func (rt *Runtime) Close() error {
+	d := rt.dur
+	if d == nil {
+		return nil
+	}
+	d.closeOnce.Do(func() {
+		d.stopAutoLoop()
+		space := rt.rt.Space()
+		seal := &wal.Record{
+			Kind:        wal.KindSeal,
+			Version:     rt.rt.Clock(),
+			GlobalsNext: space.GlobalsNext(),
+			HeapNext:    space.HeapNext(),
+		}
+		if ack, err := d.log.Append(seal); err == nil {
+			if werr := ack.Wait(); werr != nil {
+				d.closeErr = werr
+			}
+		} else {
+			d.closeErr = err
+		}
+		if err := d.log.Close(); err != nil && d.closeErr == nil {
+			d.closeErr = err
+		}
+		rt.rt.SetDurable(nil)
+		if d.scratch {
+			if err := os.RemoveAll(d.dir); err != nil && d.closeErr == nil {
+				d.closeErr = err
+			}
+		}
+	})
+	return d.closeErr
+}
+
+// Crash simulates a process kill for recovery tests: the log stops
+// without a seal record and the runtime must not be used afterwards.
+// Records already enqueued remain readable (an in-process crash cannot
+// lose the page cache); acked commits were durable regardless.
+func (rt *Runtime) Crash() {
+	d := rt.dur
+	if d == nil {
+		return
+	}
+	d.closeOnce.Do(func() {
+		d.stopAutoLoop()
+		d.log.Kill()
+		rt.rt.SetDurable(nil)
+	})
+}
+
+func (d *durRuntime) stopAutoLoop() {
+	if d.stopAuto != nil {
+		close(d.stopAuto)
+		<-d.autoDone
+		d.stopAuto = nil
+	}
+}
+
+// Recover rebuilds a runtime from dir: the newest loadable checkpoint
+// plus a replay of the redo tail (truncating a torn final record). The
+// memory geometry comes from the checkpoint manifest; opts configure
+// everything else (engine profile, phases, …) and should match the
+// options the crashed instance ran with. A WithDurability option among
+// opts contributes its tuning knobs (its directory argument is ignored
+// in favor of dir); without one, defaults apply. The recovered runtime
+// is durable again: it continues the log after the replayed tail and
+// writes a fresh post-recovery checkpoint.
+func Recover(dir string, opts ...Option) (*Runtime, error) {
+	st, err := wal.Recover(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := fold(opts)
+	s.mem = mem.Config{
+		GlobalWords: st.Geometry.GlobalWords,
+		HeapWords:   st.Geometry.HeapWords,
+		StackWords:  st.Geometry.StackWords,
+		MaxThreads:  st.Geometry.MaxThreads,
+	}
+	if s.mem.GlobalWords <= 0 || s.mem.HeapWords <= 0 || s.mem.StackWords <= 0 || s.mem.MaxThreads <= 0 {
+		return nil, fmt.Errorf("tm: checkpoint manifest has invalid geometry %+v", st.Geometry)
+	}
+	ds := s.dur
+	if ds == nil {
+		ds = &durSettings{}
+	}
+	ds.dir = dir
+	rt := newRuntime(s)
+	space := rt.rt.Space()
+	space.SetWords(st.Words)
+	space.SetGlobalsNext(st.GlobalsNext)
+	space.SetHeapNext(st.HeapNext)
+	rt.rt.SetClock(st.Clock)
+	if err := openDurable(rt, ds, st.NextSeg, st.NextSeq, false); err != nil {
+		return nil, err
+	}
+	// A post-recovery checkpoint folds the replayed tail in, so the next
+	// recovery is fast, and lets us reclaim the previous incarnation's
+	// segments (the new log only truncates its own).
+	if err := rt.Checkpoint(); err != nil {
+		rt.Close()
+		return nil, err
+	}
+	if err := wal.RemoveSegmentsBelow(dir, st.NextSeg); err != nil {
+		rt.Close()
+		return nil, err
+	}
+	return rt, nil
+}
+
+// Durable reports whether the runtime was opened with WithDurability
+// (and has not been closed or crashed).
+func (rt *Runtime) Durable() bool { return rt.dur != nil && rt.rt.Durable() != nil }
+
+// durabilityStats flattens the log and checkpoint counters, or nil when
+// the runtime is not durable.
+func (rt *Runtime) durabilityStats() *DurabilityStats {
+	d := rt.dur
+	if d == nil {
+		return nil
+	}
+	ls := d.log.Stats()
+	ss := d.store.Stats()
+	return &DurabilityStats{
+		Records:       ls.Records,
+		LogBytes:      ls.Bytes,
+		Batches:       ls.Batches,
+		Fsyncs:        ls.Fsyncs,
+		Segments:      ls.Segments,
+		Checkpoints:   ss.Checkpoints,
+		ChunksWritten: ss.ChunksWritten,
+		ChunksDeduped: ss.ChunksDeduped,
+		PackBytes:     ss.BytesWritten,
+	}
+}

@@ -50,16 +50,17 @@ type settings struct {
 	mem    mem.Config
 	cfg    stm.OptConfig
 	phases []PhaseSpec
+	dur    *durSettings
 }
 
 // Option configures a Runtime created by Open.
 type Option func(*settings)
 
-// build folds opts over the defaults: default memory geometry and the
+// fold applies opts over the defaults: default memory geometry and the
 // paper's unoptimized baseline configuration. Phase fragments are
 // applied last, onto the *final* base configuration, so a WithPhases
 // appearing anywhere in the option list sees every other option.
-func build(opts []Option) (mem.Config, stm.OptConfig) {
+func fold(opts []Option) settings {
 	s := settings{mem: mem.DefaultConfig(), cfg: stm.OptConfig{Name: "custom"}}
 	for _, o := range opts {
 		if o != nil {
@@ -69,6 +70,12 @@ func build(opts []Option) (mem.Config, stm.OptConfig) {
 	for _, ph := range s.phases {
 		s.cfg.Phases = append(s.cfg.Phases, ph.compile(&s))
 	}
+	return s
+}
+
+// build is fold for callers that only need the compiled configuration.
+func build(opts []Option) (mem.Config, stm.OptConfig) {
+	s := fold(opts)
 	return s.mem, s.cfg
 }
 

@@ -134,11 +134,13 @@ func (s *Server) Start() {
 	}
 }
 
-// Stop closes the accept queue and waits for the workers to drain it
-// and flush their batches. Every submitted request's done callback
-// has run when Stop returns. Stop is idempotent; calls after the first
-// return once the first drain has finished.
-func (s *Server) Stop() {
+// Stop closes the accept queue, waits for the workers to drain it and
+// flush their batches, then closes the server-owned runtime (flushing
+// and sealing its redo log when the profile included tm.WithDurability).
+// Every submitted request's done callback has run when Stop returns.
+// Stop is idempotent; calls after the first return once the first drain
+// has finished, reporting the same close outcome.
+func (s *Server) Stop() error {
 	s.stopMu.Lock()
 	already := s.stopped
 	s.stopped = true
@@ -147,6 +149,7 @@ func (s *Server) Stop() {
 		close(s.jobs)
 	}
 	s.wg.Wait()
+	return s.rt.Close()
 }
 
 // Submit decodes one wire-encoded request and queues it; done is

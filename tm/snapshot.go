@@ -1,0 +1,89 @@
+package tm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stm"
+)
+
+// Snapshot is the consolidated observability view of a Runtime: one
+// struct instead of the former getter trio (Stats, PhaseStats,
+// AdaptiveSelections). Take it after worker threads have joined.
+type Snapshot struct {
+	// Engine names the compiled barrier engine (with "+phases" /
+	// "+adaptive" markers when those features are on).
+	Engine string
+	// Stats sums every thread's counters across all phases.
+	Stats Stats
+	// Phases is the per-phase breakdown: index 0 is the default phase,
+	// declared phases follow in declaration order. Always at least one
+	// row.
+	Phases []PhaseStats
+	// Adaptive reports the current engine selection of every adaptively
+	// managed phase kind (empty without WithAdaptive).
+	Adaptive []AdaptiveSelection
+	// Durability carries the redo-log and checkpoint counters, nil when
+	// the runtime was opened without WithDurability.
+	Durability *DurabilityStats
+}
+
+// DurabilityStats flattens the redo-log and checkpoint-store counters.
+type DurabilityStats struct {
+	Records  uint64 // redo records appended
+	LogBytes uint64 // log bytes appended
+	Batches  uint64 // group-commit write batches
+	Fsyncs   uint64 // fsync calls on log segments
+	Segments uint64 // log segment files created
+
+	Checkpoints   uint64 // checkpoints written
+	ChunksWritten uint64 // content-addressed chunks appended to packs
+	ChunksDeduped uint64 // chunks skipped because their score was stored
+	PackBytes     uint64 // pack bytes appended
+}
+
+// Snapshot returns the consolidated observability view.
+func (rt *Runtime) Snapshot() Snapshot {
+	return Snapshot{
+		Engine:     rt.rt.Engine(),
+		Stats:      rt.rt.Stats(),
+		Phases:     rt.rt.PhaseStats(),
+		Adaptive:   rt.rt.AdaptiveSelections(),
+		Durability: rt.durabilityStats(),
+	}
+}
+
+// conflicts reports the option combinations Open resolves by silent
+// precedence. Each check runs on the base configuration and on every
+// phase fragment's compiled configuration, since a fragment can
+// introduce the same clash.
+func (s *settings) conflicts() error {
+	var errs []error
+	check := func(where string, cfg *stm.OptConfig) {
+		ctx := ""
+		if where != "" {
+			ctx = fmt.Sprintf(" (phase %q)", where)
+		}
+		if cfg.ReadMostly && (cfg.Counting || cfg.VerifyElision) {
+			errs = append(errs, fmt.Errorf("tm: WithReadMostly is dropped under WithCounting/WithVerifyElision, whose oracles need the instrumented chain%s", ctx))
+		}
+		if cfg.Counting && cfg.PerfMode && !cfg.VerifyElision {
+			errs = append(errs, fmt.Errorf("tm: WithCounting classification is disabled by WithPerfMode (the counters live in the instrumented chain)%s", ctx))
+		}
+	}
+	check("", &s.cfg)
+	declared := make(map[string]bool, len(s.cfg.Phases))
+	for i := range s.cfg.Phases {
+		ph := &s.cfg.Phases[i]
+		declared[ph.Kind] = true
+		check(ph.Kind, &ph.Cfg)
+	}
+	if s.cfg.Adaptive.Enabled {
+		for _, k := range s.cfg.Adaptive.Kinds {
+			if declared[k] {
+				errs = append(errs, fmt.Errorf("tm: adaptive kind %q is shadowed by an explicit WithPhases declaration (manual hints stay ground truth)", k))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,6 +1,7 @@
 package tm
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/mem"
@@ -30,18 +31,52 @@ func DefaultMemConfig() MemConfig { return mem.DefaultConfig() }
 // optimization configuration. One Runtime is shared by all threads of
 // a workload.
 type Runtime struct {
-	rt *stm.Runtime
+	rt  *stm.Runtime
+	mc  mem.Config
+	dur *durRuntime // durability state; nil without WithDurability
 
 	mu      sync.Mutex
 	threads map[int]*Thread
 }
 
+func newRuntime(s settings) *Runtime {
+	return &Runtime{rt: stm.New(s.mem, s.cfg), mc: s.mem, threads: make(map[int]*Thread)}
+}
+
 // Open creates a runtime configured by the given options. With no
 // options it is the paper's unoptimized baseline over the default
-// memory geometry.
+// memory geometry. Conflicting options are resolved by precedence
+// (documented on each option); OpenErr reports them as errors instead.
+// Open panics if WithDurability was given and the directory cannot be
+// initialized — durability cannot be dropped silently; use OpenErr to
+// handle that case.
 func Open(opts ...Option) *Runtime {
-	mc, cfg := build(opts)
-	return &Runtime{rt: stm.New(mc, cfg), threads: make(map[int]*Thread)}
+	s := fold(opts)
+	rt := newRuntime(s)
+	if s.dur != nil {
+		if err := openDurable(rt, s.dur, 0, 0, true); err != nil {
+			panic(fmt.Sprintf("tm: opening durability dir %s: %v", s.dur.dir, err))
+		}
+	}
+	return rt
+}
+
+// OpenErr is Open with error reporting: option combinations that Open
+// resolves by silent precedence (for example WithReadMostly under
+// WithCounting, which drops the read-mostly engine) are returned as
+// errors, as are durability initialization failures.
+func OpenErr(opts ...Option) (*Runtime, error) {
+	s := fold(opts)
+	if err := s.conflicts(); err != nil {
+		return nil, err
+	}
+	rt := newRuntime(s)
+	if s.dur != nil {
+		if err := openDurable(rt, s.dur, 0, 0, true); err != nil {
+			return nil, err
+		}
+	}
+	return rt, nil
 }
 
 // Thread returns (creating on first use) the execution context for
@@ -80,6 +115,9 @@ func (rt *Runtime) AllocGlobal(n int) Struct {
 }
 
 // Stats sums the statistics of every thread created so far.
+//
+// Deprecated: use Snapshot, which returns all observability views
+// (engine, totals, per-phase, adaptive, durability) in one struct.
 func (rt *Runtime) Stats() Stats { return rt.rt.Stats() }
 
 // Engine names the barrier engine this runtime compiled its
@@ -108,6 +146,9 @@ type PhaseStats = stm.PhaseStats
 // PhaseStats sums every thread's counters by phase: index 0 is the
 // default phase, declared phases follow in declaration order. Read it
 // after worker threads have joined, like Stats.
+//
+// Deprecated: use Snapshot, which carries the same rows in its Phases
+// field.
 func (rt *Runtime) PhaseStats() []PhaseStats { return rt.rt.PhaseStats() }
 
 // AdaptiveSelection is the current engine choice for one adaptive
@@ -128,6 +169,9 @@ const (
 // kind WithAdaptive adapts, in declaration order (empty without
 // adaptation). Reading it while workers run sees a momentary
 // selection; read after joining for the converged one.
+//
+// Deprecated: use Snapshot, which carries the same rows in its
+// Adaptive field.
 func (rt *Runtime) AdaptiveSelections() []AdaptiveSelection {
 	return rt.rt.AdaptiveSelections()
 }
