@@ -24,8 +24,9 @@
 //	stampbench -experiment sweep -bench tmmsg -phases  # A/B phase hints on vs. off
 //	stampbench -experiment readmostly -format json -o BENCH_sweep_readmostly.json
 //	stampbench -experiment durability -format json -o BENCH_sweep_durability.json
+//	stampbench -experiment contention -format json -o BENCH_sweep_contention.json
 //
-// The sweep, capture, readmostly, and durability experiments accept -format json,
+// The sweep, capture, readmostly, durability, and contention experiments accept -format json,
 // producing the diffable report of tm/bench.WriteJSON; -o writes it to
 // a file (BENCH_*.json in CI) instead of stdout. The -phases toggle adds a
 // phase-hinted variant of every sweep profile (publish-shaped
@@ -53,7 +54,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "fig10", "list|table1|table2|fig10|fig11a|fig11b|capture|sweep|readmostly|durability")
+	exp := flag.String("experiment", "fig10", "list|table1|table2|fig10|fig11a|fig11b|capture|sweep|readmostly|durability|contention")
 	threads := flag.Int("threads", 1, "worker threads for the parallel phase")
 	runs := flag.Int("runs", 3, "repetitions per data point")
 	benchFlag := flag.String("bench", "all", "comma-separated workload names or 'all'")
@@ -84,9 +85,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stampbench: unknown format %q\n", *format)
 		os.Exit(1)
 	}
-	jsonExps := map[string]bool{"sweep": true, "capture": true, "readmostly": true, "durability": true}
+	jsonExps := map[string]bool{"sweep": true, "capture": true, "readmostly": true, "durability": true, "contention": true}
 	if *format == "json" && !jsonExps[*exp] {
-		fmt.Fprintf(os.Stderr, "stampbench: -format json supports the sweep, capture, readmostly, and durability experiments, not %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "stampbench: -format json supports the sweep, capture, readmostly, durability, and contention experiments, not %q\n", *exp)
 		os.Exit(1)
 	}
 
@@ -133,6 +134,15 @@ func main() {
 		var counts []int
 		if counts, err = parseThreadList(*threadList); err == nil {
 			err = durabilitySweep(w, db, counts, *runs, *format == "json", *fsync)
+		}
+	case "contention":
+		cb := benches
+		if *benchFlag == "all" {
+			cb = contentionBenches
+		}
+		var counts []int
+		if counts, err = parseThreadList(*threadList); err == nil {
+			err = contentionSweep(w, cb, counts, *runs, *format == "json")
 		}
 	default:
 		err = fmt.Errorf("unknown experiment %q", *exp)
@@ -338,6 +348,75 @@ func durabilitySweep(w io.Writer, benches []string, counts []int, runs int, asJS
 		return bench.WriteJSON(w, bench.NewReport(all))
 	}
 	bench.WriteSweep(w, all)
+	return nil
+}
+
+// contentionBenches are the contended mixes where the manager choice
+// is visible: the full message blend, its consumer-dominated variant
+// (hot cursor words, the queue manager's target), and the write-heavy
+// KV blend (encounter-time write locks held across block copies).
+var contentionBenches = []string{"tmmsg", "tmmsg-sub", "tmkv-write"}
+
+// contentionProfiles are the manager arms of the A/B: the optimized
+// engine under each runtime-wide contention manager, plus the
+// hand-tuned per-phase mix (publish→none, cursor→queue, scan→backoff
+// via PhaseRegimeSpecs) and the adaptive arm that must rediscover it
+// from epoch abort ratios. All arms compute identical results — the
+// cross-manager differential pins that — so the rows differ only in
+// how threads wait.
+func contentionProfiles() []tm.Profile {
+	base := tm.RuntimeAll(tm.LogTree).Perf()
+	out := make([]tm.Profile, 0, 5)
+	for _, m := range []tm.CM{tm.CMBackoff, tm.CMNone, tm.CMQueue} {
+		out = append(out, base.With(tm.WithContention(m)).Named(base.Name()+"+cm"+m))
+	}
+	return append(out,
+		base.With(tm.WithPhases(bench.PhaseRegimeSpecs()...)).Named(base.Name()+"+phases"),
+		base.With(tm.WithAdaptive(tm.AdaptiveConfig{})).Named(base.Name()+"+adaptive"),
+	)
+}
+
+// contentionSweep measures the manager arms over the contended mixes
+// at contended thread counts, then adds served open-loop rows —
+// srv-tmmsg per manager, unmerged and at width 8 — so the report
+// carries both the throughput and the tail-latency face of the same
+// policy question. Each row's cm block names the managers in force
+// and the wait totals they accumulated.
+func contentionSweep(w io.Writer, benches []string, counts []int, runs int, asJSON bool) error {
+	if len(counts) == 0 {
+		counts = []int{4, 8} // past the core count: waiting policy dominates
+	}
+	var all []bench.Result
+	for _, b := range benches {
+		results, err := bench.SweepMatrix(b, contentionProfiles(), counts, runs)
+		if err != nil {
+			return err
+		}
+		all = append(all, results...)
+	}
+	for _, m := range []tm.CM{tm.CMBackoff, tm.CMNone, tm.CMQueue} {
+		for _, width := range []int{1, 8} {
+			res, err := bench.RunOpenLoop(bench.OpenLoopSpec{
+				Backend:    "srv-tmmsg",
+				Profile:    tm.RuntimeAll(tm.LogTree).Perf(),
+				Workers:    4,
+				MergeWidth: width,
+				Clients:    8,
+				Requests:   4096,
+				Seed:       17,
+				CM:         m,
+			})
+			if err != nil {
+				return err
+			}
+			all = append(all, res)
+		}
+	}
+	if asJSON {
+		return bench.WriteJSON(w, bench.NewReport(all))
+	}
+	bench.WriteSweep(w, all)
+	bench.WriteLatencyTable(w, all)
 	return nil
 }
 

@@ -23,6 +23,9 @@
 //	tmsrv -workers 1,4 -requests 8192 -stats # counters on (non-perf build)
 //	tmsrv -format json -o BENCH_sweep_latency.json
 //	tmsrv -adaptive -backend srv-tmmsg -o BENCH_sweep_adaptive.json
+//	tmsrv -backend srv-tmmsg -cm all -mergewidths 1,8  # p95/p99 per
+//	                                         # contention manager,
+//	                                         # merged and unmerged
 //
 // -adaptive replaces the merge-width grid with a four-arm A/B at every
 // backend × workers × rate point: unmerged single-engine (mw1), fixed
@@ -66,6 +69,7 @@ func main() {
 	requests := flag.Int("requests", 1<<14, "requests per sweep point")
 	clients := flag.Int("clients", 8, "open-loop client goroutines")
 	seed := flag.Uint64("seed", 1, "seed for interarrivals and the request stream")
+	cmFlag := flag.String("cm", "", "comma-separated contention managers (backoff|none|queue) to run as arms at every sweep point; 'all' = every manager, empty = the profile default")
 	adaptive := flag.Bool("adaptive", false, "run the adaptive A/B sweep (mw1 vs mwW vs +phases vs +adaptive, W = max of -mergewidths) instead of the plain width grid")
 	adaptEpoch := flag.Int("adaptepoch", 0, "adaptive engine-selection sampling window in commits (0 = runtime default)")
 	format := flag.String("format", "text", "output format: text|json")
@@ -101,6 +105,10 @@ func main() {
 	if err == nil {
 		rates, err = parseRates(*ratesFlag)
 	}
+	var cms []tm.CM
+	if err == nil {
+		cms, err = parseCMs(*cmFlag)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmsrv:", err)
 		os.Exit(1)
@@ -122,9 +130,9 @@ func main() {
 	}
 
 	if *adaptive {
-		err = sweepAdaptive(w, backends, profile, workers, maxInt(widths), rates, *requests, *clients, *seed, *adaptEpoch, *format == "json")
+		err = sweepAdaptive(w, backends, profile, workers, maxInt(widths), rates, cms, *requests, *clients, *seed, *adaptEpoch, *format == "json")
 	} else {
-		err = sweep(w, backends, profile, workers, widths, rates, *requests, *clients, *seed, *format == "json")
+		err = sweep(w, backends, profile, workers, widths, rates, cms, *requests, *clients, *seed, *format == "json")
 	}
 	// A failed flush at close must fail the run: CI diffs the written
 	// report, and a silently truncated artifact would pass as baseline.
@@ -210,28 +218,54 @@ func parseRates(s string) ([]float64, error) {
 	return out, nil
 }
 
+// parseCMs resolves the -cm flag into the contention-manager arms of
+// the sweep. The empty string is one arm on the profile's default
+// manager; "all" is one arm per manager, so a single report carries
+// every side of the waiting-policy A/B.
+func parseCMs(s string) ([]tm.CM, error) {
+	if s == "" {
+		return []tm.CM{""}, nil
+	}
+	if s == "all" {
+		return []tm.CM{tm.CMBackoff, tm.CMNone, tm.CMQueue}, nil
+	}
+	var out []tm.CM
+	for _, part := range strings.Split(s, ",") {
+		switch m := tm.CM(strings.TrimSpace(part)); m {
+		case tm.CMBackoff, tm.CMNone, tm.CMQueue:
+			out = append(out, m)
+		default:
+			return nil, fmt.Errorf("bad -cm entry %q (want backoff, none, or queue)", part)
+		}
+	}
+	return out, nil
+}
+
 // sweep measures every point of the grid and writes the latency table
 // or the diffable JSON report.
-func sweep(w io.Writer, backends []string, p tm.Profile, workers, widths []int, rates []float64, requests, clients int, seed uint64, asJSON bool) error {
+func sweep(w io.Writer, backends []string, p tm.Profile, workers, widths []int, rates []float64, cms []tm.CM, requests, clients int, seed uint64, asJSON bool) error {
 	var all []bench.Result
 	for _, be := range backends {
 		for _, nw := range workers {
 			for _, mw := range widths {
 				for _, rate := range rates {
-					res, err := bench.RunOpenLoop(bench.OpenLoopSpec{
-						Backend:    be,
-						Profile:    p,
-						Workers:    nw,
-						MergeWidth: mw,
-						Clients:    clients,
-						Rate:       rate,
-						Requests:   requests,
-						Seed:       seed,
-					})
-					if err != nil {
-						return err
+					for _, cm := range cms {
+						res, err := bench.RunOpenLoop(bench.OpenLoopSpec{
+							Backend:    be,
+							Profile:    p,
+							Workers:    nw,
+							MergeWidth: mw,
+							Clients:    clients,
+							Rate:       rate,
+							Requests:   requests,
+							Seed:       seed,
+							CM:         cm,
+						})
+						if err != nil {
+							return err
+						}
+						all = append(all, res)
 					}
-					all = append(all, res)
 				}
 			}
 		}
@@ -260,7 +294,7 @@ func maxInt(xs []int) int {
 // plus adaptive merge width up to W). The arms share the request
 // stream and seed, so their rows differ only in the machinery under
 // test.
-func sweepAdaptive(w io.Writer, backends []string, p tm.Profile, workers []int, width int, rates []float64, requests, clients int, seed uint64, epoch int, asJSON bool) error {
+func sweepAdaptive(w io.Writer, backends []string, p tm.Profile, workers []int, width int, rates []float64, cms []tm.CM, requests, clients int, seed uint64, epoch int, asJSON bool) error {
 	arms := []bench.OpenLoopSpec{
 		{MergeWidth: 1},
 		{MergeWidth: width},
@@ -271,16 +305,18 @@ func sweepAdaptive(w io.Writer, backends []string, p tm.Profile, workers []int, 
 	for _, be := range backends {
 		for _, nw := range workers {
 			for _, rate := range rates {
-				for _, arm := range arms {
-					spec := arm
-					spec.Backend, spec.Profile, spec.Workers = be, p, nw
-					spec.Clients, spec.Rate = clients, rate
-					spec.Requests, spec.Seed = requests, seed
-					res, err := bench.RunOpenLoop(spec)
-					if err != nil {
-						return err
+				for _, cm := range cms {
+					for _, arm := range arms {
+						spec := arm
+						spec.Backend, spec.Profile, spec.Workers = be, p, nw
+						spec.Clients, spec.Rate, spec.CM = clients, rate, cm
+						spec.Requests, spec.Seed = requests, seed
+						res, err := bench.RunOpenLoop(spec)
+						if err != nil {
+							return err
+						}
+						all = append(all, res)
 					}
-					all = append(all, res)
 				}
 			}
 		}

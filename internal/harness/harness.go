@@ -35,6 +35,12 @@ type Result struct {
 	// (tm.WithAdaptive).
 	Adaptive []tm.AdaptiveSelection
 
+	// CM is the contention-management block: the default manager, the
+	// per-kind manager map, and the wait totals. Nil for the trivial
+	// case (all-backoff, zero waits), so pre-existing reports compare
+	// clean.
+	CM *CMResult
+
 	// Latency is the open-loop service-time block, populated only by
 	// RunOpenLoop (nil for throughput results).
 	Latency *LatencyStats
@@ -71,6 +77,7 @@ func Run(bench string, p tm.Profile, threads, runs int) (Result, error) {
 			res.PhaseStats = snap.Phases
 		}
 		res.Adaptive = snap.Adaptive
+		res.CM = cmResult(snap)
 		if err := w.Validate(rt); err != nil {
 			rt.Close()
 			return res, fmt.Errorf("%s [%s, %d threads]: %w", bench, p.Name(), threads, err)
@@ -80,6 +87,54 @@ func Run(bench string, p tm.Profile, threads, runs int) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// CMResult is the contention-management block of a Result: the default
+// phase's manager, every kind whose manager differs from it (manual
+// declarations and adaptive selections alike), and the run's wait
+// totals (Stats.Waits/WaitNs summed over phases).
+type CMResult struct {
+	Default string
+	Kinds   []CMKind
+	Waits   uint64
+	WaitNs  uint64
+}
+
+// CMKind maps one phase kind to its active contention manager.
+type CMKind struct {
+	Kind    string
+	Manager string
+}
+
+// cmResult extracts the contention-management block from a snapshot.
+// It returns nil for the trivial case — backoff everywhere and zero
+// waits — so reports from before the layer existed stay comparable.
+func cmResult(snap tm.Snapshot) *CMResult {
+	if len(snap.Phases) == 0 {
+		return nil
+	}
+	cm := &CMResult{
+		Default: snap.Phases[0].CM,
+		Waits:   snap.Stats.Waits,
+		WaitNs:  snap.Stats.WaitNs,
+	}
+	for _, ps := range snap.Phases[1:] {
+		if ps.Variant != "" {
+			continue // adaptive variants report through snap.Adaptive
+		}
+		if ps.CM != cm.Default {
+			cm.Kinds = append(cm.Kinds, CMKind{Kind: ps.Kind, Manager: ps.CM})
+		}
+	}
+	for _, sel := range snap.Adaptive {
+		if sel.CM != cm.Default {
+			cm.Kinds = append(cm.Kinds, CMKind{Kind: sel.Kind, Manager: sel.CM})
+		}
+	}
+	if cm.Default == tm.CMBackoff && len(cm.Kinds) == 0 && cm.Waits == 0 {
+		return nil
+	}
+	return cm
 }
 
 // timedRun times the parallel phase with the Go runtime quiesced: GC
@@ -116,6 +171,7 @@ func RunMatrix(bench string, profiles []tm.Profile, threads, runs int) ([]Result
 			results[i].Stats = one.Stats
 			results[i].PhaseStats = one.PhaseStats
 			results[i].Adaptive = one.Adaptive
+			results[i].CM = one.CM
 			results[i].Durability = one.Durability
 		}
 	}
@@ -230,14 +286,20 @@ func Improvement(base, opt Result) float64 {
 // apart silently. The scan fragment carries the same capture shape as
 // publish so its upgrade target — and the adaptive readmostly
 // variant's configuration — match the capture engine exactly.
+// Each regime also declares its contention manager: publish
+// transactions are short and conflict rarely (immediate retry), the
+// cursor hot spot parks losers on the owner (queue), and scans keep
+// the backoff default — long read sets racing steady writers want the
+// randomized separation, not a park on one owner among many.
 func PhaseRegimeSpecs() []tm.PhaseSpec {
 	return []tm.PhaseSpec{
 		tm.PhaseProfile(tm.PhasePublish,
-			tm.WithRuntimeCapture(tm.StackAndHeap, tm.StackAndHeap), tm.WithLogKind(tm.LogTree)),
-		tm.PhaseProfile(tm.PhaseCursor, tm.WithSkipSharedChecks()),
+			tm.WithRuntimeCapture(tm.StackAndHeap, tm.StackAndHeap), tm.WithLogKind(tm.LogTree),
+			tm.WithContention(tm.CMNone)),
+		tm.PhaseProfile(tm.PhaseCursor, tm.WithSkipSharedChecks(), tm.WithContention(tm.CMQueue)),
 		tm.PhaseProfile(tm.PhaseScan,
 			tm.WithRuntimeCapture(tm.StackAndHeap, tm.StackAndHeap), tm.WithLogKind(tm.LogTree),
-			tm.WithReadMostly()),
+			tm.WithReadMostly(), tm.WithContention(tm.CMBackoff)),
 	}
 }
 

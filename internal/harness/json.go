@@ -47,6 +47,12 @@ type ResultJSON struct {
 	// present only under online engine selection (tm.WithAdaptive).
 	Adaptive []AdaptiveJSON `json:"adaptive,omitempty"`
 
+	// CM is the contention-management block: the default manager, the
+	// kinds whose manager differs, and the wait totals. Present only
+	// when non-trivial (a non-backoff manager somewhere, or waits
+	// observed); like Latency, its addition does not bump ReportSchema.
+	CM *CMJSON `json:"cm,omitempty"`
+
 	// Latency is the open-loop service-time block; present only for
 	// results produced by RunOpenLoop. Its addition does not bump
 	// ReportSchema: consumers that ignore it read the rest unchanged.
@@ -71,6 +77,20 @@ type DurabilityJSON struct {
 	PackBytes     uint64 `json:"pack_bytes"`
 }
 
+// CMJSON flattens a CMResult for the report.
+type CMJSON struct {
+	Default string       `json:"default"`
+	Kinds   []CMKindJSON `json:"kinds,omitempty"`
+	Waits   uint64       `json:"waits"`
+	WaitNs  uint64       `json:"wait_ns"`
+}
+
+// CMKindJSON maps one phase kind to its active contention manager.
+type CMKindJSON struct {
+	Kind    string `json:"kind"`
+	Manager string `json:"manager"`
+}
+
 // PhaseJSON is one per-phase statistics row of a result: the phase
 // kind ("" = default), the adaptive variant ("" for manual/default
 // entries), the engine it compiled to, and its counters.
@@ -78,6 +98,7 @@ type PhaseJSON struct {
 	Kind    string   `json:"kind"`
 	Variant string   `json:"variant,omitempty"`
 	Engine  string   `json:"engine"`
+	CM      string   `json:"cm,omitempty"`
 	Stats   tm.Stats `json:"stats"`
 }
 
@@ -87,6 +108,7 @@ type AdaptiveJSON struct {
 	Kind    string `json:"kind"`
 	Variant string `json:"variant"`
 	Engine  string `json:"engine"`
+	CM      string `json:"cm,omitempty"`
 }
 
 // Report is the diffable artifact of a benchmark run: results and/or
@@ -130,13 +152,19 @@ func resultJSON(r Result) ResultJSON {
 	}
 	for _, ps := range r.PhaseStats {
 		out.Phases = append(out.Phases, PhaseJSON{
-			Kind: ps.Kind, Variant: ps.Variant, Engine: ps.Engine, Stats: ps.Stats,
+			Kind: ps.Kind, Variant: ps.Variant, Engine: ps.Engine, CM: ps.CM, Stats: ps.Stats,
 		})
 	}
 	for _, sel := range r.Adaptive {
 		out.Adaptive = append(out.Adaptive, AdaptiveJSON{
-			Kind: sel.Kind, Variant: sel.Variant, Engine: sel.Engine,
+			Kind: sel.Kind, Variant: sel.Variant, Engine: sel.Engine, CM: sel.CM,
 		})
+	}
+	if cm := r.CM; cm != nil {
+		out.CM = &CMJSON{Default: cm.Default, Waits: cm.Waits, WaitNs: cm.WaitNs}
+		for _, k := range cm.Kinds {
+			out.CM.Kinds = append(out.CM.Kinds, CMKindJSON{Kind: k.Kind, Manager: k.Manager})
+		}
 	}
 	if d := r.Durability; d != nil {
 		out.Durability = &DurabilityJSON{

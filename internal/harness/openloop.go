@@ -35,6 +35,13 @@ type OpenLoopSpec struct {
 	Requests   int        // total requests; <1 = 1
 	Seed       uint64     // drives interarrivals and the request stream
 
+	// CM selects a runtime-wide contention manager ("" keeps the
+	// profile's default). Applied via tm.WithContention, it is the
+	// manager arm of the served A/B: without Phases the whole runtime
+	// resolves conflicts through the named manager, so the p95/p99 delta
+	// between arms isolates the policy.
+	CM tm.CM
+
 	// Phases overlays the canonical hand-tuned per-phase engine
 	// declaration (PhaseRegimeSpecs) on the profile — the hinted arm of
 	// the adaptive/hinted/single-engine A/B.
@@ -101,6 +108,9 @@ func RunOpenLoop(spec OpenLoopSpec) (Result, error) {
 		return res, err
 	}
 	profile := spec.Profile
+	if spec.CM != "" {
+		profile = profile.With(tm.WithContention(spec.CM))
+	}
 	if spec.Phases {
 		profile = profile.With(tm.WithPhases(PhaseRegimeSpecs()...))
 	}
@@ -138,6 +148,7 @@ func RunOpenLoop(spec OpenLoopSpec) (Result, error) {
 		res.PhaseStats = snap.Phases
 	}
 	res.Adaptive = snap.Adaptive
+	res.CM = cmResult(snap)
 	rt.Validate() // panics on a leaked orec — merged txns must release all
 	res.Latency = newLatencyStats(spec, olr, srv.BatchStats())
 	if spec.Adaptive {
@@ -155,6 +166,9 @@ func openLoopConfig(spec OpenLoopSpec) string {
 		load = strconv.FormatFloat(spec.Rate, 'f', -1, 64) + "rps"
 	}
 	name := spec.Profile.Name()
+	if spec.CM != "" {
+		name += "+cm" + spec.CM
+	}
 	if spec.Phases {
 		name += "+phases"
 	}

@@ -443,15 +443,15 @@ func (tx *Tx) readFull(a mem.Addr) uint64 {
 			if orecOwner(v1) == tx.th.id {
 				return rt.space.Load(a) // read-after-write, in place
 			}
-			tx.conflict()
+			tx.conflictAt(oi, v1)
 		}
 		if orecVersion(v1) > tx.rv {
 			tx.extend()
 			continue
 		}
 		val := rt.space.Load(a)
-		if rt.orecs[oi].Load() != v1 {
-			tx.conflict()
+		if v2 := rt.orecs[oi].Load(); v2 != v1 {
+			tx.conflictAt(oi, v2)
 		}
 		tx.readset = append(tx.readset, readEntry{oi, v1})
 		return val
@@ -474,15 +474,15 @@ func (tx *Tx) rmReadFull(a mem.Addr) uint64 {
 	for {
 		v1 := rt.orecs[oi].Load()
 		if orecLocked(v1) {
-			tx.conflict()
+			tx.conflictAt(oi, v1)
 		}
 		if orecVersion(v1) > tx.rv {
 			tx.extend()
 			continue
 		}
 		val := rt.space.Load(a)
-		if rt.orecs[oi].Load() != v1 {
-			tx.conflict()
+		if v2 := rt.orecs[oi].Load(); v2 != v1 {
+			tx.conflictAt(oi, v2)
 		}
 		return val
 	}
@@ -509,7 +509,7 @@ func (tx *Tx) writeFull(a mem.Addr, val uint64) {
 			if orecOwner(v) == tx.th.id {
 				break
 			}
-			tx.conflict()
+			tx.conflictAt(oi, v)
 		}
 		if orecVersion(v) > tx.rv {
 			tx.extend()
@@ -526,7 +526,7 @@ func (tx *Tx) writeFull(a mem.Addr, val uint64) {
 			tx.lockedPrev[oi] = v
 			break
 		}
-		tx.conflict()
+		tx.conflictAt(oi, rt.orecs[oi].Load())
 	}
 	tx.logUndo(a)
 	rt.space.Store(a, val)

@@ -1,0 +1,285 @@
+package stm
+
+// This file is the contention-manager layer: the policy that decides
+// what a thread does between a conflict abort and the retry of its
+// transaction. Like the barrier engines (engine.go) the policy is
+// compiled once per phase kind — conflict resolution is a regime
+// property, not a runtime property: the capture-heavy publish path is
+// short and cheap to retry (waiting only adds latency), while the
+// contended cursor path is an RMW hot spot where randomized spinning
+// wastes the slot and a park/wake discipline wins.
+//
+// A manager has one compiled hook, wait, dispatched from Atomic's
+// retry loop. The hook runs at a precise point in the lifecycle: the
+// conflicting attempt has fully unwound through abortTop, which
+// released every ownership record the attempt held. A waiting thread
+// therefore owns nothing, so no wait-for cycle through orecs can form
+// and parking is deadlock-free by construction.
+//
+// The release side is not per-manager: commitTop, abortTop, and
+// abortNested wake parked waiters right after storing the unlocked
+// orec words, whatever manager the *releasing* phase compiled —
+// a queue-phase thread may park on an owner running a backoff phase,
+// and mixed-manager runtimes are the point of the layer. When nobody
+// waits the hook is a single atomic load.
+//
+// Three policies are provided:
+//
+//	backoff  the paper's randomized exponential backoff (the extracted
+//	         former Thread.backoff), behavior-preserving default
+//	none     immediate retry; after cmNoneEscalateAfter attempts the
+//	         policy escalates into backoff so symmetric writers cannot
+//	         livelock each other
+//	queue    park on the conflicting orec's owner and wake at its next
+//	         release; conflicts that carry no owner (version overtakes,
+//	         validation failures) fall back to backoff
+//
+// Stats.Waits counts the conflicts where the manager imposed a wait
+// (a backoff spin, an engaged escalation, or a park); Stats.WaitNs is
+// the time spent doing so. Both are lifecycle accounting like
+// Commits/Aborts: kept under PerfMode, attributed to the phase the
+// conflicting transaction ran in.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Contention-manager names, as accepted by OptConfig.CM and reported
+// by Runtime.CMFor and PhaseStats.CM. The empty string selects
+// CMBackoff.
+const (
+	CMBackoff = "backoff"
+	CMNone    = "none"
+	CMQueue   = "queue"
+)
+
+// ValidCM reports whether name is a known contention-manager name
+// (the empty string selects the default, CMBackoff).
+func ValidCM(name string) bool {
+	switch name {
+	case "", CMBackoff, CMNone, CMQueue:
+		return true
+	}
+	return false
+}
+
+// CMName normalizes a configured manager name ("" = the default).
+func CMName(name string) string {
+	if name == "" {
+		return CMBackoff
+	}
+	return name
+}
+
+// cmNoneEscalateAfter is the attempt count from which the none policy
+// escalates into backoff. Below it retries are immediate — the policy's
+// reason to exist; above it two symmetric writers repeatedly aborting
+// each other are forced apart the same way the backoff policy forces
+// them apart from attempt one.
+const cmNoneEscalateAfter = 8
+
+// cmgr is one compiled contention manager. wait runs between a
+// conflict abort and the retry (see the file comment for the
+// invariants at that point). Managers are stateless singletons: all
+// mutable state lives in the Thread (rng, spin sink), the Tx (attempt
+// count, recorded conflict owner), or the Runtime (wait gates), so one
+// compiled manager is shared by every phase and runtime that names it.
+type cmgr struct {
+	name string
+	wait func(th *Thread, tx *Tx)
+}
+
+// The manager table: index order is the adaptState.cmSel encoding.
+const (
+	cmIdxBackoff = iota
+	cmIdxNone
+	cmIdxQueue
+)
+
+var cmgrs = [...]*cmgr{
+	cmIdxBackoff: {name: CMBackoff, wait: cmBackoffWait},
+	cmIdxNone:    {name: CMNone, wait: cmNoneWait},
+	cmIdxQueue:   {name: CMQueue, wait: cmQueueWait},
+}
+
+// cmIndex maps a validated manager name to its table index.
+func cmIndex(name string) int {
+	switch name {
+	case CMNone:
+		return cmIdxNone
+	case CMQueue:
+		return cmIdxQueue
+	}
+	return cmIdxBackoff
+}
+
+// cmFor compiles a manager name (validated by validatePhaseCfg).
+func cmFor(name string) *cmgr { return cmgrs[cmIndex(name)] }
+
+// cmAt returns the live manager of engine-table entry idx: the
+// compiled one, or — for an adaptive kind — the kind's currently
+// selected manager (adaptive.go).
+func (rt *Runtime) cmAt(idx int) *cmgr {
+	if st := rt.adaptByIdx[idx]; st != nil {
+		return cmgrs[st.cmSel.Load()]
+	}
+	return rt.phases[idx].cm
+}
+
+// CMFor names the contention manager active for the given phase kind;
+// "" names the default phase. An undeclared kind reports the default
+// phase's manager, mirroring EnterPhase's hint semantics. For an
+// adaptive kind this follows the current selection.
+func (rt *Runtime) CMFor(kind string) string {
+	return rt.cmAt(rt.phaseIndex(kind)).name
+}
+
+// --- backoff ---
+
+// cmBackoffWait is the paper's simple randomized exponential-backoff
+// contention manager, extracted verbatim from the old retry loop: spin
+// a jittered, exponentially growing number of iterations, and yield
+// the processor once the transaction keeps losing.
+func cmBackoffWait(th *Thread, tx *Tx) {
+	th.backoffSpin(tx.attempts)
+}
+
+// backoffSpin is the shared spin kernel (the none policy's escalation
+// and the queue policy's ownerless fallback reuse it with an adjusted
+// attempt number).
+func (th *Thread) backoffSpin(attempt int) {
+	if attempt <= 0 {
+		return
+	}
+	start := time.Now()
+	k := attempt
+	if k > 10 {
+		k = 10
+	}
+	spins := int(th.nextRand() % uint64(16<<k))
+	var acc uint64
+	for i := 0; i < spins; i++ {
+		acc += uint64(i)
+	}
+	// The sink keeps the spin loop observable so the compiler cannot
+	// delete it. It is per-thread state: the old process-global
+	// atomic.Uint64 put every backing-off thread on one cache line,
+	// so the backoff path itself caused the coherence traffic it was
+	// supposed to drain.
+	th.backoffAcc += acc
+	if attempt > 4 {
+		runtime.Gosched()
+	}
+	th.stats.Waits++
+	th.stats.WaitNs += uint64(time.Since(start))
+}
+
+// --- none ---
+
+// cmNoneWait retries immediately — the right policy for short
+// transactions whose conflicts are rare and cheap to redo — but
+// escalates into backoff once the same transaction has lost
+// cmNoneEscalateAfter attempts, so symmetric writers (two threads
+// whose footprints always collide) cannot livelock aborting each
+// other. The escalation enters the backoff schedule at its gentlest
+// step and grows from there.
+func cmNoneWait(th *Thread, tx *Tx) {
+	if tx.attempts > cmNoneEscalateAfter {
+		th.backoffSpin(tx.attempts - cmNoneEscalateAfter)
+	}
+}
+
+// --- queue ---
+
+// waitGate is one thread's park point: conflicting threads whose
+// manager is the queue policy park here, keyed by the *owner* thread's
+// id, and the owner wakes them when it next releases ownership
+// records. seq counts releases so a waiter that raced the release
+// never sleeps through it; waiters gates the release-side work — when
+// it is zero (the overwhelmingly common case) waking is a single
+// atomic load. Wake order follows park order: sync.Cond's notify list
+// is FIFO, so Broadcast resumes waiters in the order they took their
+// place in the queue.
+type waitGate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	seq     uint64 // releases by the gate's owner; guarded by mu
+	waiters atomic.Int32
+}
+
+// cmQueueWait parks the thread on the conflicting orec's recorded
+// owner until that owner releases ownership records. Conflicts without
+// an owner to park on — version overtakes, validation failures, a CAS
+// race that resolved unlocked — fall back to the backoff policy: there
+// is no release event to wait for.
+func cmQueueWait(th *Thread, tx *Tx) {
+	owner := int(tx.cmOwner)
+	if owner < 0 || owner == th.id || owner >= len(th.rt.gates) {
+		cmBackoffWait(th, tx)
+		return
+	}
+	start := time.Now()
+	if th.parkOn(owner, tx.cmOrec) {
+		th.stats.Waits++
+		th.stats.WaitNs += uint64(time.Since(start))
+	}
+}
+
+// parkOn blocks until thread owner performs a release, or returns
+// immediately when the orec oi is no longer locked by owner (the
+// conflict already resolved). It reports whether it actually parked.
+//
+// The no-lost-wakeup argument: the waiter publishes itself
+// (waiters.Add) before re-checking the orec under the gate's mutex.
+// If the re-check still sees owner's lock, the owner's release store
+// has not happened yet; the owner's wake path runs after that store,
+// observes the published waiter, and must acquire the same mutex to
+// bump seq — either after the waiter entered Wait (the Broadcast
+// reaches it) or before (the seq change stops the wait loop).
+func (th *Thread) parkOn(owner int, oi uint64) bool {
+	rt := th.rt
+	g := &rt.gates[owner]
+	g.waiters.Add(1)
+	g.mu.Lock()
+	start := g.seq
+	parked := false
+	for {
+		v := rt.orecs[oi].Load()
+		if !orecLocked(v) || orecOwner(v) != owner || g.seq != start {
+			break
+		}
+		parked = true
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+	g.waiters.Add(-1)
+	return parked
+}
+
+// wakeWaiters is the release hook: commitTop, abortTop, and
+// abortNested call it right after storing unlocked orec words. It is
+// deliberately manager-independent (see the file comment) and costs
+// one atomic load when nobody waits.
+func (th *Thread) wakeWaiters() {
+	g := &th.rt.gates[th.id]
+	if g.waiters.Load() == 0 {
+		return
+	}
+	g.mu.Lock()
+	g.seq++
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// newGates builds the per-thread wait-gate array (indexed like
+// Runtime.seqs, by worker id).
+func newGates(n int) []waitGate {
+	gates := make([]waitGate, n)
+	for i := range gates {
+		gates[i].cond = sync.NewCond(&gates[i].mu)
+	}
+	return gates
+}

@@ -1,0 +1,474 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/mem"
+)
+
+// --- Compilation and naming ---
+
+// TestCMCompilation pins the manager layer's compile-time surface: the
+// default is backoff, per-phase fragments compile their own manager,
+// CMFor follows the phase table, and PhaseStats rows carry the name.
+func TestCMCompilation(t *testing.T) {
+	cfg := Baseline()
+	cursor := Baseline()
+	cursor.CM = CMQueue
+	publish := Baseline()
+	publish.CM = CMNone
+	cfg.Phases = []PhaseConfig{
+		{Kind: "publish", Cfg: publish},
+		{Kind: "cursor", Cfg: cursor},
+	}
+	rt := newRT(cfg)
+	if got := rt.CMFor(""); got != CMBackoff {
+		t.Errorf("default CM = %q, want backoff", got)
+	}
+	if got := rt.CMFor("publish"); got != CMNone {
+		t.Errorf("publish CM = %q, want none", got)
+	}
+	if got := rt.CMFor("cursor"); got != CMQueue {
+		t.Errorf("cursor CM = %q, want queue", got)
+	}
+	if got := rt.CMFor("undeclared"); got != CMBackoff {
+		t.Errorf("undeclared kind CM = %q, want the default's backoff", got)
+	}
+	for _, row := range rt.PhaseStats() {
+		want := map[string]string{"": CMBackoff, "publish": CMNone, "cursor": CMQueue}[row.Kind]
+		if row.CM != want {
+			t.Errorf("PhaseStats[%q].CM = %q, want %q", row.Kind, row.CM, want)
+		}
+	}
+	// A runtime-wide manager is inherited as the default phase's.
+	q := Baseline()
+	q.CM = CMQueue
+	qrt := newRT(q)
+	if got := qrt.CMFor(""); got != CMQueue {
+		t.Errorf("runtime-wide CM = %q, want queue", got)
+	}
+}
+
+func TestCMValidation(t *testing.T) {
+	if !ValidCM("") || !ValidCM(CMBackoff) || !ValidCM(CMNone) || !ValidCM(CMQueue) {
+		t.Error("known manager names rejected")
+	}
+	if ValidCM("spinlock") {
+		t.Error("unknown manager name accepted")
+	}
+	if CMName("") != CMBackoff || CMName(CMQueue) != CMQueue {
+		t.Error("CMName normalization wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New did not panic on an unknown manager")
+		}
+	}()
+	bad := Baseline()
+	bad.CM = "spinlock"
+	newRT(bad)
+}
+
+// --- The wait gates (queue manager park/wake protocol) ---
+
+// TestParkOnWake drives the park protocol directly: a waiter parked on
+// a locked orec is woken by the owner's release, and parkOn reports
+// whether it actually slept.
+func TestParkOnWake(t *testing.T) {
+	rt := newRT(Baseline())
+	waiter := rt.Thread(2)
+	owner := rt.Thread(1)
+	const oi = 7
+
+	// Unlocked orec: no park, immediate return.
+	if waiter.parkOn(owner.id, oi) {
+		t.Error("parkOn parked on an unlocked orec")
+	}
+	// Locked by a different owner than the one parked on: no park.
+	rt.orecs[oi].Store(orecLockWord(3))
+	if waiter.parkOn(owner.id, oi) {
+		t.Error("parkOn parked on an orec locked by a different owner")
+	}
+
+	rt.orecs[oi].Store(orecLockWord(owner.id))
+	done := make(chan bool)
+	go func() { done <- waiter.parkOn(owner.id, oi) }()
+	// Wait until the waiter has published itself (plus a beat for it to
+	// reach cond.Wait), then release and wake exactly like commitTop.
+	for rt.gates[owner.id].waiters.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	rt.orecs[oi].Store(2 << 1) // unlocked, version 2
+	owner.wakeWaiters()
+	select {
+	case parked := <-done:
+		if !parked {
+			t.Error("woken waiter reported no park")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+	if rt.gates[owner.id].waiters.Load() != 0 {
+		t.Error("waiter count leaked")
+	}
+	rt.orecs[oi].Store(0)
+}
+
+// TestWakeWithoutUnlock pins the seq half of the protocol: a release
+// event (seq bump + Broadcast) wakes the waiter even when the orec it
+// parked over still reads locked — the owner may have released a
+// *different* record, and the waiter must re-resolve its conflict
+// rather than sleep on.
+func TestWakeWithoutUnlock(t *testing.T) {
+	rt := newRT(Baseline())
+	waiter := rt.Thread(2)
+	owner := rt.Thread(1)
+	const oi = 3
+	rt.orecs[oi].Store(orecLockWord(owner.id))
+	g := &rt.gates[owner.id]
+
+	done := make(chan bool)
+	go func() { done <- waiter.parkOn(owner.id, oi) }()
+	for g.waiters.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// The waiter may not have reached cond.Wait yet (a wake landing then
+	// is absorbed by the seq check only on the *next* release, which in
+	// production always follows because the owner still holds the lock) —
+	// so the test, like an owner, keeps issuing release events.
+	deadline := time.After(10 * time.Second)
+	for {
+		owner.wakeWaiters() // orec stays locked; the seq change ends the wait
+		select {
+		case <-done:
+			rt.orecs[oi].Store(0)
+			return
+		case <-deadline:
+			t.Fatal("waiter slept through the release events")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestQueueOwnerlessFallback: a conflict that recorded no owner (or an
+// impossible one) falls back to the backoff policy instead of parking.
+func TestQueueOwnerlessFallback(t *testing.T) {
+	rt := newRT(Baseline())
+	th := rt.Thread(0)
+	th.tx.attempts = 2
+	for _, owner := range []int32{-1, int32(th.id), int32(len(rt.gates))} {
+		before := th.stats.Waits
+		th.tx.cmOwner = owner
+		cmQueueWait(th, &th.tx)
+		if th.stats.Waits != before+1 {
+			t.Errorf("owner %d: fallback did not run the backoff wait", owner)
+		}
+	}
+}
+
+// --- Wait accounting and policy behavior under real conflicts ---
+
+// holdOrec starts a transaction on th that locks g and then blocks;
+// the returned release function lets it commit (or abort) and waits
+// for it to finish.
+func holdOrec(t *testing.T, th *Thread, g mem.Addr, abort bool) (locked <-chan struct{}, release func()) {
+	t.Helper()
+	lockedCh := make(chan struct{})
+	releaseCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		th.Atomic(func(tx *Tx) {
+			tx.Store(g, 1, AccShared)
+			close(lockedCh)
+			<-releaseCh
+			if abort {
+				tx.UserAbort()
+			}
+		})
+	}()
+	return lockedCh, func() { close(releaseCh); <-doneCh }
+}
+
+// TestQueueParksOnCommit and TestQueueParksOnAbort: a queue-managed
+// loser parks on the owner and is woken by the owner's commit (or
+// abort) release — counted once in Waits with real time in WaitNs.
+func TestQueueParksOnRelease(t *testing.T) {
+	for _, abort := range []bool{false, true} {
+		name := "commit"
+		if abort {
+			name = "abort"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := Baseline()
+			cfg.CM = CMQueue
+			rt := newRT(cfg)
+			g := rt.Space().AllocGlobal(1)
+			holder := rt.Thread(0)
+			loser := rt.Thread(1)
+
+			lockedCh, release := holdOrec(t, holder, g, abort)
+			<-lockedCh
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				loser.Atomic(func(tx *Tx) {
+					tx.Store(g, tx.Load(g, AccShared)+1, AccShared)
+				})
+			}()
+			// The loser conflicts on the held orec and parks on thread 0's
+			// gate; only the holder's release may wake it.
+			for rt.gates[holder.id].waiters.Load() == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			release()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("queue-managed loser never woke after the release")
+			}
+			s := rt.Stats()
+			if s.Waits == 0 || s.WaitNs == 0 {
+				t.Errorf("Waits=%d WaitNs=%d, want both nonzero", s.Waits, s.WaitNs)
+			}
+			if s.Aborts == 0 {
+				t.Error("the conflict was not counted as an abort")
+			}
+			rt.Validate()
+		})
+	}
+}
+
+// TestCrossManagerWake: the release side is manager-independent — a
+// queue-phase waiter parked on an owner whose own phase compiled the
+// none manager is still woken at that owner's release.
+func TestCrossManagerWake(t *testing.T) {
+	cfg := Baseline()
+	cfg.CM = CMNone // the holder's (default-phase) manager
+	queue := Baseline()
+	queue.CM = CMQueue
+	cfg.Phases = []PhaseConfig{{Kind: "cursor", Cfg: queue}}
+	rt := newRT(cfg)
+	g := rt.Space().AllocGlobal(1)
+	holder := rt.Thread(0)
+	loser := rt.Thread(1)
+	loser.EnterPhase("cursor")
+
+	lockedCh, release := holdOrec(t, holder, g, false)
+	<-lockedCh
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		loser.Atomic(func(tx *Tx) {
+			tx.Store(g, tx.Load(g, AccShared)+1, AccShared)
+		})
+	}()
+	for rt.gates[holder.id].waiters.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cross-manager waiter never woke")
+	}
+	rt.Validate()
+}
+
+// TestNoneEscalates: under the none policy a transaction that keeps
+// losing eventually backs off (Waits counted) instead of retrying
+// forever at full speed.
+func TestNoneEscalates(t *testing.T) {
+	cfg := Baseline()
+	cfg.CM = CMNone
+	rt := newRT(cfg)
+	th := rt.Thread(0)
+	// Drive the wait hook directly: below the escalation bound it must
+	// impose nothing, above it the backoff spin runs and is counted.
+	th.tx.cmOwner = -1
+	for a := 1; a <= cmNoneEscalateAfter; a++ {
+		th.tx.attempts = a
+		cmNoneWait(th, &th.tx)
+	}
+	if th.stats.Waits != 0 {
+		t.Fatalf("none imposed %d waits below the escalation bound", th.stats.Waits)
+	}
+	th.tx.attempts = cmNoneEscalateAfter + 1
+	cmNoneWait(th, &th.tx)
+	if th.stats.Waits != 1 {
+		t.Fatalf("escalation did not engage: Waits=%d", th.stats.Waits)
+	}
+}
+
+// TestBackoffCountsWaits: the extracted backoff policy accounts its
+// spin episodes in the new counters.
+func TestBackoffCountsWaits(t *testing.T) {
+	rt := newRT(Baseline())
+	th := rt.Thread(0)
+	th.backoffSpin(3)
+	th.backoffSpin(6) // > 4: includes the Gosched path
+	if th.stats.Waits != 2 {
+		t.Errorf("Waits = %d, want 2", th.stats.Waits)
+	}
+	if th.stats.WaitNs == 0 {
+		t.Error("WaitNs = 0, want > 0")
+	}
+	if th.backoffSpin(0); th.stats.Waits != 2 {
+		t.Error("attempt 0 must impose no wait")
+	}
+}
+
+// --- Stress: no leaks, exact results, every manager ---
+
+// TestCMStress hammers one shared counter from four threads under each
+// manager: the final value must be exact, no orec may leak, and (for
+// queue) no waiter may be left parked. Run with -race this is the
+// park/wake protocol's data-race pin.
+func TestCMStress(t *testing.T) {
+	const threads, perThread = 4, 1500
+	for _, m := range []string{CMBackoff, CMNone, CMQueue} {
+		t.Run(m, func(t *testing.T) {
+			cfg := RuntimeAll(capture.KindTree).Perf()
+			cfg.CM = m
+			rt := newRT(cfg)
+			g := rt.Space().AllocGlobal(1)
+			var wg sync.WaitGroup
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					th := rt.Thread(tid)
+					for i := 0; i < perThread; i++ {
+						th.Atomic(func(tx *Tx) {
+							tx.Store(g, tx.Load(g, AccShared)+1, AccShared)
+						})
+					}
+				}(tid)
+			}
+			wg.Wait()
+			if got := rt.Space().Load(g); got != threads*perThread {
+				t.Errorf("counter = %d, want %d", got, threads*perThread)
+			}
+			for i := range rt.gates {
+				if n := rt.gates[i].waiters.Load(); n != 0 {
+					t.Errorf("gate %d has %d waiters after join", i, n)
+				}
+			}
+			rt.Validate()
+		})
+	}
+}
+
+// TestCMLivelockSymmetricWriters is the livelock regression pin for
+// the none policy: writer pairs whose footprints always collide (two
+// globals written in opposite orders) must all complete within a
+// bounded attempt budget — the escalation must force them apart.
+func TestCMLivelockSymmetricWriters(t *testing.T) {
+	const threads, perThread = 2, 800
+	cfg := Baseline().Perf()
+	cfg.CM = CMNone
+	rt := newRT(cfg)
+	g := rt.Space().AllocGlobal(2)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			th := rt.Thread(tid)
+			a, b := g, g+1
+			if tid%2 == 1 {
+				a, b = b, a // opposite acquisition order: symmetric conflicts
+			}
+			for i := 0; i < perThread; i++ {
+				th.Atomic(func(tx *Tx) {
+					tx.Store(a, tx.Load(a, AccShared)+1, AccShared)
+					tx.Store(b, tx.Load(b, AccShared)+1, AccShared)
+				})
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := rt.Space().Load(g); got != threads*perThread {
+		t.Errorf("counter = %d, want %d", got, threads*perThread)
+	}
+	s := rt.Stats()
+	// The budget: with escalation engaged the average cost of a commit
+	// is bounded; 50 aborts per commit is an order of magnitude above
+	// anything observed and an order below livelock.
+	if ratio := s.AbortRatio(); ratio > 50 {
+		t.Errorf("abort ratio %.1f exceeds the livelock budget", ratio)
+	}
+	rt.Validate()
+}
+
+// --- Adaptive manager selection ---
+
+// TestAdaptiveCMSelection: the epoch sampler moves a kind's manager
+// from its own abort-ratio delta — a conflict-free kind onto none, a
+// hot kind onto queue — while manual phase declarations stay put.
+func TestAdaptiveCMSelection(t *testing.T) {
+	const epoch = 8
+	rt := newRT(adaptiveCfg(epoch))
+	th := rt.Thread(0)
+	g := rt.Space().AllocGlobal(1)
+
+	// Single-threaded publish work: zero aborts, so the manager must
+	// settle on none (abort ratio 0 ≤ CMNonePct).
+	th.EnterPhase("publish")
+	for i := 0; i < 3*epoch; i++ {
+		runCaptured(th, g)
+	}
+	if got := rt.CMFor("publish"); got != CMNone {
+		t.Errorf("conflict-free publish CM = %q, want none", got)
+	}
+	for _, sel := range rt.AdaptiveSelections() {
+		if sel.Kind == "publish" && sel.CM != CMNone {
+			t.Errorf("AdaptiveSelections publish CM = %q, want none", sel.CM)
+		}
+	}
+
+	// A hot cursor epoch, staged deterministically: the loser commits
+	// most of an epoch conflict-free, then runs its last transaction
+	// against a held lock — at least one abort in an epoch of `epoch`
+	// commits puts the ratio at 1/epoch = 0.125... so use a tighter
+	// window: with epoch 8, a handful of retries against the held lock
+	// crosses CMQueuePct comfortably (each retry is one abort).
+	loser := rt.Thread(1)
+	loser.EnterPhase("cursor")
+	for i := 0; i < epoch-1; i++ {
+		runShared(loser, g)
+	}
+	holder := rt.Thread(2)
+	lockedCh, release := holdOrec(t, holder, g, false)
+	<-lockedCh
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		runShared(loser, g) // conflicts (and aborts) until the release
+	}()
+	time.Sleep(20 * time.Millisecond) // let several abort-retry rounds land
+	release()
+	<-done
+	runShared(loser, g) // next boundary closes the epoch and decides
+	if got := rt.CMFor("cursor"); got != CMQueue {
+		t.Errorf("hot cursor CM = %q, want queue", got)
+	}
+	rt.Validate()
+}
+
+// TestAdaptiveCMThresholdValidation pins the new knob validation.
+func TestAdaptiveCMThresholdValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New did not panic on CMNonePct >= CMQueuePct")
+		}
+	}()
+	cfg := adaptiveCfg(8)
+	cfg.Adaptive.CMQueuePct = 0.1
+	cfg.Adaptive.CMNonePct = 0.2
+	newRT(cfg)
+}

@@ -15,6 +15,14 @@ type Stats struct {
 	// PerfMode — the adaptive sampler demotes a read-mostly kind on it.
 	Upgrades uint64
 
+	// Waits counts conflicts where the contention manager imposed a
+	// wait — a backoff spin, the none policy's engaged escalation, or a
+	// queue park (cm.go); WaitNs is the time spent in those waits. Like
+	// Aborts they are lifecycle accounting, kept under PerfMode and
+	// attributed to the phase the conflicting transaction ran in.
+	Waits  uint64
+	WaitNs uint64
+
 	// Barrier totals: every read/write access a naive STM compiler
 	// would instrument inside a transaction, including those elided
 	// statically or at runtime.
@@ -68,6 +76,8 @@ func (s *Stats) Add(o *Stats) {
 	s.Aborts += o.Aborts
 	s.UserAborts += o.UserAborts
 	s.Upgrades += o.Upgrades
+	s.Waits += o.Waits
+	s.WaitNs += o.WaitNs
 	s.ReadTotal += o.ReadTotal
 	s.WriteTotal += o.WriteTotal
 	s.ReadManual += o.ReadManual

@@ -2,8 +2,9 @@
 // the paper's optimizations live in: a McRT/Intel-C++-STM-class system
 // with cache-line-granularity ownership records, encounter-time (eager)
 // write locking, in-place updates with an undo log, optimistic
-// invisible readers validated against a global version clock, and an
-// exponential-backoff contention manager.
+// invisible readers validated against a global version clock, and a
+// per-phase compiled contention manager (cm.go; the paper's policy,
+// randomized exponential backoff, is the default).
 //
 // Every read and write barrier contains the paper's runtime capture
 // analysis fast path (Fig. 2): if the accessed location is captured by
@@ -29,7 +30,6 @@ package stm
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -78,6 +78,12 @@ type Runtime struct {
 	// (zombie) reader can still dereference into it.
 	seqs []atomic.Uint64
 
+	// gates[i] is thread i's park point for the queue contention
+	// manager (cm.go): conflicting threads park on the owner that beat
+	// them and are woken at its next orec release. Sized like seqs so
+	// any owner id read out of a locked orec word indexes safely.
+	gates []waitGate
+
 	// durable, when non-nil, is the redo log every state-changing event
 	// is serialized into (durable.go). Off, every durability hook is one
 	// nil check — the commit path is otherwise unchanged.
@@ -125,6 +131,7 @@ func New(mcfg mem.Config, cfg OptConfig) *Runtime {
 		adapt:      adapt,
 		adaptByIdx: adaptByIdx,
 		seqs:       make([]atomic.Uint64, mcfg.MaxThreads),
+		gates:      newGates(mcfg.MaxThreads),
 		threads:    make(map[int]*Thread),
 	}
 }
@@ -190,6 +197,13 @@ type Thread struct {
 	phaseStats   []Stats
 	phase        int
 	pendingPhase int // deferred EnterPhase target; -1 = none
+
+	// cm is the current phase's compiled contention manager (cm.go),
+	// retargeted with stats at phase switches; backoffAcc sinks the
+	// backoff spin loop's result so it cannot be optimized away —
+	// per-thread, so backing off never touches shared cache lines.
+	cm         *cmgr
+	backoffAcc uint64
 
 	// Adaptive epoch sampling (adaptive.go), allocated only when the
 	// runtime adapts: adaptMark[i] snapshots phaseStats[i] at the start
@@ -274,6 +288,7 @@ func (rt *Runtime) Thread(id int) *Thread {
 		pendingPhase: -1,
 	}
 	th.stats = &th.phaseStats[0]
+	th.cm = rt.cmAt(0)
 	if rt.acfg.Enabled {
 		th.adaptMark = make([]Stats, len(rt.phases))
 		th.adaptFast = make([]uint32, len(rt.phases))
@@ -414,7 +429,12 @@ func (th *Thread) Atomic(fn func(*Tx)) bool {
 		tx.beginTop()
 		retry, aborted := th.run(tx, fn)
 		if retry {
-			th.backoff(tx.attempts)
+			// The phase's compiled contention manager decides what to do
+			// with the lost attempt (cm.go): spin, retry immediately, or
+			// park on the conflicting owner. The attempt has fully
+			// unwound — abortTop released every orec — so the manager
+			// runs lock-free.
+			th.cm.wait(th, tx)
 			continue
 		}
 		tx.attempts = 0
@@ -491,29 +511,6 @@ func (th *Thread) nextRand() uint64 {
 	x ^= x >> 27
 	th.rng = x
 	return x * 0x2545F4914F6CDD1D
-}
-
-var backoffSink atomic.Uint64
-
-// backoff implements the paper's simple exponential-back-off
-// contention manager with jitter.
-func (th *Thread) backoff(attempt int) {
-	if attempt <= 0 {
-		return
-	}
-	k := attempt
-	if k > 10 {
-		k = 10
-	}
-	spins := int(th.nextRand() % uint64(16<<k))
-	var acc uint64
-	for i := 0; i < spins; i++ {
-		acc += uint64(i)
-	}
-	backoffSink.Add(acc)
-	if attempt > 4 {
-		runtime.Gosched()
-	}
 }
 
 // Validate is a debugging aid for tests: it panics if any orec is
